@@ -1,0 +1,291 @@
+// Repository-level benchmarks: one per table/figure/claim of the paper's
+// evaluation section, plus ablations of the design choices called out in
+// DESIGN.md. Model construction (pre-characterisation) happens outside the
+// timed loop, mirroring the paper's separation of the offline library step
+// from the per-cluster analysis the 20X claim refers to.
+//
+// Run everything:   go test -bench=. -benchmem
+// One experiment:   go test -bench=BenchmarkTable1 -benchmem
+package stanoise_test
+
+import (
+	"sync"
+	"testing"
+
+	"stanoise/internal/cell"
+	"stanoise/internal/charlib"
+	"stanoise/internal/core"
+	"stanoise/internal/interconnect"
+	"stanoise/internal/mor"
+	"stanoise/internal/paper"
+	"stanoise/internal/tech"
+)
+
+// prepared caches the expensive model construction per cluster so every
+// benchmark times only the analysis, and b.N loops stay honest.
+type prepared struct {
+	cluster *core.Cluster
+	models  *core.Models
+	opts    core.EvalOptions
+}
+
+var (
+	prepMu    sync.Mutex
+	prepCache = map[string]*prepared{}
+)
+
+func prepareBench(b *testing.B, key string, build func(paper.Quality) (*core.Cluster, error), needProp bool) *prepared {
+	b.Helper()
+	prepMu.Lock()
+	defer prepMu.Unlock()
+	if p, ok := prepCache[key]; ok {
+		return p
+	}
+	c, err := build(paper.Full)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mopts := core.ModelOptions{SkipProp: !needProp}
+	models, err := c.BuildModels(mopts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.EvalOptions{Dt: 1e-12}
+	if err := c.AlignWorstCase(models, opts); err != nil {
+		b.Fatal(err)
+	}
+	p := &prepared{cluster: c, models: models, opts: opts}
+	prepCache[key] = p
+	return p
+}
+
+func benchMethod(b *testing.B, p *prepared, m core.Method) {
+	b.Helper()
+	b.ReportAllocs()
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		ev, err := p.cluster.Evaluate(m, p.models, p.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = ev.Metrics.Peak
+	}
+	b.ReportMetric(peak, "peakV")
+}
+
+// --- Table 1: injected + propagated combination -------------------------
+
+func BenchmarkTable1Golden(b *testing.B) {
+	benchMethod(b, prepareBench(b, "t1", paper.Table1Cluster, true), core.Golden)
+}
+
+func BenchmarkTable1Superposition(b *testing.B) {
+	benchMethod(b, prepareBench(b, "t1", paper.Table1Cluster, true), core.Superposition)
+}
+
+func BenchmarkTable1Zolotov(b *testing.B) {
+	benchMethod(b, prepareBench(b, "t1", paper.Table1Cluster, true), core.Zolotov)
+}
+
+func BenchmarkTable1Macromodel(b *testing.B) {
+	benchMethod(b, prepareBench(b, "t1", paper.Table1Cluster, true), core.Macromodel)
+}
+
+// --- Table 2: worst-case two-aggressor overlap ---------------------------
+
+func BenchmarkTable2Golden(b *testing.B) {
+	benchMethod(b, prepareBench(b, "t2", paper.Table2Cluster, false), core.Golden)
+}
+
+func BenchmarkTable2Macromodel(b *testing.B) {
+	benchMethod(b, prepareBench(b, "t2", paper.Table2Cluster, false), core.Macromodel)
+}
+
+// --- Claim C2: ~20X speed-up ---------------------------------------------
+
+// BenchmarkSpeedupTable1 reports the golden/macromodel runtime ratio as a
+// custom metric, regenerating the paper's headline speed-up number.
+func BenchmarkSpeedupTable1(b *testing.B) {
+	p := prepareBench(b, "t1", paper.Table1Cluster, true)
+	b.ReportAllocs()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		g, err := p.cluster.Evaluate(core.Golden, p.models, p.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := p.cluster.Evaluate(core.Macromodel, p.models, p.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(g.Elapsed) / float64(m.Elapsed)
+	}
+	b.ReportMetric(ratio, "x-speedup")
+}
+
+func BenchmarkSpeedupTable2(b *testing.B) {
+	p := prepareBench(b, "t2", paper.Table2Cluster, false)
+	b.ReportAllocs()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		g, err := p.cluster.Evaluate(core.Golden, p.models, p.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := p.cluster.Evaluate(core.Macromodel, p.models, p.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(g.Elapsed) / float64(m.Elapsed)
+	}
+	b.ReportMetric(ratio, "x-speedup")
+}
+
+// --- Claim C1: accuracy sweep (quick subset keeps bench time sane) -------
+
+func BenchmarkClusterSweepSubset(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := paper.RunSweep(paper.Quick, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 1: macromodel construction ------------------------------------
+
+// BenchmarkFig1ModelBuild times the full pre-characterisation pipeline
+// (VCCS table, Thevenin fits, reduction) that assembles Figure 1's circuit.
+func BenchmarkFig1ModelBuild(b *testing.B) {
+	c, err := paper.Table2Cluster(paper.Full)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.BuildModels(core.ModelOptions{SkipProp: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ------------------------------------------------------------
+
+// BenchmarkAblationZolotovPasses shows how the iterative linear model of
+// ref [4] converges toward the non-linear answer (peakV metric).
+func BenchmarkAblationZolotovPasses(b *testing.B) {
+	p := prepareBench(b, "t1", paper.Table1Cluster, true)
+	for _, passes := range []int{1, 2, 4} {
+		name := map[int]string{1: "passes1", 2: "passes2", 4: "passes4"}[passes]
+		b.Run(name, func(b *testing.B) {
+			opts := p.opts
+			opts.ZolotovPasses = passes
+			var peak float64
+			for i := 0; i < b.N; i++ {
+				ev, err := p.cluster.Evaluate(core.Zolotov, p.models, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				peak = ev.Metrics.Peak
+			}
+			b.ReportMetric(peak, "peakV")
+		})
+	}
+}
+
+// BenchmarkAblationMiller compares the pure DC-table macromodel (the
+// paper's formulation) against the Miller-augmented extension.
+func BenchmarkAblationMiller(b *testing.B) {
+	p := prepareBench(b, "t1", paper.Table1Cluster, true)
+	for _, miller := range []bool{false, true} {
+		name := "paperPure"
+		if miller {
+			name = "withMiller"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := p.opts
+			opts.Miller = miller
+			var peak float64
+			for i := 0; i < b.N; i++ {
+				ev, err := p.cluster.Evaluate(core.Macromodel, p.models, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				peak = ev.Metrics.Peak
+			}
+			b.ReportMetric(peak, "peakV")
+		})
+	}
+}
+
+// BenchmarkAblationMORMoments sweeps the number of matched block moments,
+// the accuracy/size knob of the coupled S-model.
+func BenchmarkAblationMORMoments(b *testing.B) {
+	t := tech.Tech130()
+	bus, err := interconnect.NewBus(t, "M4", 25,
+		interconnect.LineSpec{Name: "v", LengthUm: 500},
+		interconnect.LineSpec{Name: "a", LengthUm: 500},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := bus.Network(nil)
+	ports := []string{bus.InNode(0), bus.InNode(1), bus.OutNode(0)}
+	for _, moments := range []int{1, 2, 3, 4} {
+		b.Run(map[int]string{1: "m1", 2: "m2", 3: "m3", 4: "m4"}[moments], func(b *testing.B) {
+			b.ReportAllocs()
+			var q int
+			for i := 0; i < b.N; i++ {
+				red, err := mor.Reduce(net, ports, mor.Options{Moments: moments})
+				if err != nil {
+					b.Fatal(err)
+				}
+				q = red.Q
+			}
+			b.ReportMetric(float64(q), "states")
+		})
+	}
+}
+
+// --- Substrate benchmarks --------------------------------------------------
+
+// BenchmarkLoadCurveCharacterization times the paper's pre-characterisation
+// step (eq. 1) at the production grid size.
+func BenchmarkLoadCurveCharacterization(b *testing.B) {
+	t := tech.Tech130()
+	nand := cell.MustNew(t, "NAND2", 1)
+	st, err := nand.SensitizedState("B", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := charlib.CharacterizeLoadCurve(nand, st, "B",
+			charlib.LoadCurveOptions{NVin: 61, NVout: 61}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMacromodelEngine isolates the dedicated non-linear engine — the
+// inner loop behind the 20X claim.
+func BenchmarkMacromodelEngine(b *testing.B) {
+	p := prepareBench(b, "t2", paper.Table2Cluster, false)
+	sources := make([]core.PortSource, len(p.models.Red.Ports))
+	for i := range sources {
+		sources[i] = core.OpenPort{}
+	}
+	sources[p.models.VicPort] = &core.HoldingPort{G: p.models.HoldG, V0: p.models.QuietVic}
+	for i, pi := range p.models.AggPorts {
+		sources[pi] = core.NewTheveninPort(p.models.Agg[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunEngine(p.models.Red, sources, p.models.V0,
+			core.EngineOptions{Dt: 1e-12, TStop: 2e-9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Command libchar pre-characterises library cells for noise analysis and
+// writes the result as a JSON library: the non-linear VCCS load-curve
+// tables of the paper's eq. (1) and, optionally, the propagation tables
+// used by traditional superposition-based flows.
+//
+//	libchar -tech cmos130 -cell NAND2 -pin B -out nand2.json
+//	libchar -tech cmos090 -all -out lib90.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stanoise/internal/cell"
+	"stanoise/internal/charlib"
+	"stanoise/internal/tech"
+)
+
+func main() {
+	techName := flag.String("tech", "cmos130", "technology: cmos130 or cmos090")
+	cellKind := flag.String("cell", "", "cell kind (INV, NAND2, ...); empty with -all characterises everything")
+	drive := flag.Int("drive", 1, "drive strength")
+	pin := flag.String("pin", "", "noisy input pin (default: first input)")
+	all := flag.Bool("all", false, "characterise every cell kind and input pin")
+	withProp := flag.Bool("prop", false, "also build propagation tables (slow)")
+	grid := flag.Int("grid", 61, "load-curve grid points per axis")
+	out := flag.String("out", "", "output JSON path (default stdout)")
+	flag.Parse()
+
+	t, err := tech.ByName(*techName)
+	if err != nil {
+		fail(err)
+	}
+	lib := &charlib.Library{Tech: t.Name}
+
+	type job struct {
+		kind, pin string
+	}
+	var jobs []job
+	if *all {
+		for _, k := range cell.Kinds() {
+			c := cell.MustNew(t, k, *drive)
+			for _, p := range c.Inputs() {
+				jobs = append(jobs, job{k, p})
+			}
+		}
+	} else {
+		if *cellKind == "" {
+			fail(fmt.Errorf("need -cell or -all"))
+		}
+		c, err := cell.New(t, *cellKind, *drive)
+		if err != nil {
+			fail(err)
+		}
+		p := *pin
+		if p == "" {
+			p = c.Inputs()[0]
+		}
+		jobs = append(jobs, job{*cellKind, p})
+	}
+
+	for _, j := range jobs {
+		c, err := cell.New(t, j.kind, *drive)
+		if err != nil {
+			fail(err)
+		}
+		st, err := c.SensitizedState(j.pin, true)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "libchar: skipping %s pin %s: %v\n", j.kind, j.pin, err)
+			continue
+		}
+		lc, err := charlib.CharacterizeLoadCurve(c, st, j.pin,
+			charlib.LoadCurveOptions{NVin: *grid, NVout: *grid})
+		if err != nil {
+			fail(fmt.Errorf("%s/%s: %w", j.kind, j.pin, err))
+		}
+		lib.AddLoadCurve(lc)
+		fmt.Fprintf(os.Stderr, "libchar: %s pin %s state %s: load curve %dx%d, R_hold %.0f ohm\n",
+			c.Name(), j.pin, st, lc.NVin, lc.NVout,
+			lc.HoldingResistance(c.PinVoltage(st[j.pin]), c.PinVoltage(c.Logic(st))))
+		if *withProp {
+			pt, err := charlib.CharacterizePropagation(c, st, j.pin, charlib.PropOptions{})
+			if err != nil {
+				fail(fmt.Errorf("%s/%s propagation: %w", j.kind, j.pin, err))
+			}
+			lib.AddPropTable(pt)
+			fmt.Fprintf(os.Stderr, "libchar: %s pin %s: propagation table, max peak %.3f V\n",
+				c.Name(), j.pin, pt.MaxPeak())
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := lib.WriteJSON(w); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "libchar: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command noisetab regenerates every table and figure of the paper's
+// evaluation section (Forzan & Pandini, DATE 2005):
+//
+//	noisetab -exp table1            Table 1 (injected + propagated combination)
+//	noisetab -exp table2            Table 2 (worst-case two-aggressor overlap)
+//	noisetab -exp fig1              Figure 1 (assembled cluster macromodel)
+//	noisetab -exp zolotov           context for reference [4] (iterative model)
+//	noisetab -exp speedup           claim C2 (~20X analysis speed-up)
+//	noisetab -exp sweep             claim C1 (accuracy across clusters, both techs)
+//	noisetab -exp all               everything above
+//
+// Use -quality quick for a fast smoke run (coarser meshes and grids) and
+// -csv to emit comma-separated values instead of aligned tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stanoise/internal/paper"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig1, zolotov, speedup, sweep, all")
+	quality := flag.String("quality", "full", "full (publication numbers) or quick (smoke run)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	sweepMax := flag.Int("sweep-max", 0, "limit the number of sweep cases (0 = all)")
+	flag.Parse()
+
+	var q paper.Quality
+	switch *quality {
+	case "full":
+		q = paper.Full
+	case "quick":
+		q = paper.Quick
+	default:
+		fmt.Fprintf(os.Stderr, "noisetab: unknown quality %q\n", *quality)
+		os.Exit(2)
+	}
+
+	runs := []string{*exp}
+	if *exp == "all" {
+		runs = []string{"table1", "table2", "fig1", "zolotov", "speedup", "sweep"}
+	}
+	for _, name := range runs {
+		if err := run(name, q, *csv, *sweepMax); err != nil {
+			fmt.Fprintf(os.Stderr, "noisetab: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func run(name string, q paper.Quality, csv bool, sweepMax int) error {
+	if name == "fig1" {
+		s, err := paper.Fig1Description(q)
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+		return nil
+	}
+	var (
+		exp *paper.Experiment
+		err error
+	)
+	switch name {
+	case "table1":
+		exp, err = paper.RunTable1(q)
+	case "table2":
+		exp, err = paper.RunTable2(q)
+	case "zolotov":
+		exp, err = paper.RunZolotovContext(q)
+	case "speedup":
+		exp, err = paper.RunSpeedup(q)
+	case "sweep":
+		exp, err = paper.RunSweep(q, sweepMax)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	if err != nil {
+		return err
+	}
+	if csv {
+		return exp.Table().CSV(os.Stdout)
+	}
+	return exp.Render(os.Stdout)
+}

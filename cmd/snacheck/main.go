@@ -1,0 +1,152 @@
+// Command snacheck runs static noise analysis on a JSON design description
+// and reports, per victim net, the total noise at the receiver and whether
+// it violates the receiver's Noise Rejection Curve.
+//
+//	snacheck -design design.json [-method macromodel|superposition|zolotov|golden] [-align]
+//	snacheck -sample > design.json     # emit a starter design
+//
+// The exit status is 0 when all nets pass, 1 on analysis errors, and 3 when
+// one or more nets violate their NRC — suitable for sign-off scripting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"stanoise/internal/core"
+	"stanoise/internal/report"
+	"stanoise/internal/sna"
+)
+
+func main() {
+	designPath := flag.String("design", "", "design JSON file")
+	method := flag.String("method", "macromodel", "victim model: macromodel, superposition, zolotov, golden")
+	align := flag.Bool("align", true, "search worst-case aggressor alignment")
+	dt := flag.Float64("dt-ps", 2, "engine timestep in ps")
+	sample := flag.Bool("sample", false, "print a sample design JSON and exit")
+	flag.Parse()
+
+	if *sample {
+		if err := sampleDesign().WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "snacheck: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *designPath == "" {
+		fmt.Fprintln(os.Stderr, "snacheck: -design is required (see -sample)")
+		os.Exit(2)
+	}
+	m, err := parseMethod(*method)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snacheck: %v\n", err)
+		os.Exit(2)
+	}
+	f, err := os.Open(*designPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snacheck: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	design, err := sna.ParseDesign(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snacheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	an := sna.NewAnalyzer(design, sna.Options{
+		Method: m,
+		Align:  *align,
+		Dt:     *dt * 1e-12,
+	})
+	reports, err := an.Analyze()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snacheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("static noise analysis of %q (%s victim model)", design.Name, m),
+		Headers: []string{"cluster", "recv peak (V)", "area (V·ps)", "width (ps)", "DP peak (V)", "NRC", "margin (V)", "time"},
+	}
+	for _, r := range reports {
+		status := "pass"
+		if r.Fails {
+			status = "FAIL"
+		}
+		margin := fmt.Sprintf("%.3f", r.MarginV)
+		if math.IsInf(r.MarginV, 1) {
+			margin = "inf"
+		}
+		t.AddRow(r.Cluster,
+			fmt.Sprintf("%.3f", r.PeakV),
+			fmt.Sprintf("%.1f", r.AreaVps),
+			fmt.Sprintf("%.0f", r.WidthPs),
+			fmt.Sprintf("%.3f", r.DPPeakV),
+			status, margin, r.Elapsed.Round(1e5).String())
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "snacheck: %v\n", err)
+		os.Exit(1)
+	}
+	s := sna.Summarize(reports)
+	fmt.Printf("\n%d nets analysed, %d failing; worst margin %.3f V (%s)\n",
+		s.Total, s.Failing, s.WorstMarginV, s.WorstCluster)
+	if s.Failing > 0 {
+		os.Exit(3)
+	}
+}
+
+func parseMethod(s string) (core.Method, error) {
+	switch s {
+	case "macromodel":
+		return core.Macromodel, nil
+	case "superposition":
+		return core.Superposition, nil
+	case "zolotov":
+		return core.Zolotov, nil
+	case "golden":
+		return core.Golden, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", s)
+}
+
+// sampleDesign is a ready-to-run starter: one dangerous cluster and one
+// comfortable one, mirroring the paper's Table 1/2 setups.
+func sampleDesign() *sna.Design {
+	return &sna.Design{
+		Name:     "sample",
+		Tech:     "cmos130",
+		Layer:    "M4",
+		Segments: 15,
+		Clusters: []sna.ClusterSpec{
+			{
+				Name: "bus_bit7",
+				Victim: sna.VictimSpec{
+					Cell: "NAND2", Drive: 1, NoisyPin: "B",
+					GlitchHeightV: 0.7, GlitchWidthPs: 400,
+					LengthUm: 500,
+				},
+				Aggressors: []sna.AggressorSpec{
+					{Cell: "INV", Drive: 2, FromState: map[string]bool{"A": false},
+						SwitchPin: "A", LengthUm: 500, Side: "left"},
+					{Cell: "INV", Drive: 2, FromState: map[string]bool{"A": false},
+						SwitchPin: "A", LengthUm: 500, Side: "right"},
+				},
+			},
+			{
+				Name: "ctrl_en",
+				Victim: sna.VictimSpec{
+					Cell: "INV", Drive: 2, NoisyPin: "A",
+					LengthUm: 200,
+				},
+				Aggressors: []sna.AggressorSpec{
+					{Cell: "INV", Drive: 1, FromState: map[string]bool{"A": false},
+						SwitchPin: "A", LengthUm: 200, SpacingFactor: 2},
+				},
+			},
+		},
+	}
+}

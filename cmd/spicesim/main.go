@@ -1,0 +1,101 @@
+// Command spicesim runs the repository's transistor-level simulator (the
+// golden ELDO stand-in) on a SPICE-subset netlist.
+//
+//	spicesim -dc circuit.sp                   # operating point
+//	spicesim -tstop 2n -dt 1p -probe out circuit.sp   # transient, CSV to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stanoise/internal/circuit"
+	"stanoise/internal/sim"
+)
+
+func main() {
+	dc := flag.Bool("dc", false, "compute the DC operating point only")
+	tstop := flag.String("tstop", "2n", "transient stop time (with engineering suffix)")
+	dt := flag.String("dt", "1p", "transient step (with engineering suffix)")
+	probe := flag.String("probe", "", "comma-separated node names to print (default: all)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: spicesim [flags] netlist.sp")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	ckt, err := circuit.Parse(f)
+	if err != nil {
+		fail(err)
+	}
+
+	if *dc {
+		res, err := sim.DC(ckt, sim.Options{})
+		if err != nil {
+			fail(err)
+		}
+		for _, n := range probeList(ckt, *probe) {
+			fmt.Printf("v(%s) = %.6g\n", n, res.NodeV(n))
+		}
+		return
+	}
+
+	stop, err := parseEng(*tstop)
+	if err != nil {
+		fail(fmt.Errorf("bad -tstop: %w", err))
+	}
+	step, err := parseEng(*dt)
+	if err != nil {
+		fail(fmt.Errorf("bad -dt: %w", err))
+	}
+	res, err := sim.Transient(ckt, sim.Options{Dt: step, TStop: stop})
+	if err != nil {
+		fail(err)
+	}
+	nodes := probeList(ckt, *probe)
+	fmt.Printf("t,%s\n", strings.Join(nodes, ","))
+	for i, t := range res.Times {
+		fmt.Printf("%.6g", t)
+		for _, n := range nodes {
+			fmt.Printf(",%.6g", res.At(n, i))
+		}
+		fmt.Println()
+	}
+}
+
+func probeList(ckt *circuit.Circuit, probe string) []string {
+	if probe == "" {
+		return ckt.NodeNames()
+	}
+	var out []string
+	for _, n := range strings.Split(probe, ",") {
+		n = strings.TrimSpace(n)
+		if _, ok := ckt.LookupNode(n); !ok {
+			fail(fmt.Errorf("unknown probe node %q", n))
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// parseEng parses a time value with engineering suffix via a one-line
+// netlist trick: reuse the circuit parser's number grammar.
+func parseEng(s string) (float64, error) {
+	ckt, err := circuit.Parse(strings.NewReader("V1 a 0 DC " + s + "\nR1 a 0 1\n.end\n"))
+	if err != nil {
+		return 0, fmt.Errorf("invalid value %q", s)
+	}
+	return ckt.VSources[0].W.At(0), nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "spicesim: %v\n", err)
+	os.Exit(1)
+}

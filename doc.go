@@ -1,0 +1,19 @@
+// Package stanoise is a from-scratch Go reproduction of "Modeling the
+// Non-Linear Behavior of Library Cells for an Accurate Static Noise
+// Analysis" (C. Forzan, D. Pandini — STMicroelectronics, DATE 2005).
+//
+// The repository implements the paper's noise-cluster macromodel — a
+// non-linear voltage-controlled current source victim driver co-simulated
+// with a moment-matching reduced model of the coupled interconnect and
+// Thevenin aggressor models — together with every substrate it needs: a
+// transistor-level circuit simulator (the golden "ELDO" stand-in), a
+// Level-1 device model, a standard-cell library, parasitic generation for
+// coupled wires, PRIMA-style model-order reduction, cell
+// pre-characterisation, noise rejection curves and a design-level static
+// noise analysis flow.
+//
+// Start with README.md, DESIGN.md (architecture and substitutions) and
+// EXPERIMENTS.md (measured reproduction of each table and figure). The
+// benchmarks in bench_test.go regenerate every experiment; the runnable
+// entry points live under cmd/ and examples/.
+package stanoise

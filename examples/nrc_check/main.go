@@ -1,0 +1,95 @@
+// NRC check: characterise the Noise Rejection Curve of a receiver, then
+// judge the total noise of a cluster against it — the sign-off decision of
+// static noise analysis. The example shows the paper's point: the same
+// cluster passes under linear superposition and fails under the accurate
+// non-linear macromodel.
+//
+//	go run ./examples/nrc_check
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stanoise/internal/cell"
+	"stanoise/internal/core"
+	"stanoise/internal/interconnect"
+	"stanoise/internal/nrc"
+	"stanoise/internal/tech"
+)
+
+func main() {
+	t := tech.Tech130()
+
+	// The receiver whose noise immunity decides pass/fail.
+	recv := cell.MustNew(t, "INV", 2)
+	curve, err := nrc.Characterize(recv, cell.State{"A": true}, "A", nrc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("NRC of %s pin A (input quiet high, %.0f%% VDD output failure threshold):\n",
+		recv.Name(), curve.FailFrac*100)
+	for i, w := range curve.Widths {
+		fmt.Printf("  width %5.0f ps -> failing height %.3f V\n", w*1e12, curve.Heights[i])
+	}
+	fmt.Println()
+
+	// A hot cluster: three coupled nets, strong aggressors, big glitch.
+	bus, err := interconnect.NewBus(t, "M4", 15,
+		interconnect.LineSpec{Name: "agg1", LengthUm: 500},
+		interconnect.LineSpec{Name: "vic", LengthUm: 500},
+		interconnect.LineSpec{Name: "agg2", LengthUm: 500},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nand := cell.MustNew(t, "NAND2", 1)
+	state, _ := nand.SensitizedState("B", true)
+	inv := func(d int) *cell.Cell { return cell.MustNew(t, "INV", d) }
+	cluster := &core.Cluster{
+		Tech: t, Bus: bus,
+		Victim: core.VictimSpec{
+			Cell: nand, State: state, NoisyPin: "B",
+			Glitch:   core.GlitchSpec{Height: 0.78, Width: 480e-12, Start: 150e-12},
+			Line:     1,
+			Receiver: recv, ReceiverPin: "A",
+		},
+		Aggressors: []core.AggressorSpec{
+			{Cell: inv(4), FromState: cell.State{"A": false}, SwitchPin: "A", Line: 0,
+				Receiver: inv(2), ReceiverPin: "A"},
+			{Cell: inv(4), FromState: cell.State{"A": false}, SwitchPin: "A", Line: 2,
+				Receiver: inv(2), ReceiverPin: "A"},
+		},
+	}
+	models, err := cluster.BuildModels(core.ModelOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := core.EvalOptions{}
+	if err := cluster.AlignWorstCase(models, opts); err != nil {
+		log.Fatal(err)
+	}
+
+	verdicts := map[core.Method]bool{}
+	for _, m := range []core.Method{core.Superposition, core.Macromodel, core.Golden} {
+		ev, err := cluster.Evaluate(m, models, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fails := curve.Fails(ev.RecvMetrics.Peak, ev.RecvMetrics.Width)
+		verdicts[m] = fails
+		verdict := "PASS"
+		if fails {
+			verdict = "FAIL"
+		}
+		fmt.Printf("%-14s receiver noise %.3f V x %.0f ps  ->  %s (margin %+.3f V)\n",
+			m, ev.RecvMetrics.Peak, ev.RecvMetrics.WidthPs(), verdict,
+			curve.MarginV(ev.RecvMetrics.Peak, ev.RecvMetrics.Width))
+	}
+	if !verdicts[core.Superposition] && verdicts[core.Macromodel] {
+		fmt.Println("\nThe superposition flow signed off a net the accurate non-linear model rejects —")
+		fmt.Println("exactly the silent failure mode the paper warns about.")
+	} else {
+		fmt.Println("\nNote how much sign-off margin the linear-superposition flow overstates.")
+	}
+}

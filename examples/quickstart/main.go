@@ -1,0 +1,86 @@
+// Quickstart: build a two-net noise cluster, pre-characterise the victim
+// driver's non-linear VCCS table, and compare the paper's macromodel
+// against a full transistor-level simulation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stanoise/internal/cell"
+	"stanoise/internal/core"
+	"stanoise/internal/interconnect"
+	"stanoise/internal/tech"
+)
+
+func main() {
+	// 1. Pick a technology and lay out two 500 µm parallel wires on M4.
+	t := tech.Tech130()
+	bus, err := interconnect.NewBus(t, "M4", 15,
+		interconnect.LineSpec{Name: "vic", LengthUm: 500},
+		interconnect.LineSpec{Name: "agg", LengthUm: 500},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Describe the cluster: a NAND2 holds the victim high (A=1, B=0)
+	// while a 0.6 V / 350 ps glitch arrives on B, and a neighbouring
+	// inverter output falls.
+	nand := cell.MustNew(t, "NAND2", 1)
+	state, err := nand.SensitizedState("B", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster := &core.Cluster{
+		Tech: t,
+		Bus:  bus,
+		Victim: core.VictimSpec{
+			Cell: nand, State: state, NoisyPin: "B",
+			Glitch:   core.GlitchSpec{Height: 0.6, Width: 350e-12, Start: 150e-12},
+			Line:     0,
+			Receiver: cell.MustNew(t, "INV", 2), ReceiverPin: "A",
+		},
+		Aggressors: []core.AggressorSpec{{
+			Cell: cell.MustNew(t, "INV", 2), FromState: cell.State{"A": false}, SwitchPin: "A",
+			Line: 1, Receiver: cell.MustNew(t, "INV", 2), ReceiverPin: "A",
+		}},
+	}
+
+	// 3. Pre-characterise: the VCCS load-curve table (eq. 1 of the paper),
+	// the aggressor Thevenin model, and the reduced coupled interconnect.
+	models, err := cluster.BuildModels(core.ModelOptions{SkipProp: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("victim VCCS table: %s in state %s, %dx%d points\n",
+		models.LC.CellName, models.LC.State, models.LC.NVin, models.LC.NVout)
+	fmt.Printf("holding resistance at the quiet point: %.0f ohm\n", 1/models.HoldG)
+	fmt.Printf("reduced interconnect: %d ports, q=%d states\n\n",
+		len(models.Red.Ports), models.Red.Q)
+
+	// 4. Align every noise contribution at its worst case and evaluate.
+	opts := core.EvalOptions{}
+	if err := cluster.AlignWorstCase(models, opts); err != nil {
+		log.Fatal(err)
+	}
+	golden, err := cluster.Evaluate(core.Golden, models, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	macro, err := cluster.Evaluate(core.Macromodel, models, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("golden (transistor level): peak %.3f V, area %.1f V·ps  (%v)\n",
+		golden.Metrics.Peak, golden.Metrics.AreaVps(), golden.Elapsed.Round(1e5))
+	fmt.Printf("VCCS macromodel:           peak %.3f V, area %.1f V·ps  (%v)\n",
+		macro.Metrics.Peak, macro.Metrics.AreaVps(), macro.Elapsed.Round(1e5))
+	fmt.Printf("peak error %+.1f%%, area error %+.1f%%, speed-up %.0fX\n",
+		100*(macro.Metrics.Peak-golden.Metrics.Peak)/golden.Metrics.Peak,
+		100*(macro.Metrics.Area-golden.Metrics.Area)/golden.Metrics.Area,
+		float64(golden.Elapsed)/float64(macro.Elapsed))
+}

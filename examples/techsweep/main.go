@@ -1,0 +1,71 @@
+// Technology sweep: the paper's claim C1 — "tested on several noise
+// clusters in 0.13µm and 90nm technology … the error was always within few
+// percents" — across victim cells, aggressor counts and wire lengths.
+//
+//	go run ./examples/techsweep            # quick subset
+//	go run ./examples/techsweep -full      # every sweep case, full quality
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"stanoise/internal/core"
+	"stanoise/internal/paper"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run every sweep case at full quality")
+	flag.Parse()
+
+	q := paper.Quick
+	maxCases := 6
+	if *full {
+		q = paper.Full
+		maxCases = 0
+	}
+	cases := paper.SweepCases()
+	if maxCases > 0 && maxCases < len(cases) {
+		cases = cases[:maxCases]
+	}
+
+	fmt.Printf("%-22s %-10s %-10s %-8s %-8s\n", "cluster", "golden(V)", "macro(V)", "err%", "speedup")
+	worst := 0.0
+	for _, sc := range cases {
+		cl, err := paper.BuildSweepCluster(sc, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		models, err := cl.BuildModels(core.ModelOptions{SkipProp: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := core.EvalOptions{}
+		if err := cl.AlignWorstCase(models, opts); err != nil {
+			log.Fatal(err)
+		}
+		golden, err := cl.Evaluate(core.Golden, models, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mac, err := cl.Evaluate(core.Macromodel, models, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		errPct := 100 * (mac.Metrics.Peak - golden.Metrics.Peak) / golden.Metrics.Peak
+		if a := math.Abs(errPct); a > worst {
+			worst = a
+		}
+		fmt.Printf("%-22s %-10.3f %-10.3f %+-8.1f %-8.0f\n",
+			sc.Name, golden.Metrics.Peak, mac.Metrics.Peak, errPct,
+			float64(golden.Elapsed)/float64(mac.Elapsed))
+	}
+	fmt.Printf("\nworst macromodel peak error: %.1f%%\n", worst)
+	if worst > 6 {
+		fmt.Fprintln(os.Stderr, "warning: error exceeded the paper's 'few percent' envelope")
+		os.Exit(1)
+	}
+}

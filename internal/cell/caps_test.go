@@ -1,0 +1,121 @@
+package cell
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOutputFixedGateVsMillerSplit(t *testing.T) {
+	tt := t130()
+	nand := MustNew(tt, "NAND2", 1)
+	// NAND2 devices touching the output: mpa (gate A), mpb (gate B),
+	// mna (gate A). With noisy pin B, the Miller part is mpb's half-gate
+	// cap and the fixed part is mpa+mna's.
+	fixed := nand.OutputFixedGateCap("B")
+	miller := nand.OutputMillerCap("B")
+	if fixed <= 0 || miller <= 0 {
+		t.Fatalf("fixed=%v miller=%v", fixed, miller)
+	}
+	// Swapping the noisy pin to A must move mpa and mna into the Miller
+	// bucket: fixed(A) + miller(A) == fixed(B) + miller(B) (same devices).
+	if d := (nand.OutputFixedGateCap("A") + nand.OutputMillerCap("A")) - (fixed + miller); math.Abs(d) > 1e-21 {
+		t.Errorf("cap budget not conserved across pin choice: %v", d)
+	}
+	// For the inverter, everything output-connected is gated by A.
+	inv := MustNew(tt, "INV", 1)
+	if inv.OutputFixedGateCap("A") != 0 {
+		t.Errorf("INV fixed gate cap = %v, want 0", inv.OutputFixedGateCap("A"))
+	}
+	if inv.OutputMillerCap("A") <= 0 {
+		t.Error("INV Miller cap missing")
+	}
+}
+
+func TestInternalNodeCapByTopology(t *testing.T) {
+	tt := t130()
+	// INV has no internal nodes.
+	if c := MustNew(tt, "INV", 1).InternalNodeCap(); c != 0 {
+		t.Errorf("INV internal cap = %v", c)
+	}
+	// NAND2 has one internal node (n1) with two junctions on it.
+	nand := MustNew(tt, "NAND2", 1)
+	if c := nand.InternalNodeCap(); c <= 0 {
+		t.Errorf("NAND2 internal cap = %v", c)
+	}
+	// NAND3 has two internal nodes, each with two junctions of wider
+	// (3x stack-compensated) devices: strictly more than NAND2.
+	nand3 := MustNew(tt, "NAND3", 1)
+	if nand3.InternalNodeCap() <= nand.InternalNodeCap() {
+		t.Error("NAND3 internal cap should exceed NAND2's")
+	}
+}
+
+func TestConnectedInternalNodeCapStateAware(t *testing.T) {
+	tt := t130()
+	// AOI21 (out = !(A·B + C)) holding high with A=0,B=0,C=0: the pull-up
+	// path through C and the (A||B) pair conducts, so n1 is connected;
+	// the pull-down stack node n2 sits behind OFF NMOS devices.
+	aoi := MustNew(tt, "AOI21", 1)
+	stHigh := State{"A": false, "B": false, "C": false}
+	conn := aoi.ConnectedInternalNodeCap(stHigh)
+	all := aoi.InternalNodeCap()
+	if conn <= 0 {
+		t.Fatalf("connected cap = %v, want > 0 (n1 conducts)", conn)
+	}
+	if conn >= all {
+		t.Errorf("connected cap %v should exclude the isolated n2 (total %v)", conn, all)
+	}
+	// NAND2 holding high with A=1,B=0: mna conducts, n1 connected — the
+	// connected cap equals the full internal cap.
+	nand := MustNew(tt, "NAND2", 1)
+	st, _ := nand.SensitizedState("B", true)
+	if got, want := nand.ConnectedInternalNodeCap(st), nand.InternalNodeCap(); math.Abs(got-want) > 1e-21 {
+		t.Errorf("NAND2 connected %v != total %v", got, want)
+	}
+	// NAND2 with A=0,B=0: mna is off, n1 floats behind it.
+	if got := nand.ConnectedInternalNodeCap(State{"A": false, "B": false}); got != 0 {
+		t.Errorf("NAND2 A=0: connected cap = %v, want 0", got)
+	}
+}
+
+func TestNodeLevelsResolvesBUFStage(t *testing.T) {
+	tt := t130()
+	buf := MustNew(tt, "BUF", 1)
+	// BUF with A=1: first stage drives n1 low; the second stage's NMOS
+	// (gate n1) is then OFF and its PMOS ON — levels must resolve n1.
+	levels := buf.nodeLevels(State{"A": true})
+	lvl, ok := levels["n1"]
+	if !ok {
+		t.Fatal("n1 level not resolved")
+	}
+	if lvl {
+		t.Error("n1 should be low for A=1")
+	}
+	// And the connected-cap walk must not panic or miscount (BUF has no
+	// junction-bearing internal stack node between out and a rail — n1 is
+	// a gate node, not a channel node of the output stage).
+	_ = buf.ConnectedInternalNodeCap(State{"A": true})
+}
+
+func TestCapsAllCellsFinite(t *testing.T) {
+	tt := t130()
+	for _, kind := range Kinds() {
+		cl := MustNew(tt, kind, 2)
+		for _, pin := range cl.Inputs() {
+			for _, v := range []float64{
+				cl.InputCap(pin),
+				cl.OutputFixedGateCap(pin),
+				cl.OutputMillerCap(pin),
+			} {
+				if math.IsNaN(v) || v < 0 || v > 1e-12 {
+					t.Errorf("%s/%s: implausible cap %v", kind, pin, v)
+				}
+			}
+		}
+		for _, st := range cl.HoldStates(true) {
+			if v := cl.ConnectedInternalNodeCap(st); math.IsNaN(v) || v < 0 || v > cl.InternalNodeCap()+1e-21 {
+				t.Errorf("%s state %v: connected internal cap %v out of range", kind, st, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package charlib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Library is a persistent collection of characterised artefacts for one
+// technology — the noise view of a standard-cell library. It is what
+// cmd/libchar produces and what a production flow would ship alongside
+// timing libraries.
+type Library struct {
+	Tech       string       `json:"tech"`
+	LoadCurves []*LoadCurve `json:"load_curves,omitempty"`
+	PropTables []*PropTable `json:"prop_tables,omitempty"`
+}
+
+// key identifies an artefact by cell, state and pin.
+func key(cellName, state, pin string) string { return cellName + "|" + state + "|" + pin }
+
+// AddLoadCurve inserts or replaces a load curve.
+func (l *Library) AddLoadCurve(lc *LoadCurve) {
+	for i, old := range l.LoadCurves {
+		if key(old.CellName, old.State, old.NoisyPin) == key(lc.CellName, lc.State, lc.NoisyPin) {
+			l.LoadCurves[i] = lc
+			return
+		}
+	}
+	l.LoadCurves = append(l.LoadCurves, lc)
+}
+
+// AddPropTable inserts or replaces a propagation table.
+func (l *Library) AddPropTable(pt *PropTable) {
+	for i, old := range l.PropTables {
+		if key(old.CellName, old.State, old.NoisyPin) == key(pt.CellName, pt.State, pt.NoisyPin) {
+			l.PropTables[i] = pt
+			return
+		}
+	}
+	l.PropTables = append(l.PropTables, pt)
+}
+
+// LoadCurveFor retrieves a load curve, or nil.
+func (l *Library) LoadCurveFor(cellName, state, pin string) *LoadCurve {
+	for _, lc := range l.LoadCurves {
+		if key(lc.CellName, lc.State, lc.NoisyPin) == key(cellName, state, pin) {
+			return lc
+		}
+	}
+	return nil
+}
+
+// PropTableFor retrieves a propagation table, or nil.
+func (l *Library) PropTableFor(cellName, state, pin string) *PropTable {
+	for _, pt := range l.PropTables {
+		if key(pt.CellName, pt.State, pt.NoisyPin) == key(cellName, state, pin) {
+			return pt
+		}
+	}
+	return nil
+}
+
+// WriteJSON serialises the library.
+func (l *Library) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(l)
+}
+
+// ReadLibrary deserialises a library and validates table shapes.
+func ReadLibrary(r io.Reader) (*Library, error) {
+	var l Library
+	if err := json.NewDecoder(r).Decode(&l); err != nil {
+		return nil, fmt.Errorf("charlib: reading library: %w", err)
+	}
+	for _, lc := range l.LoadCurves {
+		if lc.NVin < 2 || lc.NVout < 2 || len(lc.I) != lc.NVin*lc.NVout {
+			return nil, fmt.Errorf("charlib: load curve %s/%s/%s has inconsistent shape",
+				lc.CellName, lc.State, lc.NoisyPin)
+		}
+	}
+	for _, pt := range l.PropTables {
+		if len(pt.Peak) != len(pt.Heights) {
+			return nil, fmt.Errorf("charlib: prop table %s/%s/%s has inconsistent shape",
+				pt.CellName, pt.State, pt.NoisyPin)
+		}
+	}
+	return &l, nil
+}

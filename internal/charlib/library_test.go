@@ -1,0 +1,67 @@
+package charlib
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"stanoise/internal/cell"
+	"stanoise/internal/tech"
+)
+
+func TestLibraryRoundTrip(t *testing.T) {
+	tt := tech.Tech130()
+	cl := cell.MustNew(tt, "INV", 1)
+	lc, err := CharacterizeLoadCurve(cl, cell.State{"A": false}, "A",
+		LoadCurveOptions{NVin: 11, NVout: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := &Library{Tech: tt.Name}
+	lib.AddLoadCurve(lc)
+
+	var b strings.Builder
+	if err := lib.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	lib2, err := ReadLibrary(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lib2.LoadCurveFor(lc.CellName, lc.State, "A")
+	if got == nil {
+		t.Fatal("curve lost in round trip")
+	}
+	// Identical interpolation behaviour after the round trip.
+	for _, pt := range [][2]float64{{0.1, 1.1}, {0.62, 0.33}} {
+		i1, _, _ := lc.Eval(pt[0], pt[1])
+		i2, _, _ := got.Eval(pt[0], pt[1])
+		if math.Abs(i1-i2) > 1e-15 {
+			t.Errorf("eval mismatch at %v: %v vs %v", pt, i1, i2)
+		}
+	}
+}
+
+func TestLibraryReplaceSemantics(t *testing.T) {
+	lib := &Library{}
+	a := &LoadCurve{CellName: "X", State: "A=0", NoisyPin: "A", NVin: 2, NVout: 2, I: make([]float64, 4)}
+	b := &LoadCurve{CellName: "X", State: "A=0", NoisyPin: "A", NVin: 2, NVout: 2, I: []float64{1, 1, 1, 1}}
+	lib.AddLoadCurve(a)
+	lib.AddLoadCurve(b)
+	if len(lib.LoadCurves) != 1 {
+		t.Fatalf("curves = %d, want 1 (replaced)", len(lib.LoadCurves))
+	}
+	if lib.LoadCurveFor("X", "A=0", "A").I[0] != 1 {
+		t.Error("replacement kept the old data")
+	}
+	if lib.LoadCurveFor("Y", "A=0", "A") != nil {
+		t.Error("phantom lookup")
+	}
+}
+
+func TestReadLibraryValidatesShape(t *testing.T) {
+	src := `{"tech":"cmos130","load_curves":[{"CellName":"X","State":"s","NoisyPin":"A","NVin":3,"NVout":3,"I":[0,0]}]}`
+	if _, err := ReadLibrary(strings.NewReader(src)); err == nil {
+		t.Error("inconsistent table shape accepted")
+	}
+}

@@ -1,0 +1,200 @@
+// Package charlib implements library-cell pre-characterisation for noise
+// analysis: the non-linear DC load-curve tables I_DC = f(V_in, V_out) of
+// the paper's eq. (1), holding resistances, and the input-to-output noise
+// propagation tables used by the traditional linear-superposition flow.
+//
+// All characterisation runs against the same transistor-level simulator
+// (internal/sim) used as the golden reference, mirroring the paper's setup
+// where both the macromodel tables and the validation data came from ELDO.
+package charlib
+
+import (
+	"fmt"
+	"math"
+
+	"stanoise/internal/cell"
+	"stanoise/internal/circuit"
+	"stanoise/internal/sim"
+)
+
+// LoadCurve is the characterised VCCS table of a cell output: the current
+// the cell injects into its output net as a function of the voltage on the
+// noisy input pin and the output voltage, with all other inputs frozen at
+// the rails given by the characterisation state.
+//
+// The grid spans the "typical voltage swing" of the technology with margin
+// (−0.2·VDD … 1.2·VDD on both axes by default), as prescribed in §2 of the
+// paper.
+type LoadCurve struct {
+	CellName string
+	State    string
+	NoisyPin string
+
+	VinMin, VinMax   float64
+	VoutMin, VoutMax float64
+	NVin, NVout      int
+	// I holds the injected current, row-major: I[iv*NVout+io] at
+	// vin = VinMin + iv·dvin, vout = VoutMin + io·dvout. Positive current
+	// flows from the cell into the net (restoring when vout droops below
+	// its quiet high level).
+	I []float64
+}
+
+func (lc *LoadCurve) dvin() float64  { return (lc.VinMax - lc.VinMin) / float64(lc.NVin-1) }
+func (lc *LoadCurve) dvout() float64 { return (lc.VoutMax - lc.VoutMin) / float64(lc.NVout-1) }
+
+// Eval interpolates the table bilinearly at (vin, vout), returning the
+// injected current and its partial derivatives. Queries outside the grid
+// are clamped to the boundary, which corresponds to the physically settled
+// currents beyond the characterised swing.
+func (lc *LoadCurve) Eval(vin, vout float64) (i, dIdVin, dIdVout float64) {
+	dx, dy := lc.dvin(), lc.dvout()
+	fx := (vin - lc.VinMin) / dx
+	fy := (vout - lc.VoutMin) / dy
+	ix := int(math.Floor(fx))
+	iy := int(math.Floor(fy))
+	if ix < 0 {
+		ix = 0
+	}
+	if ix > lc.NVin-2 {
+		ix = lc.NVin - 2
+	}
+	if iy < 0 {
+		iy = 0
+	}
+	if iy > lc.NVout-2 {
+		iy = lc.NVout - 2
+	}
+	tx := fx - float64(ix)
+	ty := fy - float64(iy)
+	// Clamp the fractional position but keep derivatives from the edge
+	// cell so Newton still sees a restoring slope outside the grid.
+	if tx < 0 {
+		tx = 0
+	}
+	if tx > 1 {
+		tx = 1
+	}
+	if ty < 0 {
+		ty = 0
+	}
+	if ty > 1 {
+		ty = 1
+	}
+	at := func(a, b int) float64 { return lc.I[a*lc.NVout+b] }
+	i00 := at(ix, iy)
+	i10 := at(ix+1, iy)
+	i01 := at(ix, iy+1)
+	i11 := at(ix+1, iy+1)
+	i = i00*(1-tx)*(1-ty) + i10*tx*(1-ty) + i01*(1-tx)*ty + i11*tx*ty
+	dIdVin = ((i10-i00)*(1-ty) + (i11-i01)*ty) / dx
+	dIdVout = ((i01-i00)*(1-tx) + (i11-i10)*tx) / dy
+	return i, dIdVin, dIdVout
+}
+
+// HoldingConductance returns −∂I/∂V_out at the quiet operating point: the
+// small-signal conductance with which the driver fights injected noise.
+// Its reciprocal is the classical "holding resistance" of linear SNA.
+func (lc *LoadCurve) HoldingConductance(vinQuiet, voutQuiet float64) float64 {
+	_, _, dIdVout := lc.Eval(vinQuiet, voutQuiet)
+	return -dIdVout
+}
+
+// HoldingResistance is 1/HoldingConductance.
+func (lc *LoadCurve) HoldingResistance(vinQuiet, voutQuiet float64) float64 {
+	g := lc.HoldingConductance(vinQuiet, voutQuiet)
+	if g <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / g
+}
+
+// LoadCurveOptions tunes the DC sweep.
+type LoadCurveOptions struct {
+	NVin, NVout int     // grid points per axis; default 61
+	MarginFrac  float64 // sweep margin beyond the rails as a fraction of VDD; default 0.2
+}
+
+func (o LoadCurveOptions) normalize() LoadCurveOptions {
+	if o.NVin <= 1 {
+		o.NVin = 61
+	}
+	if o.NVout <= 1 {
+		o.NVout = 61
+	}
+	if o.MarginFrac <= 0 {
+		o.MarginFrac = 0.2
+	}
+	return o
+}
+
+// CharacterizeLoadCurve builds the VCCS table for a cell by DC analysis:
+// the noisy pin and the output are swept over the characterisation range
+// while the remaining inputs stay at the rails of st, and the current drawn
+// through the output-forcing source is recorded — exactly the
+// pre-characterisation step described in §2 of the paper.
+func CharacterizeLoadCurve(cl *cell.Cell, st cell.State, noisyPin string, opts LoadCurveOptions) (*LoadCurve, error) {
+	opts = opts.normalize()
+	vdd := cl.Tech.VDD
+	margin := opts.MarginFrac * vdd
+	lc := &LoadCurve{
+		CellName: cl.Name(),
+		State:    st.String(),
+		NoisyPin: noisyPin,
+		VinMin:   -margin, VinMax: vdd + margin,
+		VoutMin: -margin, VoutMax: vdd + margin,
+		NVin: opts.NVin, NVout: opts.NVout,
+		I: make([]float64, opts.NVin*opts.NVout),
+	}
+	found := false
+	for _, in := range cl.Inputs() {
+		if in == noisyPin {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("charlib: %s has no pin %q", cl.Name(), noisyPin)
+	}
+
+	dvin, dvout := lc.dvin(), lc.dvout()
+	quietOut := cl.PinVoltage(cl.Logic(st))
+	for iv := 0; iv < lc.NVin; iv++ {
+		vin := lc.VinMin + float64(iv)*dvin
+		for io := 0; io < lc.NVout; io++ {
+			vout := lc.VoutMin + float64(io)*dvout
+			ckt := circuit.New()
+			ckt.AddVDC("vdd", "vdd", "0", vdd)
+			pins := map[string]string{}
+			for _, in := range cl.Inputs() {
+				node := "in_" + in
+				pins[in] = node
+				v := cl.PinVoltage(st[in])
+				if in == noisyPin {
+					v = vin
+				}
+				ckt.AddVDC("v_"+in, node, "0", v)
+			}
+			if err := cl.Build(ckt, "dut", pins, "out", "vdd"); err != nil {
+				return nil, err
+			}
+			ckt.AddVDC("vforce", "out", "0", vout)
+			dc, err := sim.DC(ckt, sim.Options{InitialGuess: map[string]float64{
+				"dut.n1": internalGuess(vout, quietOut),
+				"dut.n2": internalGuess(vout, quietOut),
+			}})
+			if err != nil {
+				return nil, fmt.Errorf("charlib: DC at vin=%.3f vout=%.3f: %w", vin, vout, err)
+			}
+			// Branch current into the forcing source equals the current the
+			// cell injects into the net.
+			lc.I[iv*lc.NVout+io] = dc.BranchI("vforce")
+		}
+	}
+	return lc, nil
+}
+
+// internalGuess seeds stacked-transistor internal nodes between the forced
+// output and its quiet level, which keeps Newton in the intended basin.
+func internalGuess(vout, quiet float64) float64 {
+	return 0.5 * (vout + quiet)
+}

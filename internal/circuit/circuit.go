@@ -1,0 +1,193 @@
+// Package circuit provides the netlist representation consumed by the
+// transient simulator: named nodes and the element types needed for noise
+// analysis (resistors, capacitors, independent sources, Level-1 MOSFETs and
+// table-driven voltage-controlled current sources).
+//
+// A Circuit is a plain data structure; all solving lives in internal/sim.
+// The package also implements a SPICE-subset parser and writer so netlists
+// can be inspected, archived and replayed (see cmd/spicesim).
+package circuit
+
+import (
+	"fmt"
+
+	"stanoise/internal/device"
+	"stanoise/internal/wave"
+)
+
+// NodeID identifies a circuit node. Ground is the constant Ground and is
+// not an unknown of the system.
+type NodeID int
+
+// Ground is the reference node "0".
+const Ground NodeID = -1
+
+// Circuit is a flat netlist.
+type Circuit struct {
+	nodeIndex map[string]NodeID
+	nodeNames []string
+
+	Resistors  []Resistor
+	Capacitors []Capacitor
+	VSources   []VSource
+	ISources   []ISource
+	Mosfets    []Mosfet
+	VCCSs      []VCCS
+}
+
+// New returns an empty circuit.
+func New() *Circuit {
+	return &Circuit{nodeIndex: map[string]NodeID{"0": Ground, "gnd": Ground, "GND": Ground}}
+}
+
+// Node returns the NodeID for name, creating the node on first use.
+// The names "0", "gnd" and "GND" are the reference node.
+func (c *Circuit) Node(name string) NodeID {
+	if id, ok := c.nodeIndex[name]; ok {
+		return id
+	}
+	id := NodeID(len(c.nodeNames))
+	c.nodeIndex[name] = id
+	c.nodeNames = append(c.nodeNames, name)
+	return id
+}
+
+// NumNodes returns the number of non-ground nodes.
+func (c *Circuit) NumNodes() int { return len(c.nodeNames) }
+
+// NodeName returns the name of id, or "0" for ground.
+func (c *Circuit) NodeName(id NodeID) string {
+	if id == Ground {
+		return "0"
+	}
+	return c.nodeNames[id]
+}
+
+// LookupNode returns the NodeID for an existing node name.
+func (c *Circuit) LookupNode(name string) (NodeID, bool) {
+	id, ok := c.nodeIndex[name]
+	return id, ok
+}
+
+// NodeNames returns the names of all non-ground nodes in index order.
+func (c *Circuit) NodeNames() []string {
+	return append([]string(nil), c.nodeNames...)
+}
+
+// Resistor is a linear two-terminal resistance.
+type Resistor struct {
+	Name string
+	A, B NodeID
+	R    float64 // ohms
+}
+
+// Capacitor is a linear two-terminal capacitance.
+type Capacitor struct {
+	Name string
+	A, B NodeID
+	C    float64 // farads
+}
+
+// VSource is an independent voltage source; its value over time is a
+// waveform (use wave.Constant for DC sources). The branch current is an
+// extra MNA unknown and can be probed from simulation results.
+type VSource struct {
+	Name     string
+	Pos, Neg NodeID
+	W        *wave.Waveform
+}
+
+// ISource is an independent current source driving current from Neg to Pos
+// inside the source (i.e. injecting W(t) amperes into the Pos node).
+type ISource struct {
+	Name     string
+	Pos, Neg NodeID
+	W        *wave.Waveform
+}
+
+// Mosfet is a Level-1 transistor instance. The bulk terminal is implicit
+// (tied to the source), consistent with the device model in internal/device.
+type Mosfet struct {
+	Name    string
+	D, G, S NodeID
+	P       device.Params
+}
+
+// VCCSFunc evaluates a voltage-controlled current source: the current
+// injected into the output node as a function of the controlling voltage
+// and the output voltage, together with its partial derivatives.
+type VCCSFunc interface {
+	// Eval returns (i, di/dvc, di/dvo).
+	Eval(vc, vo float64) (i, gc, go_ float64)
+}
+
+// VCCS injects I = f(V(Ctrl), V(Out)) into Out. It is the circuit-level
+// form of the paper's eq. (1) and exists so characterised load-curve tables
+// can be validated inside full transistor-level netlists.
+type VCCS struct {
+	Name      string
+	Ctrl, Out NodeID
+	F         VCCSFunc
+}
+
+// AddR appends a resistor between nodes a and b.
+func (c *Circuit) AddR(name, a, b string, r float64) {
+	if r <= 0 {
+		panic(fmt.Sprintf("circuit: resistor %s with non-positive value %g", name, r))
+	}
+	c.Resistors = append(c.Resistors, Resistor{Name: name, A: c.Node(a), B: c.Node(b), R: r})
+}
+
+// AddC appends a capacitor between nodes a and b.
+func (c *Circuit) AddC(name, a, b string, f float64) {
+	if f < 0 {
+		panic(fmt.Sprintf("circuit: capacitor %s with negative value %g", name, f))
+	}
+	if f == 0 {
+		return // zero caps are legal no-ops; skip the stamp entirely
+	}
+	c.Capacitors = append(c.Capacitors, Capacitor{Name: name, A: c.Node(a), B: c.Node(b), C: f})
+}
+
+// AddV appends a voltage source with the positive terminal at pos.
+func (c *Circuit) AddV(name, pos, neg string, w *wave.Waveform) {
+	c.VSources = append(c.VSources, VSource{Name: name, Pos: c.Node(pos), Neg: c.Node(neg), W: w})
+}
+
+// AddVDC appends a constant voltage source.
+func (c *Circuit) AddVDC(name, pos, neg string, v float64) {
+	c.AddV(name, pos, neg, wave.Constant(v))
+}
+
+// AddI appends a current source injecting w(t) into pos.
+func (c *Circuit) AddI(name, pos, neg string, w *wave.Waveform) {
+	c.ISources = append(c.ISources, ISource{Name: name, Pos: c.Node(pos), Neg: c.Node(neg), W: w})
+}
+
+// AddM appends a MOSFET.
+func (c *Circuit) AddM(name, d, g, s string, p device.Params) {
+	c.Mosfets = append(c.Mosfets, Mosfet{Name: name, D: c.Node(d), G: c.Node(g), S: c.Node(s), P: p})
+}
+
+// AddVCCS appends a table-driven voltage-controlled current source.
+func (c *Circuit) AddVCCS(name, ctrl, out string, f VCCSFunc) {
+	c.VCCSs = append(c.VCCSs, VCCS{Name: name, Ctrl: c.Node(ctrl), Out: c.Node(out), F: f})
+}
+
+// VSourceIndex returns the index of the named voltage source, for current
+// probing, or -1 when absent.
+func (c *Circuit) VSourceIndex(name string) int {
+	for i := range c.VSources {
+		if c.VSources[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ElementCount returns the total number of elements, a convenient size
+// statistic for reports.
+func (c *Circuit) ElementCount() int {
+	return len(c.Resistors) + len(c.Capacitors) + len(c.VSources) +
+		len(c.ISources) + len(c.Mosfets) + len(c.VCCSs)
+}

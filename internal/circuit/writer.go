@@ -1,0 +1,84 @@
+package circuit
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"stanoise/internal/device"
+)
+
+// Write emits the circuit as a netlist in the same SPICE subset Parse
+// accepts, so netlists round-trip. Table-driven VCCS elements have no
+// netlist form and are emitted as comments.
+func (c *Circuit) Write(w io.Writer, title string) error {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, ".title %s\n", title)
+	}
+	for _, r := range c.Resistors {
+		fmt.Fprintf(&b, "%s %s %s %.6g\n", r.Name, c.NodeName(r.A), c.NodeName(r.B), r.R)
+	}
+	for _, cp := range c.Capacitors {
+		fmt.Fprintf(&b, "%s %s %s %.6g\n", cp.Name, c.NodeName(cp.A), c.NodeName(cp.B), cp.C)
+	}
+	for _, v := range c.VSources {
+		fmt.Fprintf(&b, "%s %s %s %s\n", v.Name, c.NodeName(v.Pos), c.NodeName(v.Neg), sourceSpec(v.W.T, v.W.V))
+	}
+	for _, i := range c.ISources {
+		fmt.Fprintf(&b, "%s %s %s %s\n", i.Name, c.NodeName(i.Pos), c.NodeName(i.Neg), sourceSpec(i.W.T, i.W.V))
+	}
+	// Models: group identical parameter sets.
+	modelName := map[string]string{}
+	var modelLines []string
+	for _, m := range c.Mosfets {
+		key := modelKey(m.P)
+		if _, ok := modelName[key]; !ok {
+			name := fmt.Sprintf("mod%d", len(modelName)+1)
+			modelName[key] = name
+			kind := "NMOS"
+			if m.P.Kind == device.PMOS {
+				kind = "PMOS"
+			}
+			modelLines = append(modelLines,
+				fmt.Sprintf(".model %s %s (KP=%.6g VT0=%.6g LAMBDA=%.6g)", name, kind, m.P.KP, m.P.VT0, m.P.Lambda))
+		}
+	}
+	for _, m := range c.Mosfets {
+		fmt.Fprintf(&b, "%s %s %s %s %s W=%.6g L=%.6g\n",
+			m.Name, c.NodeName(m.D), c.NodeName(m.G), c.NodeName(m.S), modelName[modelKey(m.P)], m.P.W, m.P.L)
+	}
+	sort.Strings(modelLines)
+	for _, l := range modelLines {
+		fmt.Fprintln(&b, l)
+	}
+	for _, v := range c.VCCSs {
+		fmt.Fprintf(&b, "* vccs %s: I(%s) = f(V(%s), V(%s)) — table element, no netlist form\n",
+			v.Name, c.NodeName(v.Out), c.NodeName(v.Ctrl), c.NodeName(v.Out))
+	}
+	b.WriteString(".end\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func modelKey(p device.Params) string {
+	return fmt.Sprintf("%v/%.6g/%.6g/%.6g", p.Kind, p.KP, p.VT0, p.Lambda)
+}
+
+// sourceSpec renders a waveform as DC or PWL.
+func sourceSpec(ts, vs []float64) string {
+	if len(ts) == 1 {
+		return fmt.Sprintf("DC %.6g", vs[0])
+	}
+	var b strings.Builder
+	b.WriteString("PWL(")
+	for i := range ts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.6g %.6g", ts[i], vs[i])
+	}
+	b.WriteByte(')')
+	return b.String()
+}

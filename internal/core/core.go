@@ -1,0 +1,24 @@
+// Package core implements the paper's primary contribution: the
+// noise-cluster macromodel of Forzan & Pandini (DATE 2005) and the engines
+// that evaluate total noise — propagated through the victim driver plus
+// crosstalk-injected by the aggressors — at the victim driving point.
+//
+// A Cluster describes a victim net with its coupled aggressors (Figure 1 of
+// the paper): the victim driver cell in a quiet logic state with a noise
+// glitch arriving at one input, aggressor driver cells switching, a bundle
+// of coupled wires, and receiver loads. The cluster can be evaluated with
+// four methods:
+//
+//   - Golden: full transistor-level simulation (the ELDO stand-in).
+//   - Superposition: the traditional linear flow — injected noise from a
+//     holding-resistance linear model, propagated noise from
+//     pre-characterised tables, combined by waveform summation with peaks
+//     aligned.
+//   - Zolotov: the iterative Thevenin victim model of the paper's
+//     reference [4] — a pulsed voltage source behind the holding
+//     resistance, refined by fixed-point iteration.
+//   - Macromodel: the paper's approach — the victim driver as a non-linear
+//     VCCS table I_DC = f(V_in, V_out) co-simulated with a moment-matching
+//     reduced model of the coupled interconnect and Thevenin aggressors by
+//     a small dedicated non-linear engine.
+package core

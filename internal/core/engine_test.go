@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"stanoise/internal/circuit"
+	"stanoise/internal/mor"
+	"stanoise/internal/sim"
+	"stanoise/internal/wave"
+)
+
+// reducedLadder builds a reduced model of a simple RC ladder with a port at
+// the near end.
+func reducedLadder(t *testing.T, n int, rSeg, cSeg float64) *mor.Reduced {
+	t.Helper()
+	nodes := make([]string, n+1)
+	for i := range nodes {
+		nodes[i] = "n" + string(rune('a'+i))
+	}
+	net := mor.NewNetwork(nodes)
+	for i := 0; i < n; i++ {
+		net.AddR(nodes[i], nodes[i+1], rSeg)
+	}
+	for i := 0; i <= n; i++ {
+		net.AddC(nodes[i], "0", cSeg)
+	}
+	red, err := mor.Reduce(net, []string{nodes[0], nodes[n]}, mor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return red
+}
+
+func TestEngineTheveninStep(t *testing.T) {
+	// Thevenin ramp into a reduced RC ladder: the far end must settle to
+	// the source's final value.
+	red := reducedLadder(t, 8, 50, 10e-15)
+	srcs := []PortSource{
+		&TheveninPort{W: wave.SaturatedRamp(1.2, 0, 100e-12, 80e-12), RTh: 300},
+		OpenPort{},
+	}
+	v0 := []float64{1.2, 1.2}
+	res, err := RunEngine(red, srcs, v0, EngineOptions{Dt: 1e-12, TStop: 3e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := res.Waveform(1)
+	if got := far.At(0); math.Abs(got-1.2) > 1e-9 {
+		t.Errorf("initial far = %v", got)
+	}
+	if got := far.At(3e-9); math.Abs(got-0) > 0.01 {
+		t.Errorf("final far = %v, want 0", got)
+	}
+}
+
+// The decisive correctness test: a fully linear cluster evaluated by the
+// reduced-order engine must match the full transistor-free circuit solved
+// by the general simulator.
+func TestEngineMatchesFullLinearSimulation(t *testing.T) {
+	// Two coupled 10-segment lines; victim held by a resistor, aggressor
+	// driven by a Thevenin ramp.
+	const (
+		nseg = 10
+		rSeg = 5.0
+		cSeg = 3e-15
+		cc   = 6e-15
+		rth  = 400.0
+		hold = 1500.0
+	)
+	name := func(l string, j int) string { return l + "_" + string(rune('a'+j)) }
+	var nodes []string
+	for _, l := range []string{"v", "a"} {
+		for j := 0; j <= nseg; j++ {
+			nodes = append(nodes, name(l, j))
+		}
+	}
+	net := mor.NewNetwork(nodes)
+	ckt := circuit.New()
+	vth := wave.SaturatedRamp(1.2, 0, 150e-12, 70e-12)
+	for _, l := range []string{"v", "a"} {
+		for j := 0; j < nseg; j++ {
+			net.AddR(name(l, j), name(l, j+1), rSeg)
+			ckt.AddR("r"+name(l, j), name(l, j), name(l, j+1), rSeg)
+		}
+		for j := 0; j <= nseg; j++ {
+			net.AddC(name(l, j), "0", cSeg)
+			ckt.AddC("c"+name(l, j), name(l, j), "0", cSeg)
+		}
+	}
+	for j := 0; j <= nseg; j++ {
+		net.AddC(name("v", j), name("a", j), cc)
+		ckt.AddC("cc"+name("v", j), name("v", j), name("a", j), cc)
+	}
+	// Full circuit: holding resistor to a 1.2 V rail; Thevenin source.
+	ckt.AddVDC("vdd", "vdd", "0", 1.2)
+	ckt.AddR("rhold", "vdd", name("v", 0), hold)
+	ckt.AddV("vth", "th", "0", vth)
+	ckt.AddR("rth", "th", name("a", 0), rth)
+
+	ports := []string{name("v", 0), name("a", 0), name("v", nseg)}
+	red, err := mor.Reduce(net, ports, mor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := []PortSource{
+		&HoldingPort{G: 1 / hold, V0: 1.2},
+		&TheveninPort{W: vth, RTh: rth},
+		OpenPort{},
+	}
+	v0 := []float64{1.2, 1.2, 1.2}
+	opts := EngineOptions{Dt: 1e-12, TStop: 2e-9}
+	engRes, err := RunEngine(red, srcs, v0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := sim.Transient(ckt, sim.Options{Dt: 1e-12, TStop: 2e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, node := range []string{name("v", 0), name("a", 0), name("v", nseg)} {
+		d := wave.MaxAbsDiff(engRes.Waveform(pi), simRes.Waveform(node))
+		if d > 0.015 {
+			t.Errorf("port %s: engine deviates %v V from full simulation", node, d)
+		}
+	}
+}
+
+func TestEngineSourceCountMismatch(t *testing.T) {
+	red := reducedLadder(t, 4, 10, 1e-15)
+	_, err := RunEngine(red, []PortSource{OpenPort{}}, []float64{0, 0}, EngineOptions{TStop: 1e-9})
+	if err == nil {
+		t.Error("source count mismatch accepted")
+	}
+}
+
+func TestEngineRequiresTStop(t *testing.T) {
+	red := reducedLadder(t, 4, 10, 1e-15)
+	_, err := RunEngine(red, []PortSource{OpenPort{}, OpenPort{}}, []float64{0, 0}, EngineOptions{})
+	if err == nil {
+		t.Error("missing TStop accepted")
+	}
+}
+
+func TestHoldingPortRestores(t *testing.T) {
+	p := &HoldingPort{G: 1e-3, V0: 1.2}
+	i, g := p.Current(0, 1.0) // output drooped 0.2 V below quiet
+	if math.Abs(i-0.2e-3) > 1e-12 {
+		t.Errorf("restoring current = %v", i)
+	}
+	if g != -1e-3 {
+		t.Errorf("conductance = %v", g)
+	}
+}
+
+func TestOpenPort(t *testing.T) {
+	i, g := OpenPort{}.Current(1e-9, 0.7)
+	if i != 0 || g != 0 {
+		t.Error("OpenPort leaks current")
+	}
+}
+
+func TestParallelPortSums(t *testing.T) {
+	p := ParallelPort{
+		&HoldingPort{G: 1e-3, V0: 1.0},
+		&HoldingPort{G: 2e-3, V0: 1.0},
+	}
+	i, g := p.Current(0, 0.9)
+	if math.Abs(i-0.3e-3) > 1e-12 || math.Abs(g+3e-3) > 1e-12 {
+		t.Errorf("parallel sum wrong: %v %v", i, g)
+	}
+}
+
+func TestCapPortDifferentiates(t *testing.T) {
+	// A CapPort between a ramping waveform and a fixed port voltage must
+	// deliver i ≈ C·dV/dt mid-ramp.
+	const (
+		c    = 10e-15
+		rate = 1.2 / 100e-12 // V/s
+		h    = 1e-12
+	)
+	p := &CapPort{C: c, W: wave.SaturatedRamp(0, 1.2, 50e-12, 100e-12)}
+	p.Init(h, 0, 0)
+	want := c * rate
+	// Trapezoidal companions ring at PWL corners; the integrator consumes
+	// the average of consecutive step currents, which must equal C·dV/dt
+	// exactly during the ramp.
+	var prev, cur float64
+	for t0 := h; t0 <= 100e-12; t0 += h {
+		prev = cur
+		cur, _ = p.Current(t0, 0)
+		p.Commit(t0, 0)
+	}
+	if avg := 0.5 * (prev + cur); math.Abs(avg-want) > 0.02*want {
+		t.Errorf("mid-ramp average cap current = %v, want %v", avg, want)
+	}
+	// And zero once the ramp completes and the history settles.
+	for t0 := 101e-12; t0 <= 400e-12; t0 += h {
+		prev = cur
+		cur, _ = p.Current(t0, 0)
+		p.Commit(t0, 0)
+	}
+	if avg := 0.5 * (prev + cur); math.Abs(avg) > 0.01*want {
+		t.Errorf("post-ramp average cap current = %v, want ~0", avg)
+	}
+}

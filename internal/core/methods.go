@@ -1,0 +1,433 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"stanoise/internal/charlib"
+	"stanoise/internal/circuit"
+	"stanoise/internal/sim"
+	"stanoise/internal/wave"
+)
+
+// Method selects how the total noise on a cluster is computed.
+type Method int
+
+const (
+	// Golden is the full transistor-level simulation (ELDO stand-in).
+	Golden Method = iota
+	// Superposition is the traditional linear flow: holding-resistance
+	// injected noise plus table-propagated noise, waveform-summed with
+	// peaks aligned.
+	Superposition
+	// Zolotov is the iterative pulsed-Thevenin victim model of ref [4].
+	Zolotov
+	// Macromodel is the paper's non-linear VCCS approach.
+	Macromodel
+)
+
+func (m Method) String() string {
+	switch m {
+	case Golden:
+		return "golden"
+	case Superposition:
+		return "superposition"
+	case Zolotov:
+		return "zolotov"
+	case Macromodel:
+		return "macromodel"
+	}
+	return fmt.Sprintf("method(%d)", int(m))
+}
+
+// Evaluation is the outcome of evaluating a cluster with one method.
+type Evaluation struct {
+	Method Method
+	// DP is the waveform at the victim driving point (the paper's
+	// measurement node), Recv at the victim receiver input.
+	DP, Recv *wave.Waveform
+	// Metrics and RecvMetrics are the glitch metrics at those two nodes.
+	Metrics     wave.NoiseMetrics
+	RecvMetrics wave.NoiseMetrics
+	// Elapsed is the analysis (solve) time, excluding pre-characterisation.
+	Elapsed time.Duration
+}
+
+// EvalOptions tunes cluster evaluation.
+type EvalOptions struct {
+	Dt    float64 // timestep for every engine; default 1 ps
+	TStop float64 // default Cluster.EventHorizon()
+	// ZolotovPasses is the number of engine passes of the iterative
+	// pulsed-Thevenin victim model (ref [4]): pass 1 uses the driver-alone
+	// pulse, each further pass rebuilds the source at the coupled
+	// response. Default 2 — the practical operating point whose error
+	// magnitude matches what the paper quotes for [4]. A single pass is
+	// markedly worse, which is exactly why that approach iterates; more
+	// passes converge toward the non-linear result (see the ablation).
+	ZolotovPasses int
+	// Miller adds the input-output feedthrough capacitor of the victim
+	// driver to the macromodel — an extension beyond the paper's pure
+	// DC-table formulation (see the ablation benchmarks).
+	Miller bool
+	// GoldenSim overrides options of the transistor-level simulator.
+	GoldenSim sim.Options
+}
+
+func (o EvalOptions) normalize(c *Cluster) EvalOptions {
+	if o.Dt <= 0 {
+		o.Dt = 1e-12
+	}
+	if o.TStop <= 0 {
+		o.TStop = c.EventHorizon()
+	}
+	if o.ZolotovPasses <= 0 {
+		o.ZolotovPasses = 2
+	}
+	return o
+}
+
+// Evaluate computes the total noise with the chosen method. Models must
+// come from BuildModels on the same cluster (Golden ignores them).
+func (c *Cluster) Evaluate(m Method, models *Models, opts EvalOptions) (*Evaluation, error) {
+	opts = opts.normalize(c)
+	switch m {
+	case Golden:
+		return c.evaluateGolden(opts)
+	case Superposition:
+		return c.evaluateSuperposition(models, opts)
+	case Zolotov:
+		return c.evaluateZolotov(models, opts)
+	case Macromodel:
+		return c.evaluateMacromodel(models, opts)
+	}
+	return nil, fmt.Errorf("core: unknown method %v", m)
+}
+
+func (c *Cluster) evaluateGolden(opts EvalOptions) (*Evaluation, error) {
+	ckt, err := c.BuildGolden()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	simOpts := opts.GoldenSim
+	simOpts.Dt = opts.Dt
+	simOpts.TStop = opts.TStop
+	seedQuietLevels(c, ckt, &simOpts)
+	res, err := sim.Transient(ckt, simOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: golden simulation: %w", err)
+	}
+	elapsed := time.Since(start)
+	dp := res.Waveform(c.Bus.InNode(c.Victim.Line))
+	recv := res.Waveform(c.Bus.OutNode(c.Victim.Line))
+	return c.finish(Golden, dp, recv, elapsed), nil
+}
+
+// seedQuietLevels gives the golden DC solve the intended operating point:
+// victim nodes at the quiet rail, aggressor nodes at their start level.
+func seedQuietLevels(c *Cluster, ckt *circuit.Circuit, simOpts *sim.Options) {
+	guess := map[string]float64{}
+	quiet := c.QuietVictimLevel()
+	for j := 0; j <= c.Bus.Segments; j++ {
+		guess[fmt.Sprintf("%s.%d", c.Bus.Lines[c.Victim.Line].Name, j)] = quiet
+	}
+	for i := range c.Aggressors {
+		lvl := c.AggStartLevel(i)
+		for j := 0; j <= c.Bus.Segments; j++ {
+			guess[fmt.Sprintf("%s.%d", c.Bus.Lines[c.Aggressors[i].Line].Name, j)] = lvl
+		}
+	}
+	if simOpts.InitialGuess == nil {
+		simOpts.InitialGuess = guess
+		return
+	}
+	for k, v := range guess {
+		simOpts.InitialGuess[k] = v
+	}
+}
+
+// aggressorSources builds the Thevenin port sources with current offsets.
+func (c *Cluster) aggressorSources(models *Models, sources []PortSource) {
+	for i, pi := range models.AggPorts {
+		drv := models.Agg[i].Shifted(c.Aggressors[i].Offset)
+		sources[pi] = NewTheveninPort(drv)
+	}
+}
+
+func (c *Cluster) evaluateMacromodel(models *Models, opts EvalOptions) (*Evaluation, error) {
+	if models == nil {
+		return nil, fmt.Errorf("core: macromodel evaluation needs models")
+	}
+	start := time.Now()
+	sources := make([]PortSource, len(models.Red.Ports))
+	for i := range sources {
+		sources[i] = OpenPort{}
+	}
+	vin := c.victimInputWave()
+	var vic PortSource = &VCCSPort{LC: models.LC, Vin: vin}
+	if opts.Miller && models.MillerC > 0 {
+		vic = ParallelPort{vic, &CapPort{C: models.MillerC, W: vin}}
+	}
+	sources[models.VicPort] = vic
+	c.aggressorSources(models, sources)
+	res, err := RunEngine(models.Red, sources, models.V0, EngineOptions{Dt: opts.Dt, TStop: opts.TStop})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	return c.finish(Macromodel, res.Waveform(models.VicPort), res.Waveform(models.RecvPort), elapsed), nil
+}
+
+func (c *Cluster) evaluateSuperposition(models *Models, opts EvalOptions) (*Evaluation, error) {
+	if models == nil {
+		return nil, fmt.Errorf("core: superposition evaluation needs models")
+	}
+	if models.Prop == nil && c.Victim.Glitch.Height > 0 {
+		return nil, fmt.Errorf("core: superposition needs a propagation table (built with SkipProp=false)")
+	}
+	start := time.Now()
+	quiet := models.QuietVic
+
+	// Injected noise: linear victim (holding conductance), aggressors
+	// switching.
+	sources := make([]PortSource, len(models.Red.Ports))
+	for i := range sources {
+		sources[i] = OpenPort{}
+	}
+	sources[models.VicPort] = &HoldingPort{G: models.HoldG, V0: quiet}
+	c.aggressorSources(models, sources)
+	res, err := RunEngine(models.Red, sources, models.V0, EngineOptions{Dt: opts.Dt, TStop: opts.TStop})
+	if err != nil {
+		return nil, err
+	}
+	injDP := res.Waveform(models.VicPort)
+	injRecv := res.Waveform(models.RecvPort)
+
+	dp, recv := injDP, injRecv
+	if g := c.Victim.Glitch; g.Height > 0 {
+		// Propagated noise from the pre-characterised table, its peak
+		// aligned with the injected peak — the classical worst case.
+		injM := wave.MeasureNoise(injDP, quiet)
+		tAlign := injM.TPeak
+		if injM.Peak == 0 {
+			tAlign = g.PeakTime()
+		}
+		prop := models.Prop.Waveform(g.Height, g.Width, models.LumpedCL, tAlign)
+		// Linear superposition of the two deviations.
+		dp = wave.Add(injDP, prop.Offset(-models.Prop.QuietOut))
+		recv = wave.Add(injRecv, prop.Offset(-models.Prop.QuietOut))
+	}
+	elapsed := time.Since(start)
+	return c.finish(Superposition, dp, recv, elapsed), nil
+}
+
+// DriverAloneResponse simulates the victim driver transistor-level with its
+// input glitch into the lumped victim load — the waveform a pulsed-Thevenin
+// victim model uses as its source (and a useful diagnostic on its own).
+func (c *Cluster) DriverAloneResponse(models *Models, opts EvalOptions) (*wave.Waveform, error) {
+	opts = opts.normalize(c)
+	v := &c.Victim
+	ckt := circuit.New()
+	ckt.AddVDC("vdd", "vdd", "0", c.Tech.VDD)
+	pins := map[string]string{}
+	for _, in := range v.Cell.Inputs() {
+		node := "in_" + in
+		pins[in] = node
+		if in == v.NoisyPin {
+			ckt.AddV("v_"+in, node, "0", c.victimInputWave())
+		} else {
+			ckt.AddVDC("v_"+in, node, "0", v.Cell.PinVoltage(v.State[in]))
+		}
+	}
+	if err := v.Cell.Build(ckt, "vic", pins, "out", "vdd"); err != nil {
+		return nil, err
+	}
+	// The lumped load minus the driver's own diffusion (already inside the
+	// transistor netlist as junction caps).
+	clump := models.LumpedCL - v.Cell.OutputCap()
+	if clump > 0 {
+		ckt.AddC("cl", "out", "0", clump)
+	}
+	res, err := sim.Transient(ckt, sim.Options{Dt: opts.Dt, TStop: opts.TStop})
+	if err != nil {
+		return nil, fmt.Errorf("core: driver-alone simulation: %w", err)
+	}
+	return res.Waveform("out"), nil
+}
+
+func (c *Cluster) evaluateZolotov(models *Models, opts EvalOptions) (*Evaluation, error) {
+	if models == nil {
+		return nil, fmt.Errorf("core: zolotov evaluation needs models")
+	}
+	start := time.Now()
+	drv, err := c.DriverAloneResponse(models, opts)
+	if err != nil {
+		return nil, err
+	}
+	rHold := 1 / models.HoldG
+	vin := c.victimInputWave()
+
+	// Construct the pulsed Thevenin source so that, at the driver-alone
+	// voltages, the linear branch (W − v)/R_hold delivers exactly the
+	// non-linear driver current: W(t) = v(t) + R_hold·f(vin(t), v(t)).
+	// This is the single-pass model of ref [4]; the refinements below
+	// repeat the construction at the coupled response.
+	pulse := pulseFromResponse(drv, vin, models.LC, rHold)
+
+	var res *EngineResult
+	for pass := 0; pass < opts.ZolotovPasses; pass++ {
+		sources := make([]PortSource, len(models.Red.Ports))
+		for i := range sources {
+			sources[i] = OpenPort{}
+		}
+		sources[models.VicPort] = &PulsePort{W: pulse, R: rHold}
+		c.aggressorSources(models, sources)
+		res, err = RunEngine(models.Red, sources, models.V0, EngineOptions{Dt: opts.Dt, TStop: opts.TStop})
+		if err != nil {
+			return nil, err
+		}
+		if pass == opts.ZolotovPasses-1 {
+			break
+		}
+		// Fixed-point refinement: rebuild the source at the voltages just
+		// computed in the coupled circuit.
+		pulse = pulseFromResponse(res.Waveform(models.VicPort), vin, models.LC, rHold)
+	}
+	elapsed := time.Since(start)
+	return c.finish(Zolotov, res.Waveform(models.VicPort), res.Waveform(models.RecvPort), elapsed), nil
+}
+
+// pulseFromResponse converts a victim driving-point response into the
+// pulsed Thevenin source that reproduces the non-linear driver current
+// through R_hold at that response.
+func pulseFromResponse(v *wave.Waveform, vin *wave.Waveform, lc *charlib.LoadCurve, rHold float64) *wave.Waveform {
+	vs := make([]float64, len(v.T))
+	for i, t := range v.T {
+		iNL, _, _ := lc.Eval(vin.At(t), v.V[i])
+		vs[i] = v.V[i] + rHold*iNL
+	}
+	return wave.FromPoints(v.T, vs)
+}
+
+func (c *Cluster) finish(m Method, dp, recv *wave.Waveform, elapsed time.Duration) *Evaluation {
+	quiet := c.QuietVictimLevel()
+	return &Evaluation{
+		Method:      m,
+		DP:          dp,
+		Recv:        recv,
+		Metrics:     wave.MeasureNoise(dp, quiet),
+		RecvMetrics: wave.MeasureNoise(recv, quiet),
+		Elapsed:     elapsed,
+	}
+}
+
+// AlignWorstCase shifts the aggressor switching times so that every noise
+// contribution peaks simultaneously at the victim driving point — the
+// worst-case overlapping of the paper's Table 2. Contributions are timed
+// with fast linear engine runs (one per aggressor); the victim's propagated
+// peak is timed from the driver-alone response when an input glitch is
+// present. The computed shifts are stored in Aggressors[i].Offset.
+func (c *Cluster) AlignWorstCase(models *Models, opts EvalOptions) error {
+	if models == nil {
+		return fmt.Errorf("core: alignment needs models")
+	}
+	opts = opts.normalize(c)
+	quiet := models.QuietVic
+
+	peaks := make([]float64, len(c.Aggressors))
+	for i := range c.Aggressors {
+		sources := make([]PortSource, len(models.Red.Ports))
+		for k := range sources {
+			sources[k] = OpenPort{}
+		}
+		sources[models.VicPort] = &HoldingPort{G: models.HoldG, V0: quiet}
+		// Only aggressor i switches; the others hold their quiet rail
+		// through their Thevenin resistance.
+		for j, pj := range models.AggPorts {
+			if j == i {
+				sources[pj] = NewTheveninPort(models.Agg[j].Shifted(c.Aggressors[j].Offset))
+			} else {
+				sources[pj] = &PulsePort{W: wave.Constant(models.Agg[j].V0), R: models.Agg[j].RTh}
+			}
+		}
+		res, err := RunEngine(models.Red, sources, models.V0, EngineOptions{Dt: opts.Dt, TStop: opts.TStop})
+		if err != nil {
+			return fmt.Errorf("core: alignment run for aggressor %d: %w", i, err)
+		}
+		m := wave.MeasureNoise(res.Waveform(models.VicPort), quiet)
+		if m.Peak == 0 {
+			return fmt.Errorf("core: aggressor %d injects no measurable noise", i)
+		}
+		peaks[i] = m.TPeak
+	}
+
+	target := 0.0
+	if c.Victim.Glitch.Height > 0 {
+		drv, err := c.DriverAloneResponse(models, opts)
+		if err != nil {
+			return err
+		}
+		m := wave.MeasureNoise(drv, quiet)
+		if m.Peak > 0 {
+			target = m.TPeak
+		}
+	}
+	for _, t := range peaks {
+		if t > target {
+			target = t
+		}
+	}
+	for i := range c.Aggressors {
+		c.Aggressors[i].Offset += target - peaks[i]
+	}
+	// Peak alignment is only a linear-model heuristic: with a non-linear
+	// victim the true worst case can sit tens of picoseconds away (the
+	// glitch weakens the holding device asymmetrically in time). Refine by
+	// greedy coordinate ascent on the macromodel peak, one aggressor at a
+	// time — each probe is a fast reduced-order run.
+	const (
+		window = 80e-12
+		step   = 20e-12
+		passes = 2
+	)
+	best, err := c.macromodelPeak(models, opts)
+	if err != nil {
+		return err
+	}
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		for i := range c.Aggressors {
+			base := c.Aggressors[i].Offset
+			bestOff := base
+			for off := base - window; off <= base+window+step/2; off += step {
+				if off == base {
+					continue
+				}
+				c.Aggressors[i].Offset = off
+				p, err := c.macromodelPeak(models, opts)
+				if err != nil {
+					return err
+				}
+				if p > best+1e-9 {
+					best, bestOff = p, off
+					improved = true
+				}
+			}
+			c.Aggressors[i].Offset = bestOff
+		}
+		if !improved {
+			break
+		}
+	}
+	return nil
+}
+
+// macromodelPeak evaluates the cluster's macromodel noise peak at the
+// current offsets — the objective of the worst-case alignment search.
+func (c *Cluster) macromodelPeak(models *Models, opts EvalOptions) (float64, error) {
+	ev, err := c.evaluateMacromodel(models, opts)
+	if err != nil {
+		return 0, err
+	}
+	return ev.Metrics.Peak, nil
+}

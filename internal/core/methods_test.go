@@ -1,0 +1,305 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"stanoise/internal/cell"
+	"stanoise/internal/charlib"
+	"stanoise/internal/interconnect"
+	"stanoise/internal/tech"
+	"stanoise/internal/wave"
+)
+
+// fastCluster is a reduced-cost Table-1-style cluster for unit testing:
+// coarser wire discretisation and characterisation grids keep the whole
+// golden/baseline/macromodel comparison under a second.
+func fastCluster(t *testing.T, nAgg int) *Cluster {
+	t.Helper()
+	tt := tech.Tech130()
+	lines := []interconnect.LineSpec{{Name: "vic", LengthUm: 500}}
+	for i := 0; i < nAgg; i++ {
+		lines = append(lines, interconnect.LineSpec{Name: "agg" + string(rune('1'+i)), LengthUm: 500})
+	}
+	bus, err := interconnect.NewBus(tt, "M4", 8, lines...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nand := cell.MustNew(tt, "NAND2", 1)
+	st, err := nand.SensitizedState("B", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := func() *cell.Cell { return cell.MustNew(tt, "INV", 2) }
+	c := &Cluster{
+		Tech: tt,
+		Bus:  bus,
+		Victim: VictimSpec{
+			Cell: nand, State: st, NoisyPin: "B",
+			Glitch:   GlitchSpec{Height: 0.65, Width: 350e-12, Start: 150e-12},
+			Line:     0,
+			Receiver: recv(), ReceiverPin: "A",
+		},
+	}
+	for i := 0; i < nAgg; i++ {
+		c.Aggressors = append(c.Aggressors, AggressorSpec{
+			Cell: cell.MustNew(tt, "INV", 2), FromState: cell.State{"A": false}, SwitchPin: "A",
+			Line: i + 1, Receiver: recv(), ReceiverPin: "A",
+		})
+	}
+	return c
+}
+
+func fastModelOptions() ModelOptions {
+	return ModelOptions{
+		LoadCurve: charlib.LoadCurveOptions{NVin: 41, NVout: 41},
+		Prop: charlib.PropOptions{
+			Heights: []float64{0.3, 0.6, 0.9, 1.2},
+			Widths:  []float64{150e-12, 350e-12, 700e-12},
+			Loads:   []float64{40e-15, 90e-15, 160e-15},
+			Dt:      2e-12,
+		},
+	}
+}
+
+func fastEvalOptions() EvalOptions { return EvalOptions{Dt: 2e-12} }
+
+func TestClusterValidate(t *testing.T) {
+	c := fastCluster(t, 1)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid cluster rejected: %v", err)
+	}
+	bad := fastCluster(t, 1)
+	bad.Victim.Line = 5
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range victim line accepted")
+	}
+	bad = fastCluster(t, 1)
+	bad.Aggressors[0].Line = 0 // same as victim
+	if err := bad.Validate(); err == nil {
+		t.Error("doubly driven line accepted")
+	}
+	bad = fastCluster(t, 1)
+	bad.Victim.Glitch.Height = -0.3
+	if err := bad.Validate(); err == nil {
+		t.Error("negative glitch height accepted")
+	}
+	bad = fastCluster(t, 1)
+	bad.Aggressors[0].FromState = cell.State{"A": false}
+	bad.Aggressors[0].Cell = cell.MustNew(tech.Tech130(), "NAND2", 1)
+	bad.Aggressors[0].SwitchPin = "B" // with A=0 the NAND output never toggles
+	if err := bad.Validate(); err == nil {
+		t.Error("non-toggling aggressor accepted")
+	}
+}
+
+func TestVictimInputWavePolarity(t *testing.T) {
+	c := fastCluster(t, 1)
+	w := c.victimInputWave()
+	// Noisy pin B is quiet low: the glitch must rise from 0.
+	if w.At(0) != 0 {
+		t.Errorf("quiet input level = %v", w.At(0))
+	}
+	m := wave.MeasureNoise(w, 0)
+	if m.Sign != 1 || math.Abs(m.Peak-0.65) > 1e-12 {
+		t.Errorf("glitch sign %v peak %v", m.Sign, m.Peak)
+	}
+}
+
+func TestBuildGoldenStructure(t *testing.T) {
+	c := fastCluster(t, 2)
+	ckt, err := c.BuildGolden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 victim transistors + 2×2 aggressor transistors.
+	if len(ckt.Mosfets) != 8 {
+		t.Errorf("transistors = %d, want 8", len(ckt.Mosfets))
+	}
+	for _, node := range []string{"vic.0", "vic.8", "agg1.0", "agg2.0"} {
+		if _, ok := ckt.LookupNode(node); !ok {
+			t.Errorf("node %s missing from golden netlist", node)
+		}
+	}
+}
+
+func TestBuildModelsStructure(t *testing.T) {
+	c := fastCluster(t, 2)
+	m, err := c.BuildModels(ModelOptions{SkipProp: true, LoadCurve: charlib.LoadCurveOptions{NVin: 21, NVout: 21}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Prop != nil {
+		t.Error("SkipProp ignored")
+	}
+	if len(m.Agg) != 2 || len(m.AggPorts) != 2 {
+		t.Errorf("aggressor models: %d/%d", len(m.Agg), len(m.AggPorts))
+	}
+	if got := len(m.Red.Ports); got != 4 {
+		t.Errorf("ports = %d, want 4 (vic DP, 2 agg DPs, vic recv)", got)
+	}
+	// Quiet levels: victim high, aggressors start high (INV input low).
+	if m.V0[m.VicPort] != 1.2 || m.V0[m.RecvPort] != 1.2 {
+		t.Errorf("victim quiet levels wrong: %v", m.V0)
+	}
+	for _, pi := range m.AggPorts {
+		if m.V0[pi] != 1.2 {
+			t.Errorf("aggressor start level = %v, want 1.2", m.V0[pi])
+		}
+	}
+	if m.HoldG <= 0 {
+		t.Errorf("holding conductance = %v", m.HoldG)
+	}
+	if m.MillerC <= 0 {
+		t.Errorf("Miller cap = %v", m.MillerC)
+	}
+}
+
+// The headline integration test: the reproduction of the paper's
+// qualitative result on a fast cluster. Linear superposition must
+// underestimate the total noise by double-digit percent, the Zolotov
+// baseline must sit in between, and the paper's macromodel must track the
+// golden simulation within a few percent — at a significant speed-up.
+func TestMethodsReproducePaperShape(t *testing.T) {
+	c := fastCluster(t, 1)
+	models, err := c.BuildModels(fastModelOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastEvalOptions()
+	if err := c.AlignWorstCase(models, opts); err != nil {
+		t.Fatal(err)
+	}
+	golden, err := c.Evaluate(Golden, models, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := c.Evaluate(Superposition, models, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zol, err := c.Evaluate(Zolotov, models, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mac, err := c.Evaluate(Macromodel, models, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gp, ga := golden.Metrics.Peak, golden.Metrics.Area
+	if gp < 0.2 || gp > 1.2 {
+		t.Fatalf("golden peak %v V outside the noise-analysis regime", gp)
+	}
+	if golden.Metrics.Sign != -1 {
+		t.Fatalf("golden glitch direction %v, want downward", golden.Metrics.Sign)
+	}
+
+	supErr := 100 * (sup.Metrics.Peak - gp) / gp
+	macErr := 100 * (mac.Metrics.Peak - gp) / gp
+	zolErr := 100 * (zol.Metrics.Peak - gp) / gp
+	if supErr > -8 {
+		t.Errorf("superposition peak error %+.1f%%, want a clear underestimate", supErr)
+	}
+	if math.Abs(macErr) > 6 {
+		t.Errorf("macromodel peak error %+.1f%%, want within a few percent", macErr)
+	}
+	if math.Abs(zolErr) >= math.Abs(supErr) {
+		t.Errorf("zolotov (%+.1f%%) should improve on superposition (%+.1f%%)", zolErr, supErr)
+	}
+	supAreaErr := 100 * (sup.Metrics.Area - ga) / ga
+	macAreaErr := 100 * (mac.Metrics.Area - ga) / ga
+	if supAreaErr > -15 {
+		t.Errorf("superposition area error %+.1f%%, want a strong underestimate", supAreaErr)
+	}
+	if math.Abs(macAreaErr) > 6 {
+		t.Errorf("macromodel area error %+.1f%%", macAreaErr)
+	}
+	// The dedicated engine must be much faster than the golden sim even on
+	// this small cluster.
+	if golden.Elapsed < 3*mac.Elapsed {
+		t.Errorf("speed-up only %.1fX on the fast cluster", float64(golden.Elapsed)/float64(mac.Elapsed))
+	}
+}
+
+func TestAlignWorstCaseAlignsPeaks(t *testing.T) {
+	c := fastCluster(t, 2)
+	models, err := c.BuildModels(ModelOptions{SkipProp: true, LoadCurve: charlib.LoadCurveOptions{NVin: 41, NVout: 41}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastEvalOptions()
+	if err := c.AlignWorstCase(models, opts); err != nil {
+		t.Fatal(err)
+	}
+	// After alignment the aligned macromodel peak must not be smaller than
+	// the unaligned one (it is the worst case).
+	aligned, err := c.Evaluate(Macromodel, models, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := fastCluster(t, 2)
+	// Deliberately misalign by pushing one aggressor 500 ps late.
+	c2.Aggressors[1].Offset = 500e-12
+	models2, err := c2.BuildModels(ModelOptions{SkipProp: true, LoadCurve: charlib.LoadCurveOptions{NVin: 41, NVout: 41}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	misaligned, err := c2.Evaluate(Macromodel, models2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aligned.Metrics.Peak < misaligned.Metrics.Peak-1e-6 {
+		t.Errorf("aligned peak %v < misaligned peak %v", aligned.Metrics.Peak, misaligned.Metrics.Peak)
+	}
+}
+
+func TestEvaluateRequiresModels(t *testing.T) {
+	c := fastCluster(t, 1)
+	for _, m := range []Method{Superposition, Zolotov, Macromodel} {
+		if _, err := c.Evaluate(m, nil, fastEvalOptions()); err == nil {
+			t.Errorf("%v with nil models accepted", m)
+		}
+	}
+}
+
+func TestMillerExtensionStaysAccurate(t *testing.T) {
+	c := fastCluster(t, 1)
+	models, err := c.BuildModels(ModelOptions{SkipProp: true, LoadCurve: charlib.LoadCurveOptions{NVin: 41, NVout: 41}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastEvalOptions()
+	golden, err := c.Evaluate(Golden, models, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mopts := opts
+	mopts.Miller = true
+	mil, err := c.Evaluate(Macromodel, models, mopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errP := 100 * (mil.Metrics.Peak - golden.Metrics.Peak) / golden.Metrics.Peak
+	if math.Abs(errP) > 6 {
+		t.Errorf("macromodel+Miller peak error %+.1f%%", errP)
+	}
+}
+
+func TestEventHorizonCoversEvents(t *testing.T) {
+	c := fastCluster(t, 1)
+	c.Aggressors[0].Offset = 2e-9
+	if got := c.EventHorizon(); got < 2e-9 {
+		t.Errorf("EventHorizon = %v, does not cover shifted aggressor", got)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Golden.String() != "golden" || Macromodel.String() != "macromodel" ||
+		Superposition.String() != "superposition" || Zolotov.String() != "zolotov" {
+		t.Error("Method.String wrong")
+	}
+	if Method(99).String() == "" {
+		t.Error("unknown method string empty")
+	}
+}

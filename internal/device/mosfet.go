@@ -1,0 +1,96 @@
+// Package device implements the transistor model shared by every engine in
+// the repository: the golden transistor-level simulator, the DC
+// pre-characterisation that produces the paper's load-curve tables (eq. 1),
+// and the Thevenin fitting of aggressor drivers.
+//
+// The model is a source–drain-symmetric Level-1 (Shichman–Hodges) MOSFET
+// with channel-length modulation. The paper's argument rests on first-order
+// MOS non-linearity — the drain current saturating in Vds and switching
+// on/off in Vgs — which Level-1 captures; see DESIGN.md §2 for why this is
+// an adequate stand-in for the foundry BSIM models used with ELDO.
+package device
+
+// Kind selects the transistor polarity.
+type Kind int
+
+const (
+	NMOS Kind = iota
+	PMOS
+)
+
+func (k Kind) String() string {
+	if k == PMOS {
+		return "PMOS"
+	}
+	return "NMOS"
+}
+
+// Params holds the Level-1 model card together with the instance geometry.
+// Voltages follow SPICE sign conventions: VT0 is positive for NMOS and
+// negative for PMOS.
+type Params struct {
+	Kind   Kind
+	W, L   float64 // channel width and length (m)
+	KP     float64 // transconductance parameter µCox (A/V²)
+	VT0    float64 // zero-bias threshold voltage (V)
+	Lambda float64 // channel-length modulation (1/V)
+}
+
+// Beta returns the device gain factor KP·W/L.
+func (p *Params) Beta() float64 { return p.KP * p.W / p.L }
+
+// Eval computes the drain current and its partial derivatives for the given
+// terminal node voltages. The returned id is the current flowing into the
+// drain terminal; gd, gg, gs are ∂id/∂vd, ∂id/∂vg and ∂id/∂vs.
+//
+// The model is evaluated symmetrically: when vd < vs (NMOS) the source and
+// drain roles are exchanged so the equations always see vds ≥ 0, which is
+// essential for pass-gate-like conditions during noise events.
+func (p *Params) Eval(vd, vg, vs float64) (id, gd, gg, gs float64) {
+	if p.Kind == PMOS {
+		// A PMOS is an NMOS in a mirrored voltage frame:
+		// id_p(vd,vg,vs) = -id_n(-vd,-vg,-vs). The chain rule through the
+		// two sign flips leaves the conductances unchanged.
+		n := Params{Kind: NMOS, W: p.W, L: p.L, KP: p.KP, VT0: -p.VT0, Lambda: p.Lambda}
+		in, gdn, ggn, gsn := n.Eval(-vd, -vg, -vs)
+		return -in, gdn, ggn, gsn
+	}
+	if vd >= vs {
+		ids, gm, gds := level1(p, vg-vs, vd-vs)
+		// id = ids(vgs, vds); vgs = vg-vs, vds = vd-vs.
+		return ids, gds, gm, -(gm + gds)
+	}
+	// Reverse mode: the physical source is the d terminal. The forward
+	// current flows into the s node, so the drain-terminal current is its
+	// negative.
+	ids, gm, gds := level1(p, vg-vd, vs-vd)
+	// id = -ids(vg-vd, vs-vd)
+	gd = gm + gds
+	gg = -gm
+	gs = -gds
+	return -ids, gd, gg, gs
+}
+
+// level1 evaluates the NMOS Level-1 equations for vds ≥ 0, returning the
+// drain-source current with its derivatives gm = ∂i/∂vgs and gds = ∂i/∂vds.
+func level1(p *Params, vgs, vds float64) (ids, gm, gds float64) {
+	vov := vgs - p.VT0
+	if vov <= 0 {
+		// Cut-off. The engine's gmin keeps the Jacobian non-singular.
+		return 0, 0, 0
+	}
+	beta := p.Beta()
+	clm := 1 + p.Lambda*vds
+	if vds < vov {
+		// Triode region.
+		ids = beta * (vov*vds - 0.5*vds*vds) * clm
+		gm = beta * vds * clm
+		gds = beta*(vov-vds)*clm + beta*(vov*vds-0.5*vds*vds)*p.Lambda
+		return ids, gm, gds
+	}
+	// Saturation region.
+	ids = 0.5 * beta * vov * vov * clm
+	gm = beta * vov * clm
+	gds = 0.5 * beta * vov * vov * p.Lambda
+	return ids, gm, gds
+}

@@ -1,0 +1,279 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, -4)
+	m.Add(1, 2, 1)
+	if got := m.At(0, 0); got != 1 {
+		t.Errorf("At(0,0) = %v, want 1", got)
+	}
+	if got := m.At(1, 2); got != -3 {
+		t.Errorf("At(1,2) = %v, want -3", got)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Error("Clone aliases original storage")
+	}
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != -3 {
+		t.Errorf("Transpose wrong: %+v", tr)
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	id := Identity(4)
+	a := NewMatrix(4, 4)
+	for i := range a.Data {
+		a.Data[i] = float64(i) - 7.5
+	}
+	p := Mul(id, a)
+	for i := range a.Data {
+		if p.Data[i] != a.Data[i] {
+			t.Fatalf("I*A != A at %d: %v vs %v", i, p.Data[i], a.Data[i])
+		}
+	}
+	q := Mul(a, id)
+	for i := range a.Data {
+		if q.Data[i] != a.Data[i] {
+			t.Fatalf("A*I != A at %d", i)
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := &Matrix{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}
+	b := &Matrix{Rows: 2, Cols: 2, Data: []float64{5, 6, 7, 8}}
+	p := Mul(a, b)
+	want := []float64{19, 22, 43, 50}
+	for i, w := range want {
+		if p.Data[i] != w {
+			t.Errorf("Mul[%d] = %v, want %v", i, p.Data[i], w)
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := &Matrix{Rows: 2, Cols: 3, Data: []float64{1, 0, -1, 2, 1, 0}}
+	got := a.MulVec([]float64{3, 4, 5})
+	if got[0] != -2 || got[1] != 10 {
+		t.Errorf("MulVec = %v, want [-2 10]", got)
+	}
+	dst := make([]float64, 2)
+	a.MulVecInto(dst, []float64{3, 4, 5})
+	if dst[0] != -2 || dst[1] != 10 {
+		t.Errorf("MulVecInto = %v", dst)
+	}
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	a := &Matrix{Rows: 3, Cols: 3, Data: []float64{
+		2, 1, 1,
+		1, 3, 2,
+		1, 0, 0,
+	}}
+	b := []float64{4, 5, 6}
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatalf("Factor: %v", err)
+	}
+	x := f.Solve(b)
+	// Check residual A x - b.
+	r := a.MulVec(x)
+	for i := range r {
+		if math.Abs(r[i]-b[i]) > 1e-12 {
+			t.Errorf("residual[%d] = %v", i, r[i]-b[i])
+		}
+	}
+	// Known solution: x = [6, 15, -23].
+	want := []float64{6, 15, -23}
+	for i, w := range want {
+		if math.Abs(x[i]-w) > 1e-10 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], w)
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := &Matrix{Rows: 2, Cols: 2, Data: []float64{1, 2, 2, 4}}
+	if _, err := Factor(a); err == nil {
+		t.Error("Factor of singular matrix succeeded, want ErrSingular")
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := &Matrix{Rows: 2, Cols: 2, Data: []float64{3, 1, 4, 2}}
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d-2) > 1e-12 {
+		t.Errorf("Det = %v, want 2", d)
+	}
+}
+
+func TestSolveMatrixIdentityGivesInverse(t *testing.T) {
+	a := &Matrix{Rows: 2, Cols: 2, Data: []float64{4, 7, 2, 6}}
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := f.SolveMatrix(Identity(2))
+	// A * inv(A) == I
+	p := Mul(a, inv)
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			want := 0.0
+			if r == c {
+				want = 1
+			}
+			if math.Abs(p.At(r, c)-want) > 1e-12 {
+				t.Errorf("A*inv(A)[%d,%d] = %v", r, c, p.At(r, c))
+			}
+		}
+	}
+}
+
+// Property: LU solves random diagonally dominant systems to tight residual.
+func TestLUSolveRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		a := NewMatrix(n, n)
+		for r := 0; r < n; r++ {
+			sum := 0.0
+			for c := 0; c < n; c++ {
+				if r == c {
+					continue
+				}
+				v := rng.NormFloat64()
+				a.Set(r, c, v)
+				sum += math.Abs(v)
+			}
+			a.Set(r, r, sum+1+rng.Float64()) // strictly diagonally dominant
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		lu, err := Factor(a)
+		if err != nil {
+			return false
+		}
+		x := lu.Solve(b)
+		r := a.MulVec(x)
+		for i := range r {
+			if math.Abs(r[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrthonormalize(t *testing.T) {
+	var basis [][]float64
+	v1, ok := Orthonormalize(basis, []float64{3, 0, 0})
+	if !ok {
+		t.Fatal("first vector rejected")
+	}
+	if math.Abs(Norm2(v1)-1) > 1e-14 {
+		t.Errorf("norm = %v", Norm2(v1))
+	}
+	basis = append(basis, v1)
+	v2, ok := Orthonormalize(basis, []float64{1, 2, 0})
+	if !ok {
+		t.Fatal("independent vector rejected")
+	}
+	if math.Abs(Dot(v1, v2)) > 1e-12 {
+		t.Errorf("v1·v2 = %v", Dot(v1, v2))
+	}
+	basis = append(basis, v2)
+	// A dependent vector must be rejected.
+	if _, ok := Orthonormalize(basis, []float64{2, 4, 0}); ok {
+		t.Error("dependent vector accepted")
+	}
+}
+
+// Property: Gram–Schmidt output always has orthonormal columns.
+func TestGramSchmidtProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 3 + rng.Intn(10)
+		cols := 1 + rng.Intn(rows)
+		a := NewMatrix(rows, cols)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		q := GramSchmidt(a)
+		for i := 0; i < q.Cols; i++ {
+			ci := q.Col(i)
+			for j := 0; j <= i; j++ {
+				d := Dot(ci, q.Col(j))
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(d-want) > 1e-10 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if Dot(a, b) != 32 {
+		t.Errorf("Dot = %v", Dot(a, b))
+	}
+	if math.Abs(Norm2([]float64{3, 4})-5) > 1e-15 {
+		t.Errorf("Norm2 = %v", Norm2([]float64{3, 4}))
+	}
+	y := []float64{1, 1, 1}
+	AxpyVec(2, a, y)
+	if y[2] != 7 {
+		t.Errorf("AxpyVec = %v", y)
+	}
+	ScaleVec(0.5, y)
+	if y[2] != 3.5 {
+		t.Errorf("ScaleVec = %v", y)
+	}
+}
+
+func BenchmarkLUFactor64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 64
+	a := NewMatrix(n, n)
+	for r := 0; r < n; r++ {
+		sum := 0.0
+		for c := 0; c < n; c++ {
+			v := rng.NormFloat64()
+			a.Set(r, c, v)
+			sum += math.Abs(v)
+		}
+		a.Add(r, r, sum+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Factor(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package nrc characterises Noise Rejection Curves — the dynamic noise
+// margins the paper's §1 describes: "the noise at the victim receiver is
+// compared against dynamic noise margins, represented by the Noise
+// Rejection Curve (NRC). When the noise waveform width (or area) and
+// amplitude are in the NRC failure region (i.e., above the curve), the
+// noise analysis tool flags an error."
+//
+// A curve is built per (receiver cell, state, pin) by bisecting, for each
+// glitch width, the smallest input glitch height whose propagated
+// disturbance at the receiver output exceeds a failure threshold.
+package nrc
+
+import (
+	"fmt"
+	"math"
+
+	"stanoise/internal/cell"
+	"stanoise/internal/circuit"
+	"stanoise/internal/sim"
+	"stanoise/internal/wave"
+)
+
+// Curve is a characterised noise rejection curve: Heights[i] is the
+// smallest failing glitch height at width Widths[i]. A glitch whose
+// (width, height) lies on or above the curve is a functional failure.
+type Curve struct {
+	CellName string
+	State    string
+	Pin      string
+	FailFrac float64 // output deviation fraction of VDD declared a failure
+
+	Widths  []float64 // ascending (s)
+	Heights []float64 // failing height per width (V); +Inf when unfailable
+}
+
+// Options tunes NRC characterisation.
+type Options struct {
+	Widths   []float64 // default {50, 100, 200, 400, 800, 1600} ps
+	LoadCap  float64   // receiver output load; default 30 fF
+	FailFrac float64   // default 0.5 (50 % of VDD at the receiver output)
+	Tol      float64   // bisection tolerance on height (V); default 10 mV
+	Dt       float64   // transient step; default 2 ps
+}
+
+func (o Options) normalize() Options {
+	if len(o.Widths) == 0 {
+		o.Widths = []float64{50e-12, 100e-12, 200e-12, 400e-12, 800e-12, 1600e-12}
+	}
+	if o.LoadCap <= 0 {
+		o.LoadCap = 30e-15
+	}
+	if o.FailFrac <= 0 {
+		o.FailFrac = 0.5
+	}
+	if o.Tol <= 0 {
+		o.Tol = 0.01
+	}
+	if o.Dt <= 0 {
+		o.Dt = 2e-12
+	}
+	return o
+}
+
+// Characterize builds the NRC of a receiver input pin in the given quiet
+// state. The glitch is applied from the pin's quiet rail towards the
+// opposite rail, which is the polarity a victim net in that state can
+// experience.
+func Characterize(cl *cell.Cell, st cell.State, pin string, opts Options) (*Curve, error) {
+	opts = opts.normalize()
+	found := false
+	for _, in := range cl.Inputs() {
+		if in == pin {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("nrc: %s has no pin %q", cl.Name(), pin)
+	}
+	vdd := cl.Tech.VDD
+	c := &Curve{
+		CellName: cl.Name(),
+		State:    st.String(),
+		Pin:      pin,
+		FailFrac: opts.FailFrac,
+		Widths:   opts.Widths,
+		Heights:  make([]float64, len(opts.Widths)),
+	}
+	for i, w := range opts.Widths {
+		h, err := bisectFailingHeight(cl, st, pin, w, opts)
+		if err != nil {
+			return nil, fmt.Errorf("nrc: width %.0f ps: %w", w*1e12, err)
+		}
+		c.Heights[i] = h
+	}
+	// Sanity: the curve must be non-increasing within tolerance (wider
+	// glitches fail at lower heights).
+	for i := 1; i < len(c.Heights); i++ {
+		if c.Heights[i] > c.Heights[i-1]+opts.Tol && !math.IsInf(c.Heights[i-1], 1) {
+			return nil, fmt.Errorf("nrc: non-monotonic curve at width %.0f ps (%.3f after %.3f)",
+				opts.Widths[i]*1e12, c.Heights[i], c.Heights[i-1])
+		}
+	}
+	_ = vdd
+	return c, nil
+}
+
+// bisectFailingHeight finds the smallest glitch height that fails, or +Inf
+// when even a rail-to-rail-plus-margin glitch passes.
+func bisectFailingHeight(cl *cell.Cell, st cell.State, pin string, width float64, opts Options) (float64, error) {
+	vdd := cl.Tech.VDD
+	hi := 1.2 * vdd
+	fails, err := glitchFails(cl, st, pin, hi, width, opts)
+	if err != nil {
+		return 0, err
+	}
+	if !fails {
+		return math.Inf(1), nil
+	}
+	lo := 0.05 * vdd
+	fails, err = glitchFails(cl, st, pin, lo, width, opts)
+	if err != nil {
+		return 0, err
+	}
+	if fails {
+		return lo, nil
+	}
+	for hi-lo > opts.Tol {
+		mid := 0.5 * (lo + hi)
+		fails, err = glitchFails(cl, st, pin, mid, width, opts)
+		if err != nil {
+			return 0, err
+		}
+		if fails {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// glitchFails simulates the receiver with a triangular glitch on the pin
+// and reports whether the output deviation exceeds the failure threshold.
+func glitchFails(cl *cell.Cell, st cell.State, pin string, height, width float64, opts Options) (bool, error) {
+	const t0 = 100e-12
+	ckt := circuit.New()
+	ckt.AddVDC("vdd", "vdd", "0", cl.Tech.VDD)
+	quietIn := cl.PinVoltage(st[pin])
+	sign := 1.0
+	if st[pin] {
+		sign = -1
+	}
+	pins := map[string]string{}
+	for _, in := range cl.Inputs() {
+		node := "in_" + in
+		pins[in] = node
+		if in == pin {
+			ckt.AddV("v_"+in, node, "0", wave.Triangle(quietIn, sign*height, t0, width))
+		} else {
+			ckt.AddVDC("v_"+in, node, "0", cl.PinVoltage(st[in]))
+		}
+	}
+	if err := cl.Build(ckt, "rcv", pins, "out", "vdd"); err != nil {
+		return false, err
+	}
+	ckt.AddC("cl", "out", "0", opts.LoadCap)
+	res, err := sim.Transient(ckt, sim.Options{Dt: opts.Dt, TStop: t0 + width + 1e-9})
+	if err != nil {
+		return false, err
+	}
+	quietOut := cl.PinVoltage(cl.Logic(st))
+	m := wave.MeasureNoise(res.Waveform("out"), quietOut)
+	return m.Peak >= opts.FailFrac*cl.Tech.VDD, nil
+}
+
+// FailingHeight interpolates the curve at the given width (clamped to the
+// characterised range).
+func (c *Curve) FailingHeight(width float64) float64 {
+	n := len(c.Widths)
+	if width <= c.Widths[0] {
+		return c.Heights[0]
+	}
+	if width >= c.Widths[n-1] {
+		return c.Heights[n-1]
+	}
+	for i := 1; i < n; i++ {
+		if width < c.Widths[i] {
+			if math.IsInf(c.Heights[i-1], 1) || math.IsInf(c.Heights[i], 1) {
+				return c.Heights[i] // conservative: the finite (smaller) bound
+			}
+			f := (width - c.Widths[i-1]) / (c.Widths[i] - c.Widths[i-1])
+			return c.Heights[i-1] + f*(c.Heights[i]-c.Heights[i-1])
+		}
+	}
+	return c.Heights[n-1]
+}
+
+// Fails reports whether a glitch of the given height and width lies in the
+// failure region (on or above the curve).
+func (c *Curve) Fails(height, width float64) bool {
+	return height >= c.FailingHeight(width)
+}
+
+// MarginV returns the height margin to failure at the given width:
+// positive means the glitch passes with that much headroom.
+func (c *Curve) MarginV(height, width float64) float64 {
+	hf := c.FailingHeight(width)
+	if math.IsInf(hf, 1) {
+		return math.Inf(1)
+	}
+	return hf - height
+}

@@ -1,0 +1,200 @@
+package paper
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The regression test for the paper's headline table: on the quick-quality
+// Table 1 cluster, superposition must underestimate peak and area by
+// double-digit percentages while the macromodel stays within a few percent.
+func TestTable1Shape(t *testing.T) {
+	exp, err := RunTable1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Rows) != 3 {
+		t.Fatalf("rows = %d", len(exp.Rows))
+	}
+	golden, sup, mac := exp.Rows[0], exp.Rows[1], exp.Rows[2]
+	if !golden.IsRef {
+		t.Error("first row should be the golden reference")
+	}
+	if golden.PeakV < 0.3 || golden.PeakV > 1.1 {
+		t.Errorf("golden peak %v V outside the expected regime", golden.PeakV)
+	}
+	if sup.PeakErrPct > -10 {
+		t.Errorf("superposition peak error %+.1f%%, want < -10%%", sup.PeakErrPct)
+	}
+	if sup.AreaErrPct > -20 {
+		t.Errorf("superposition area error %+.1f%%, want < -20%%", sup.AreaErrPct)
+	}
+	if math.Abs(mac.PeakErrPct) > 6 {
+		t.Errorf("macromodel peak error %+.1f%%, want within a few percent", mac.PeakErrPct)
+	}
+	if math.Abs(mac.AreaErrPct) > 6 {
+		t.Errorf("macromodel area error %+.1f%%", mac.AreaErrPct)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	exp, err := RunTable2(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, mac := exp.Rows[0], exp.Rows[1]
+	// Two in-phase aggressors plus the glitch: substantially more noise
+	// than Table 1's single aggressor.
+	if golden.PeakV < 0.5 {
+		t.Errorf("golden peak %v V too small for the 2-aggressor worst case", golden.PeakV)
+	}
+	if math.Abs(mac.PeakErrPct) > 6 {
+		t.Errorf("macromodel peak error %+.1f%%", mac.PeakErrPct)
+	}
+	if math.Abs(mac.AreaErrPct) > 6 {
+		t.Errorf("macromodel area error %+.1f%%", mac.AreaErrPct)
+	}
+}
+
+func TestZolotovContextOrdering(t *testing.T) {
+	exp, err := RunZolotovContext(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: golden, superposition, zolotov passes {1,2,4}, macromodel.
+	if len(exp.Rows) != 6 {
+		t.Fatalf("rows = %d", len(exp.Rows))
+	}
+	sup := exp.Rows[1]
+	zol1 := exp.Rows[2]
+	zol2 := exp.Rows[3]
+	zol4 := exp.Rows[4]
+	mac := exp.Rows[5]
+	// Iterating must improve the peak estimate toward golden.
+	if math.Abs(zol4.PeakErrPct) > math.Abs(zol1.PeakErrPct)+0.5 {
+		t.Errorf("zolotov did not improve with passes: %+.1f%% -> %+.1f%%",
+			zol1.PeakErrPct, zol4.PeakErrPct)
+	}
+	// The default (2-pass) operating point must beat plain superposition.
+	if math.Abs(zol2.PeakErrPct) > math.Abs(sup.PeakErrPct) {
+		t.Errorf("2-pass zolotov (%+.1f%%) worse than superposition (%+.1f%%)",
+			zol2.PeakErrPct, sup.PeakErrPct)
+	}
+	if math.Abs(mac.PeakErrPct) > 6 {
+		t.Errorf("macromodel error %+.1f%%", mac.PeakErrPct)
+	}
+}
+
+func TestSpeedupClaim(t *testing.T) {
+	exp, err := RunSpeedup(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick quality uses a coarse mesh, so the ratio is smaller than the
+	// published Full-quality number; it must still be a clear win.
+	for i := 0; i < len(exp.Rows); i += 2 {
+		g, m := exp.Rows[i], exp.Rows[i+1]
+		if m.Elapsed >= g.Elapsed {
+			t.Errorf("%s: macromodel (%v) not faster than golden (%v)", m.Label, m.Elapsed, g.Elapsed)
+		}
+		if float64(g.Elapsed)/float64(m.Elapsed) < 3 {
+			t.Errorf("%s: speed-up below 3X even at quick quality", m.Label)
+		}
+	}
+}
+
+func TestSweepSubsetAccuracy(t *testing.T) {
+	// A cross-technology subset: first four 0.13 µm cases and the worst
+	// structural variety; full sweep runs via cmd/noisetab.
+	exp, err := RunSweep(Quick, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Rows) != 4 {
+		t.Fatalf("rows = %d", len(exp.Rows))
+	}
+	for _, r := range exp.Rows {
+		if math.Abs(r.PeakErrPct) > 8 {
+			t.Errorf("%s: macromodel peak error %+.1f%%", r.Label, r.PeakErrPct)
+		}
+	}
+}
+
+func TestSweepCasesCoverBothTechnologies(t *testing.T) {
+	cases := SweepCases()
+	var has130, has90 bool
+	for _, sc := range cases {
+		switch sc.TechName {
+		case "cmos130":
+			has130 = true
+		case "cmos090":
+			has90 = true
+		}
+	}
+	if !has130 || !has90 {
+		t.Error("sweep must cover both 0.13um and 90nm")
+	}
+	if len(cases) < 16 {
+		t.Errorf("sweep has only %d cases", len(cases))
+	}
+}
+
+func TestBuildSweepClusterTwoAggressors(t *testing.T) {
+	sc := SweepCase{Name: "x", TechName: "cmos090", VictimKind: "NOR2", VictimPin: "A",
+		NumAgg: 2, LengthUm: 300}
+	c, err := BuildSweepCluster(sc, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Victim.Line != 1 || len(c.Aggressors) != 2 {
+		t.Errorf("victim line %d, aggressors %d", c.Victim.Line, len(c.Aggressors))
+	}
+	if c.Tech.VDD != 1.0 {
+		t.Errorf("tech VDD = %v, want 90nm card", c.Tech.VDD)
+	}
+}
+
+func TestFig1Description(t *testing.T) {
+	s, err := Fig1Description(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"IDC", "S-model", "VTH", "RTH", "NAND2_X1", "aggressor 2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fig1 description missing %q", want)
+		}
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	exp := &Experiment{
+		ID: "t", Title: "demo",
+		Rows: []Row{
+			{Label: "golden", PeakV: 0.345, AreaVps: 174.3, IsRef: true},
+			{Label: "macro", PeakV: 0.354, PeakErrPct: 2.6, AreaVps: 175.7, AreaErrPct: 0.8},
+		},
+	}
+	var b strings.Builder
+	if err := exp.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"demo", "golden", "0.345", "+2.6", "—"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestQualityKnobs(t *testing.T) {
+	if Quick.segments() >= Full.segments() {
+		t.Error("quick should use a coarser mesh")
+	}
+	if Quick.dt() <= Full.dt() {
+		t.Error("quick should use a larger step")
+	}
+}

@@ -1,0 +1,35 @@
+package paper
+
+import (
+	"fmt"
+	"io"
+
+	"stanoise/internal/report"
+)
+
+// Render writes the experiment as an aligned ASCII table.
+func (e *Experiment) Render(w io.Writer) error {
+	t := e.Table()
+	return t.Render(w)
+}
+
+// Table converts the experiment to a report table.
+func (e *Experiment) Table() *report.Table {
+	t := &report.Table{
+		Title:   e.Title,
+		Headers: []string{"model", "peak (V)", "err%", "area (V·ps)", "err%", "width (ps)", "analysis time"},
+		Notes:   e.Notes,
+	}
+	for _, r := range e.Rows {
+		t.AddRow(
+			r.Label,
+			fmt.Sprintf("%.3f", r.PeakV),
+			report.Pct(r.PeakErrPct, r.IsRef),
+			fmt.Sprintf("%.1f", r.AreaVps),
+			report.Pct(r.AreaErrPct, r.IsRef),
+			fmt.Sprintf("%.0f", r.WidthPs),
+			r.Elapsed.Round(10e3).String(),
+		)
+	}
+	return t
+}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func demo() *Table {
+	t := &Table{
+		Title:   "Table 1. Injected and propagated noise combination",
+		Headers: []string{"Noise", "ELDO", "Ours", "Error%"},
+		Notes:   []string{"shape reproduction"},
+	}
+	t.AddRow("Peak (V)", 0.345, 0.354, "+2.6")
+	t.AddRow("Area (V·ps)", 174.3, 175.7, "+0.8")
+	return t
+}
+
+func TestRenderAlignment(t *testing.T) {
+	var b strings.Builder
+	if err := demo().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, rule, 2 rows, note.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Table 1.") {
+		t.Errorf("title line: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "Noise") || !strings.Contains(lines[1], "Error%") {
+		t.Errorf("header line: %q", lines[1])
+	}
+	if !strings.Contains(lines[5], "note:") {
+		t.Errorf("note line: %q", lines[5])
+	}
+	// Columns align: "ELDO" starts at the same offset in header and rows.
+	col := strings.Index(lines[1], "ELDO")
+	if got := strings.Index(lines[3], "0.345"); got != col {
+		t.Errorf("column misaligned: header at %d, row at %d\n%s", col, got, out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	if err := demo().CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "Noise,ELDO,Ours,Error%" {
+		t.Errorf("csv header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Peak (V),0.345,") {
+		t.Errorf("csv row: %q", lines[1])
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(2.55, false); got != "+2.5" && got != "+2.6" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(-22.0, false); got != "-22.0" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(123, true); got != "—" {
+		t.Errorf("Pct(ref) = %q", got)
+	}
+}
+
+func TestAddRowFormats(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b", "c"}}
+	tb.AddRow("x", 1.23456789, 42)
+	if tb.Rows[0][1] != "1.235" {
+		t.Errorf("float cell = %q", tb.Rows[0][1])
+	}
+	if tb.Rows[0][2] != "42" {
+		t.Errorf("int cell = %q", tb.Rows[0][2])
+	}
+}

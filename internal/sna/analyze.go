@@ -1,0 +1,193 @@
+package sna
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"stanoise/internal/cell"
+	"stanoise/internal/charlib"
+	"stanoise/internal/core"
+	"stanoise/internal/nrc"
+)
+
+// Options configures an analysis run.
+type Options struct {
+	Method core.Method // victim-driver model; default Macromodel
+	Dt     float64     // engine step; default 2 ps
+	// Align enables the worst-case peak-alignment search per cluster.
+	Align bool
+	// FailFrac is the NRC failure threshold (fraction of VDD at the
+	// receiver output); default 0.5.
+	FailFrac float64
+	// Model quality knobs.
+	LoadCurve charlib.LoadCurveOptions
+	Prop      charlib.PropOptions
+	NRC       nrc.Options
+}
+
+func (o Options) normalize() Options {
+	if o.Dt <= 0 {
+		o.Dt = 2e-12
+	}
+	if o.FailFrac <= 0 {
+		o.FailFrac = 0.5
+	}
+	return o
+}
+
+// NetReport is the per-victim outcome of an analysis.
+type NetReport struct {
+	Cluster string
+	Method  core.Method
+
+	// Noise at the victim receiver input (what the NRC judges).
+	PeakV   float64
+	AreaVps float64
+	WidthPs float64
+
+	// DPPeakV is the noise at the victim driving point (the paper's
+	// measurement node), for cross-referencing against table results.
+	DPPeakV float64
+
+	Fails   bool
+	MarginV float64 // height margin to the NRC (+Inf when unfailable)
+
+	Elapsed time.Duration // evaluation time (excluding characterisation)
+}
+
+// Analyzer runs static noise analysis over a design, caching characterised
+// artefacts (NRC curves) across clusters that share receivers.
+type Analyzer struct {
+	design *Design
+	opts   Options
+
+	nrcCache map[string]*nrc.Curve
+}
+
+// NewAnalyzer builds an analyzer for a validated design.
+func NewAnalyzer(d *Design, opts Options) *Analyzer {
+	return &Analyzer{design: d, opts: opts.normalize(), nrcCache: map[string]*nrc.Curve{}}
+}
+
+// Analyze evaluates every cluster in the design and returns one report per
+// victim net.
+func (a *Analyzer) Analyze() ([]NetReport, error) {
+	var reports []NetReport
+	for _, cs := range a.design.Clusters {
+		rep, err := a.analyzeCluster(cs)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, *rep)
+	}
+	return reports, nil
+}
+
+func (a *Analyzer) analyzeCluster(cs ClusterSpec) (*NetReport, error) {
+	cl, err := a.design.BuildCluster(cs)
+	if err != nil {
+		return nil, err
+	}
+	method := a.opts.Method
+	mopts := core.ModelOptions{
+		LoadCurve: a.opts.LoadCurve,
+		Prop:      a.opts.Prop,
+		SkipProp:  method != core.Superposition,
+	}
+	models, err := cl.BuildModels(mopts)
+	if err != nil {
+		return nil, fmt.Errorf("sna: cluster %s models: %w", cs.Name, err)
+	}
+	eopts := core.EvalOptions{Dt: a.opts.Dt}
+	if a.opts.Align && len(cl.Aggressors) > 0 {
+		if err := cl.AlignWorstCase(models, eopts); err != nil {
+			return nil, fmt.Errorf("sna: cluster %s alignment: %w", cs.Name, err)
+		}
+	}
+	ev, err := cl.Evaluate(method, models, eopts)
+	if err != nil {
+		return nil, fmt.Errorf("sna: cluster %s evaluation: %w", cs.Name, err)
+	}
+
+	rep := &NetReport{
+		Cluster: cs.Name,
+		Method:  method,
+		PeakV:   ev.RecvMetrics.Peak,
+		AreaVps: ev.RecvMetrics.AreaVps(),
+		WidthPs: ev.RecvMetrics.WidthPs(),
+		DPPeakV: ev.Metrics.Peak,
+		Elapsed: ev.Elapsed,
+	}
+
+	curve, err := a.receiverCurve(cl.Victim.Receiver, cl.Victim.ReceiverPin, cl)
+	if err != nil {
+		return nil, fmt.Errorf("sna: cluster %s NRC: %w", cs.Name, err)
+	}
+	rep.Fails = curve.Fails(rep.PeakV, ev.RecvMetrics.Width)
+	rep.MarginV = curve.MarginV(rep.PeakV, ev.RecvMetrics.Width)
+	return rep, nil
+}
+
+// receiverCurve characterises (or retrieves) the NRC of the victim's
+// receiver pin for the victim's quiet level.
+func (a *Analyzer) receiverCurve(recv *cell.Cell, pin string, cl *core.Cluster) (*nrc.Curve, error) {
+	quietHigh := cl.QuietVictimLevel() > cl.Tech.VDD/2
+	// The receiver input sits at the victim's quiet level; find a state of
+	// the receiver consistent with that and sensitised through the pin.
+	st, err := recv.SensitizedState(pin, !quietHigh)
+	if err != nil {
+		// Fall back to any holding state with the right pin level.
+		st = nil
+		for _, s := range recv.HoldStates(true) {
+			if s[pin] == quietHigh {
+				st = s
+				break
+			}
+		}
+		if st == nil {
+			return nil, fmt.Errorf("sna: no usable receiver state for %s.%s", recv.Name(), pin)
+		}
+	}
+	if st[pin] != quietHigh {
+		// Sensitised state with the wrong pin polarity: flip search.
+		if alt, err2 := recv.SensitizedState(pin, quietHigh); err2 == nil && alt[pin] == quietHigh {
+			st = alt
+		}
+	}
+	key := recv.Name() + "/" + pin + "/" + st.String() + "/" + cl.Tech.Name
+	if c, ok := a.nrcCache[key]; ok {
+		return c, nil
+	}
+	nopts := a.opts.NRC
+	nopts.FailFrac = a.opts.FailFrac
+	curve, err := nrc.Characterize(recv, st, pin, nopts)
+	if err != nil {
+		return nil, err
+	}
+	a.nrcCache[key] = curve
+	return curve, nil
+}
+
+// Summary aggregates reports for quick inspection.
+type Summary struct {
+	Total, Failing int
+	WorstMarginV   float64
+	WorstCluster   string
+}
+
+// Summarize folds reports into a Summary.
+func Summarize(reports []NetReport) Summary {
+	s := Summary{WorstMarginV: math.Inf(1)}
+	for _, r := range reports {
+		s.Total++
+		if r.Fails {
+			s.Failing++
+		}
+		if r.MarginV < s.WorstMarginV {
+			s.WorstMarginV = r.MarginV
+			s.WorstCluster = r.Cluster
+		}
+	}
+	return s
+}

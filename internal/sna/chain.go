@@ -1,0 +1,69 @@
+package sna
+
+import (
+	"fmt"
+
+	"stanoise/internal/core"
+	"stanoise/internal/wave"
+)
+
+// PropagateChain implements the paper's stated future work — "a complete
+// methodology for static noise analysis based on our macromodel": noise is
+// carried through a pipeline of clusters, where the glitch measured at one
+// stage's victim receiver input becomes the input glitch of the next
+// stage's victim driver. Each stage is evaluated with the given method at
+// its worst-case alignment.
+//
+// The returned metrics are the receiver-input noise after each stage. A
+// chain converges (noise dies out stage over stage) when every stage's
+// driver attenuates below unity noise gain; a growing sequence is the
+// signature of a propagating functional failure.
+func (a *Analyzer) PropagateChain(specs []ClusterSpec) ([]wave.NoiseMetrics, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("sna: empty chain")
+	}
+	var out []wave.NoiseMetrics
+	carry := 0.0  // glitch height into the next stage (V)
+	carryW := 0.0 // glitch width into the next stage (s)
+	for i, cs := range specs {
+		if i > 0 {
+			// Feed the previous stage's receiver noise forward.
+			cs.Victim.GlitchHeightV = carry
+			cs.Victim.GlitchWidthPs = carryW * 1e12
+		}
+		cl, err := a.design.BuildCluster(cs)
+		if err != nil {
+			return nil, fmt.Errorf("sna: chain stage %d: %w", i, err)
+		}
+		method := a.opts.Method
+		models, err := cl.BuildModels(core.ModelOptions{
+			LoadCurve: a.opts.LoadCurve,
+			Prop:      a.opts.Prop,
+			SkipProp:  method != core.Superposition,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sna: chain stage %d models: %w", i, err)
+		}
+		eopts := core.EvalOptions{Dt: a.opts.Dt}
+		if a.opts.Align && len(cl.Aggressors) > 0 {
+			if err := cl.AlignWorstCase(models, eopts); err != nil {
+				return nil, fmt.Errorf("sna: chain stage %d alignment: %w", i, err)
+			}
+		}
+		ev, err := cl.Evaluate(method, models, eopts)
+		if err != nil {
+			return nil, fmt.Errorf("sna: chain stage %d evaluation: %w", i, err)
+		}
+		m := ev.RecvMetrics
+		out = append(out, m)
+		carry = m.Peak
+		// Carry the base width of an equivalent triangle (2·area/peak) so
+		// both amplitude and energy survive the hand-off.
+		if m.Peak > 0 {
+			carryW = 2 * m.Area / m.Peak
+		} else {
+			carryW = 0
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,216 @@
+package sna
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"stanoise/internal/charlib"
+	"stanoise/internal/core"
+	"stanoise/internal/nrc"
+)
+
+// sampleDesign builds a small two-cluster design used across the tests.
+func sampleDesign() *Design {
+	return &Design{
+		Name:     "demo",
+		Tech:     "cmos130",
+		Layer:    "M4",
+		Segments: 8,
+		Clusters: []ClusterSpec{
+			{
+				Name: "hot", // aggressive cluster expected to be noisy
+				Victim: VictimSpec{
+					Cell: "NAND2", Drive: 1, NoisyPin: "B",
+					GlitchHeightV: 0.7, GlitchWidthPs: 400,
+					LengthUm: 500,
+				},
+				Aggressors: []AggressorSpec{
+					{Cell: "INV", Drive: 4, FromState: map[string]bool{"A": false},
+						SwitchPin: "A", LengthUm: 500, Side: "right"},
+					{Cell: "INV", Drive: 4, FromState: map[string]bool{"A": false},
+						SwitchPin: "A", LengthUm: 500, Side: "left"},
+				},
+			},
+			{
+				Name: "mild", // short, single weak aggressor, no glitch
+				Victim: VictimSpec{
+					Cell: "INV", Drive: 2, NoisyPin: "A",
+					LengthUm: 150,
+				},
+				Aggressors: []AggressorSpec{
+					{Cell: "INV", Drive: 1, FromState: map[string]bool{"A": false},
+						SwitchPin: "A", LengthUm: 150, SpacingFactor: 2},
+				},
+			},
+		},
+	}
+}
+
+func fastOpts(method core.Method) Options {
+	return Options{
+		Method:    method,
+		Dt:        2e-12,
+		Align:     true,
+		LoadCurve: charlib.LoadCurveOptions{NVin: 41, NVout: 41},
+		Prop: charlib.PropOptions{
+			Heights: []float64{0.3, 0.6, 0.9, 1.2},
+			Widths:  []float64{150e-12, 400e-12, 800e-12},
+			Loads:   []float64{30e-15, 80e-15, 160e-15},
+			Dt:      2e-12,
+		},
+		NRC: nrc.Options{Widths: []float64{100e-12, 300e-12, 900e-12}, Dt: 2e-12},
+	}
+}
+
+func TestParseDesignRoundTrip(t *testing.T) {
+	d := sampleDesign()
+	var b strings.Builder
+	if err := d.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ParseDesign(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Name != d.Name || len(d2.Clusters) != len(d.Clusters) {
+		t.Errorf("round trip lost data: %+v", d2)
+	}
+	if d2.Clusters[0].Aggressors[1].Side != "left" {
+		t.Errorf("aggressor side lost")
+	}
+}
+
+func TestParseDesignRejectsUnknownFields(t *testing.T) {
+	_, err := ParseDesign(strings.NewReader(`{"name":"x","tech":"cmos130","layer":"M4","clusters":[{"name":"c","victim":{"cell":"INV","noisy_pin":"A","length_um":100},"bogus":1}]}`))
+	if err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestDesignValidate(t *testing.T) {
+	d := sampleDesign()
+	d.Tech = "cmos65"
+	if err := d.Validate(); err == nil {
+		t.Error("unknown tech accepted")
+	}
+	d = sampleDesign()
+	d.Clusters[0].Aggressors[0].Side = "above"
+	if err := d.Validate(); err == nil {
+		t.Error("bad side accepted")
+	}
+	d = sampleDesign()
+	d.Clusters = nil
+	if err := d.Validate(); err == nil {
+		t.Error("empty design accepted")
+	}
+}
+
+func TestBuildClusterGeometry(t *testing.T) {
+	d := sampleDesign()
+	cl, err := d.BuildCluster(d.Clusters[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One left aggressor, victim in the middle, one right aggressor.
+	if len(cl.Bus.Lines) != 3 {
+		t.Fatalf("lines = %d", len(cl.Bus.Lines))
+	}
+	if cl.Victim.Line != 1 {
+		t.Errorf("victim line = %d, want 1 (centre)", cl.Victim.Line)
+	}
+	// The victim state defaults to the sensitised state A=1, B=0.
+	if !cl.Victim.State["A"] || cl.Victim.State["B"] {
+		t.Errorf("victim state = %v", cl.Victim.State)
+	}
+	// Default receiver: INV_X2 pin A.
+	if cl.Victim.Receiver == nil || cl.Victim.Receiver.Name() != "INV_X2" {
+		t.Errorf("victim receiver = %v", cl.Victim.Receiver)
+	}
+}
+
+func TestAnalyzeFlagsHotCluster(t *testing.T) {
+	d := sampleDesign()
+	an := NewAnalyzer(d, fastOpts(core.Macromodel))
+	reports, err := an.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	hot, mild := reports[0], reports[1]
+	if hot.Cluster != "hot" || mild.Cluster != "mild" {
+		t.Fatalf("report order: %v %v", hot.Cluster, mild.Cluster)
+	}
+	// The hot cluster must carry far more noise than the mild one.
+	if hot.PeakV <= mild.PeakV {
+		t.Errorf("hot peak %v <= mild peak %v", hot.PeakV, mild.PeakV)
+	}
+	// The mild cluster must pass its NRC with margin.
+	if mild.Fails {
+		t.Error("mild cluster flagged as failing")
+	}
+	if !math.IsInf(mild.MarginV, 1) && mild.MarginV < 0.1 {
+		t.Errorf("mild margin %v V suspiciously small", mild.MarginV)
+	}
+	// The hot cluster was constructed to be dangerous: two strong in-phase
+	// aggressors plus a large propagated glitch.
+	if !hot.Fails && hot.MarginV > 0.25 {
+		t.Errorf("hot cluster implausibly safe: margin %v V", hot.MarginV)
+	}
+}
+
+// The paper's motivating failure mode: superposition-based SNA passes a
+// cluster that the accurate non-linear analysis flags as (close to)
+// failing. At minimum the superposition noise estimate must be
+// significantly lower.
+func TestSuperpositionUnderestimatesInFlow(t *testing.T) {
+	d := sampleDesign()
+	d.Clusters = d.Clusters[:1]
+	mac, err := NewAnalyzer(d, fastOpts(core.Macromodel)).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := NewAnalyzer(d, fastOpts(core.Superposition)).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup[0].DPPeakV >= mac[0].DPPeakV {
+		t.Errorf("superposition DP peak %v >= macromodel %v", sup[0].DPPeakV, mac[0].DPPeakV)
+	}
+	under := 100 * (mac[0].DPPeakV - sup[0].DPPeakV) / mac[0].DPPeakV
+	if under < 8 {
+		t.Errorf("superposition underestimates by only %.1f%%", under)
+	}
+}
+
+func TestNRCCacheSharedAcrossClusters(t *testing.T) {
+	d := sampleDesign()
+	an := NewAnalyzer(d, fastOpts(core.Macromodel))
+	if _, err := an.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	if len(an.nrcCache) == 0 {
+		t.Fatal("NRC cache empty after analysis")
+	}
+	// Both clusters use INV_X2/A receivers at quiet-high: one curve.
+	if len(an.nrcCache) != 1 {
+		t.Errorf("nrc cache entries = %d, want 1 (shared)", len(an.nrcCache))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	reports := []NetReport{
+		{Cluster: "a", Fails: false, MarginV: 0.4},
+		{Cluster: "b", Fails: true, MarginV: -0.1},
+		{Cluster: "c", Fails: false, MarginV: math.Inf(1)},
+	}
+	s := Summarize(reports)
+	if s.Total != 3 || s.Failing != 1 {
+		t.Errorf("summary %+v", s)
+	}
+	if s.WorstCluster != "b" || s.WorstMarginV != -0.1 {
+		t.Errorf("worst: %s %v", s.WorstCluster, s.WorstMarginV)
+	}
+}

@@ -1,0 +1,177 @@
+// Package tech defines the technology cards for the two process nodes the
+// paper evaluates: 0.13 µm (VDD 1.2 V) and 90 nm (VDD 1.0 V).
+//
+// A card bundles the Level-1 transistor parameters, capacitance
+// coefficients used to derive pin and diffusion loads, and per-layer wire
+// parasitics used by the interconnect generator. Values are representative
+// of published data for these nodes; the reproduction needs realistic
+// *ratios* (coupling versus ground capacitance, driver resistance versus
+// wire resistance), not any particular foundry's absolutes — see
+// DESIGN.md §2.
+package tech
+
+import (
+	"fmt"
+	"sort"
+
+	"stanoise/internal/device"
+)
+
+// WireParams holds per-micron parasitics of a routing layer at minimum
+// width. CcPerUm is the line-to-line coupling at minimum spacing; the
+// coupling at s times minimum spacing scales as CcPerUm/s (parallel-plate
+// approximation, adequate for noise-cluster modelling).
+type WireParams struct {
+	RPerUm  float64 // series resistance (Ω/µm)
+	CgPerUm float64 // capacitance to ground (F/µm)
+	CcPerUm float64 // coupling capacitance to one neighbour at min spacing (F/µm)
+}
+
+// Coupling returns the per-micron coupling capacitance at the given
+// multiple of minimum spacing.
+func (w WireParams) Coupling(spacingFactor float64) float64 {
+	if spacingFactor <= 0 {
+		panic("tech: spacing factor must be positive")
+	}
+	return w.CcPerUm / spacingFactor
+}
+
+// MOSParams holds the Level-1 card for one polarity plus the capacitance
+// coefficients needed to build pin loads.
+type MOSParams struct {
+	KP     float64 // µCox (A/V²)
+	VT0    float64 // threshold (V); negative for PMOS
+	Lambda float64 // channel-length modulation (1/V)
+
+	CGatePerWL float64 // gate-oxide capacitance per W·L (F/m²)
+	COverlap   float64 // gate-drain/source overlap capacitance per width (F/m)
+	CJunction  float64 // drain/source junction capacitance per width (F/m)
+}
+
+// Tech is a process technology card.
+type Tech struct {
+	Name string
+	VDD  float64 // supply (V)
+	Lmin float64 // minimum channel length (m)
+
+	NMOS MOSParams
+	PMOS MOSParams
+
+	// Wires maps layer names ("M2".."M6") to parasitics.
+	Wires map[string]WireParams
+
+	// WUnit is the NMOS width of a unit-drive (X1) inverter; PMOS widths
+	// are scaled by PNRatio to balance rise/fall strength.
+	WUnit   float64
+	PNRatio float64
+}
+
+// Layer returns the wire parameters for a layer name.
+func (t *Tech) Layer(name string) (WireParams, error) {
+	w, ok := t.Wires[name]
+	if !ok {
+		names := make([]string, 0, len(t.Wires))
+		for n := range t.Wires {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return WireParams{}, fmt.Errorf("tech %s: unknown layer %q (have %v)", t.Name, name, names)
+	}
+	return w, nil
+}
+
+// NMOSDevice returns a Level-1 instance card for an NMOS of the given
+// width at minimum length.
+func (t *Tech) NMOSDevice(w float64) device.Params {
+	return device.Params{
+		Kind: device.NMOS, W: w, L: t.Lmin,
+		KP: t.NMOS.KP, VT0: t.NMOS.VT0, Lambda: t.NMOS.Lambda,
+	}
+}
+
+// PMOSDevice returns a Level-1 instance card for a PMOS of the given
+// width at minimum length.
+func (t *Tech) PMOSDevice(w float64) device.Params {
+	return device.Params{
+		Kind: device.PMOS, W: w, L: t.Lmin,
+		KP: t.PMOS.KP, VT0: t.PMOS.VT0, Lambda: t.PMOS.Lambda,
+	}
+}
+
+// GateCap returns the total gate capacitance of a device of width w at
+// minimum length (oxide plus both overlaps), used for receiver pin loads.
+func (t *Tech) GateCap(p MOSParams, w float64) float64 {
+	return p.CGatePerWL*w*t.Lmin + 2*p.COverlap*w
+}
+
+// DiffCap returns the drain-diffusion capacitance of a device of width w,
+// used for cell output parasitics.
+func (t *Tech) DiffCap(p MOSParams, w float64) float64 {
+	return p.CJunction * w
+}
+
+// Tech130 returns the 0.13 µm card (VDD = 1.2 V), the paper's primary node.
+func Tech130() *Tech {
+	return &Tech{
+		Name: "cmos130",
+		VDD:  1.2,
+		Lmin: 0.13e-6,
+		NMOS: MOSParams{
+			KP: 340e-6, VT0: 0.35, Lambda: 0.15,
+			CGatePerWL: 1.2e-2, COverlap: 0.30e-9, CJunction: 0.9e-9,
+		},
+		PMOS: MOSParams{
+			KP: 90e-6, VT0: -0.38, Lambda: 0.20,
+			CGatePerWL: 1.2e-2, COverlap: 0.30e-9, CJunction: 1.0e-9,
+		},
+		Wires: map[string]WireParams{
+			// Lower layers: thin, resistive, modest coupling.
+			"M2": {RPerUm: 0.25, CgPerUm: 0.035e-15, CcPerUm: 0.085e-15},
+			"M3": {RPerUm: 0.18, CgPerUm: 0.038e-15, CcPerUm: 0.090e-15},
+			// M4: the paper's experiment layer — intermediate metal where
+			// coupling dominates ground capacitance for long parallel runs.
+			"M4": {RPerUm: 0.085, CgPerUm: 0.040e-15, CcPerUm: 0.095e-15},
+			"M5": {RPerUm: 0.060, CgPerUm: 0.042e-15, CcPerUm: 0.100e-15},
+			"M6": {RPerUm: 0.030, CgPerUm: 0.050e-15, CcPerUm: 0.085e-15},
+		},
+		WUnit:   0.6e-6,
+		PNRatio: 2.0,
+	}
+}
+
+// Tech90 returns the 90 nm card (VDD = 1.0 V), the paper's second node.
+func Tech90() *Tech {
+	return &Tech{
+		Name: "cmos090",
+		VDD:  1.0,
+		Lmin: 0.10e-6,
+		NMOS: MOSParams{
+			KP: 450e-6, VT0: 0.30, Lambda: 0.20,
+			CGatePerWL: 1.4e-2, COverlap: 0.28e-9, CJunction: 0.8e-9,
+		},
+		PMOS: MOSParams{
+			KP: 115e-6, VT0: -0.32, Lambda: 0.25,
+			CGatePerWL: 1.4e-2, COverlap: 0.28e-9, CJunction: 0.9e-9,
+		},
+		Wires: map[string]WireParams{
+			"M2": {RPerUm: 0.40, CgPerUm: 0.030e-15, CcPerUm: 0.095e-15},
+			"M3": {RPerUm: 0.30, CgPerUm: 0.032e-15, CcPerUm: 0.100e-15},
+			"M4": {RPerUm: 0.15, CgPerUm: 0.035e-15, CcPerUm: 0.105e-15},
+			"M5": {RPerUm: 0.10, CgPerUm: 0.038e-15, CcPerUm: 0.110e-15},
+			"M6": {RPerUm: 0.05, CgPerUm: 0.045e-15, CcPerUm: 0.095e-15},
+		},
+		WUnit:   0.5e-6,
+		PNRatio: 2.1,
+	}
+}
+
+// ByName returns a technology card by its name.
+func ByName(name string) (*Tech, error) {
+	switch name {
+	case "cmos130", "130", "0.13um":
+		return Tech130(), nil
+	case "cmos090", "90", "90nm":
+		return Tech90(), nil
+	}
+	return nil, fmt.Errorf("tech: unknown technology %q (have cmos130, cmos090)", name)
+}

@@ -1,0 +1,105 @@
+package tech
+
+import (
+	"math"
+	"testing"
+
+	"stanoise/internal/device"
+)
+
+func TestByName(t *testing.T) {
+	for _, alias := range []string{"cmos130", "130", "0.13um"} {
+		tt, err := ByName(alias)
+		if err != nil || tt.VDD != 1.2 {
+			t.Errorf("ByName(%q): %v %v", alias, tt, err)
+		}
+	}
+	for _, alias := range []string{"cmos090", "90", "90nm"} {
+		tt, err := ByName(alias)
+		if err != nil || tt.VDD != 1.0 {
+			t.Errorf("ByName(%q): %v %v", alias, tt, err)
+		}
+	}
+	if _, err := ByName("cmos065"); err == nil {
+		t.Error("unknown tech accepted")
+	}
+}
+
+func TestLayerLookup(t *testing.T) {
+	tt := Tech130()
+	w, err := tt.Layer("M4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.RPerUm <= 0 || w.CgPerUm <= 0 || w.CcPerUm <= 0 {
+		t.Errorf("M4 params %+v", w)
+	}
+	if _, err := tt.Layer("M42"); err == nil {
+		t.Error("unknown layer accepted")
+	}
+}
+
+func TestCouplingSpacing(t *testing.T) {
+	w := WireParams{CcPerUm: 0.1e-15}
+	if got := w.Coupling(2); math.Abs(got-0.05e-15) > 1e-24 {
+		t.Errorf("Coupling(2) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on zero spacing")
+		}
+	}()
+	w.Coupling(0)
+}
+
+func TestDeviceCards(t *testing.T) {
+	tt := Tech130()
+	n := tt.NMOSDevice(1e-6)
+	if n.Kind != device.NMOS || n.L != tt.Lmin || n.VT0 <= 0 {
+		t.Errorf("NMOS card %+v", n)
+	}
+	p := tt.PMOSDevice(2e-6)
+	if p.Kind != device.PMOS || p.VT0 >= 0 {
+		t.Errorf("PMOS card %+v", p)
+	}
+	// NMOS is stronger per width than PMOS in both nodes.
+	if tt.NMOS.KP <= tt.PMOS.KP {
+		t.Error("KP ordering wrong")
+	}
+}
+
+func TestCapHelpers(t *testing.T) {
+	tt := Tech130()
+	gc := tt.GateCap(tt.NMOS, 1e-6)
+	// A 1 µm gate at 0.13 µm: order of a femtofarad.
+	if gc < 0.5e-15 || gc > 10e-15 {
+		t.Errorf("gate cap %v F implausible", gc)
+	}
+	dc := tt.DiffCap(tt.NMOS, 1e-6)
+	if dc <= 0 || dc > gc*3 {
+		t.Errorf("diff cap %v F implausible (gate %v)", dc, gc)
+	}
+}
+
+// The physical regime the paper depends on: at minimum spacing on
+// intermediate metal, coupling capacitance exceeds ground capacitance.
+func TestCouplingDominatesOnM4(t *testing.T) {
+	for _, tt := range []*Tech{Tech130(), Tech90()} {
+		w, err := tt.Layer("M4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.CcPerUm <= w.CgPerUm {
+			t.Errorf("%s: Cc %v <= Cg %v", tt.Name, w.CcPerUm, w.CgPerUm)
+		}
+	}
+}
+
+func TestSupplyScaling(t *testing.T) {
+	if Tech90().VDD >= Tech130().VDD {
+		t.Error("90nm supply should be below 0.13um supply")
+	}
+	if Tech90().Lmin >= Tech130().Lmin {
+		t.Error("90nm Lmin should be below 0.13um Lmin")
+	}
+}

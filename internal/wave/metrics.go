@@ -1,0 +1,126 @@
+package wave
+
+import "math"
+
+// NoiseMetrics summarises a noise glitch relative to the quiet level of the
+// net. These are exactly the quantities the paper's tables report.
+type NoiseMetrics struct {
+	Peak  float64 // largest deviation magnitude from the quiet level (V)
+	TPeak float64 // time of the peak (s)
+	Sign  float64 // +1 for an upward glitch, -1 for a downward glitch
+	Area  float64 // integral of same-sign deviation over time (V·s)
+	Width float64 // time spent above 50 % of the peak deviation (s)
+}
+
+// AreaVps returns the noise area in the paper's unit, volt-picoseconds.
+func (m NoiseMetrics) AreaVps() float64 { return m.Area * 1e12 }
+
+// WidthPs returns the glitch width in picoseconds.
+func (m NoiseMetrics) WidthPs() float64 { return m.Width * 1e12 }
+
+// MeasureNoise computes glitch metrics of w relative to the quiet level.
+// The glitch polarity is taken from the largest absolute deviation; area
+// and width consider only deviations of that polarity so that small
+// opposite-sign ringing does not inflate the numbers.
+func MeasureNoise(w *Waveform, quiet float64) NoiseMetrics {
+	var m NoiseMetrics
+	// Locate the peak on the sample grid (PWL extrema are at samples).
+	for i, v := range w.V {
+		if d := math.Abs(v - quiet); d > m.Peak {
+			m.Peak = d
+			m.TPeak = w.T[i]
+			if v >= quiet {
+				m.Sign = 1
+			} else {
+				m.Sign = -1
+			}
+		}
+	}
+	if m.Peak == 0 {
+		m.Sign = 1
+		return m
+	}
+	// Area by exact trapezoidal integration of the clipped PWL. Each
+	// segment is linear, so the clip point (zero crossing) is computed
+	// exactly.
+	for i := 1; i < len(w.T); i++ {
+		t0, t1 := w.T[i-1], w.T[i]
+		d0 := m.Sign * (w.V[i-1] - quiet)
+		d1 := m.Sign * (w.V[i] - quiet)
+		dt := t1 - t0
+		switch {
+		case d0 >= 0 && d1 >= 0:
+			m.Area += 0.5 * (d0 + d1) * dt
+		case d0 < 0 && d1 < 0:
+			// nothing
+		default:
+			// One endpoint above zero, one below: integrate only the
+			// positive part of the segment.
+			tc := d0 / (d0 - d1) // fraction of the segment until the crossing
+			if d0 > 0 {
+				m.Area += 0.5 * d0 * tc * dt
+			} else if d1 > 0 {
+				m.Area += 0.5 * d1 * (1 - tc) * dt
+			}
+		}
+	}
+	m.Width = widthAt(w, quiet, m.Sign, 0.5*m.Peak)
+	return m
+}
+
+// widthAt returns the total time the same-sign deviation exceeds thresh.
+func widthAt(w *Waveform, quiet, sign, thresh float64) float64 {
+	width := 0.0
+	for i := 1; i < len(w.T); i++ {
+		t0, t1 := w.T[i-1], w.T[i]
+		d0 := sign*(w.V[i-1]-quiet) - thresh
+		d1 := sign*(w.V[i]-quiet) - thresh
+		dt := t1 - t0
+		switch {
+		case d0 >= 0 && d1 >= 0:
+			width += dt
+		case d0 < 0 && d1 < 0:
+			// nothing
+		default:
+			tc := d0 / (d0 - d1)
+			if d0 > 0 {
+				width += tc * dt
+			} else if d1 > 0 {
+				width += (1 - tc) * dt
+			}
+		}
+	}
+	return width
+}
+
+// WidthAtFraction returns the total time the glitch deviation exceeds the
+// given fraction of its own peak (e.g. 0.5 for the half-height width).
+func WidthAtFraction(w *Waveform, quiet, fraction float64) float64 {
+	m := MeasureNoise(w, quiet)
+	if m.Peak == 0 {
+		return 0
+	}
+	return widthAt(w, quiet, m.Sign, fraction*m.Peak)
+}
+
+// PeakError returns the relative error of got versus want in percent,
+// matching the paper's "Error%" columns.
+func PeakError(got, want float64) float64 {
+	if want == 0 {
+		return 0
+	}
+	return 100 * (got - want) / want
+}
+
+// MaxAbsDiff returns the maximum absolute pointwise difference between two
+// waveforms on the union of their time grids.
+func MaxAbsDiff(a, b *Waveform) float64 {
+	d := Sub(a, b)
+	max := 0.0
+	for _, v := range d.V {
+		if m := math.Abs(v); m > max {
+			max = m
+		}
+	}
+	return max
+}

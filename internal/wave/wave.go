@@ -1,0 +1,205 @@
+// Package wave implements piecewise-linear voltage waveforms and the glitch
+// metrics used throughout static noise analysis: peak deviation, noise area
+// (V·s) and width at a fractional threshold.
+//
+// Waveforms are the lingua franca between the simulator, the macromodel
+// engine and the reporting layer: every noise evaluation ultimately yields a
+// Waveform at the victim driving point, and every comparison in the paper's
+// tables is a comparison of waveform metrics.
+package wave
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Waveform is a piecewise-linear function of time. T is strictly
+// increasing; V has the same length. Outside [T[0], T[len-1]] the waveform
+// extrapolates flat (holds its end values), which is the natural behaviour
+// for settled circuit voltages.
+type Waveform struct {
+	T []float64 // seconds
+	V []float64 // volts
+}
+
+// FromPoints builds a waveform from parallel time/value slices. It panics
+// on length mismatch or non-increasing time; callers construct waveforms
+// from code, not user input, so a panic flags a programming error.
+func FromPoints(t, v []float64) *Waveform {
+	if len(t) != len(v) {
+		panic("wave: FromPoints length mismatch")
+	}
+	if len(t) == 0 {
+		panic("wave: FromPoints empty")
+	}
+	for i := 1; i < len(t); i++ {
+		if t[i] <= t[i-1] {
+			panic(fmt.Sprintf("wave: non-increasing time at index %d (%g after %g)", i, t[i], t[i-1]))
+		}
+	}
+	return &Waveform{T: append([]float64(nil), t...), V: append([]float64(nil), v...)}
+}
+
+// Constant returns a waveform that holds v for all time.
+func Constant(v float64) *Waveform {
+	return &Waveform{T: []float64{0}, V: []float64{v}}
+}
+
+// Clone returns a deep copy.
+func (w *Waveform) Clone() *Waveform {
+	return &Waveform{
+		T: append([]float64(nil), w.T...),
+		V: append([]float64(nil), w.V...),
+	}
+}
+
+// At evaluates the waveform at time t by linear interpolation with flat
+// extrapolation beyond the endpoints.
+func (w *Waveform) At(t float64) float64 {
+	n := len(w.T)
+	if n == 1 || t <= w.T[0] {
+		return w.V[0]
+	}
+	if t >= w.T[n-1] {
+		return w.V[n-1]
+	}
+	// Binary search for the bracketing segment.
+	i := sort.SearchFloat64s(w.T, t)
+	// w.T[i-1] < t <= w.T[i]
+	t0, t1 := w.T[i-1], w.T[i]
+	v0, v1 := w.V[i-1], w.V[i]
+	return v0 + (v1-v0)*(t-t0)/(t1-t0)
+}
+
+// Start returns the first sample time.
+func (w *Waveform) Start() float64 { return w.T[0] }
+
+// End returns the last sample time.
+func (w *Waveform) End() float64 { return w.T[len(w.T)-1] }
+
+// Shift returns a copy of w translated by dt in time.
+func (w *Waveform) Shift(dt float64) *Waveform {
+	out := w.Clone()
+	for i := range out.T {
+		out.T[i] += dt
+	}
+	return out
+}
+
+// Scale returns a copy of w with all values multiplied by k.
+func (w *Waveform) Scale(k float64) *Waveform {
+	out := w.Clone()
+	for i := range out.V {
+		out.V[i] *= k
+	}
+	return out
+}
+
+// Offset returns a copy of w with c added to all values.
+func (w *Waveform) Offset(c float64) *Waveform {
+	out := w.Clone()
+	for i := range out.V {
+		out.V[i] += c
+	}
+	return out
+}
+
+// mergeTimes returns the sorted union of the sample times of a and b.
+func mergeTimes(a, b *Waveform) []float64 {
+	ts := make([]float64, 0, len(a.T)+len(b.T))
+	i, j := 0, 0
+	for i < len(a.T) || j < len(b.T) {
+		switch {
+		case i == len(a.T):
+			ts = append(ts, b.T[j])
+			j++
+		case j == len(b.T):
+			ts = append(ts, a.T[i])
+			i++
+		case a.T[i] < b.T[j]:
+			ts = append(ts, a.T[i])
+			i++
+		case b.T[j] < a.T[i]:
+			ts = append(ts, b.T[j])
+			j++
+		default:
+			ts = append(ts, a.T[i])
+			i++
+			j++
+		}
+	}
+	return ts
+}
+
+// Add returns the pointwise sum a+b on the union of their time grids.
+func Add(a, b *Waveform) *Waveform {
+	ts := mergeTimes(a, b)
+	vs := make([]float64, len(ts))
+	for i, t := range ts {
+		vs[i] = a.At(t) + b.At(t)
+	}
+	return &Waveform{T: ts, V: vs}
+}
+
+// Sub returns the pointwise difference a-b on the union of their time grids.
+func Sub(a, b *Waveform) *Waveform {
+	ts := mergeTimes(a, b)
+	vs := make([]float64, len(ts))
+	for i, t := range ts {
+		vs[i] = a.At(t) - b.At(t)
+	}
+	return &Waveform{T: ts, V: vs}
+}
+
+// Resample returns w sampled uniformly on [t0, t1] with step dt (inclusive
+// of both endpoints, the last step possibly shorter).
+func (w *Waveform) Resample(t0, t1, dt float64) *Waveform {
+	if dt <= 0 || t1 <= t0 {
+		panic("wave: invalid Resample range")
+	}
+	var ts, vs []float64
+	for t := t0; t < t1; t += dt {
+		ts = append(ts, t)
+		vs = append(vs, w.At(t))
+	}
+	ts = append(ts, t1)
+	vs = append(vs, w.At(t1))
+	return &Waveform{T: ts, V: vs}
+}
+
+// SaturatedRamp returns the canonical Thevenin source waveform: v0 until
+// t0, a linear transition to v1 over tr seconds, then v1 forever.
+func SaturatedRamp(v0, v1, t0, tr float64) *Waveform {
+	if tr <= 0 {
+		panic("wave: SaturatedRamp needs positive transition time")
+	}
+	return &Waveform{
+		T: []float64{t0 - 1e-15, t0, t0 + tr, t0 + tr + 1e-15},
+		V: []float64{v0, v0, v1, v1},
+	}
+}
+
+// Triangle returns a triangular glitch: base level, rising (or falling,
+// for negative height) from t0 to a peak of base+height at t0+width/2 and
+// returning to base at t0+width.
+func Triangle(base, height, t0, width float64) *Waveform {
+	if width <= 0 {
+		panic("wave: Triangle needs positive width")
+	}
+	return &Waveform{
+		T: []float64{t0 - 1e-15, t0, t0 + width/2, t0 + width, t0 + width + 1e-15},
+		V: []float64{base, base, base + height, base, base},
+	}
+}
+
+// Trapezoid returns a trapezoidal glitch with linear edges of edge seconds
+// and a flat top of top seconds at base+height.
+func Trapezoid(base, height, t0, edge, top float64) *Waveform {
+	if edge <= 0 || top < 0 {
+		panic("wave: invalid Trapezoid shape")
+	}
+	return &Waveform{
+		T: []float64{t0 - 1e-15, t0, t0 + edge, t0 + edge + top, t0 + 2*edge + top, t0 + 2*edge + top + 1e-15},
+		V: []float64{base, base, base + height, base + height, base, base},
+	}
+}

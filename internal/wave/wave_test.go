@@ -1,0 +1,218 @@
+package wave
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtInterpolation(t *testing.T) {
+	w := FromPoints([]float64{0, 1, 2}, []float64{0, 10, 0})
+	cases := []struct{ t, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 5}, {1, 10}, {1.25, 7.5}, {2, 0}, {3, 0},
+	}
+	for _, c := range cases {
+		if got := w.At(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestConstant(t *testing.T) {
+	w := Constant(1.2)
+	if w.At(-5) != 1.2 || w.At(0) != 1.2 || w.At(100) != 1.2 {
+		t.Error("Constant not flat")
+	}
+}
+
+func TestFromPointsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on non-increasing time")
+		}
+	}()
+	FromPoints([]float64{0, 0}, []float64{1, 2})
+}
+
+func TestShiftScaleOffset(t *testing.T) {
+	w := FromPoints([]float64{0, 1}, []float64{1, 3})
+	s := w.Shift(2)
+	if s.At(2.5) != w.At(0.5) {
+		t.Errorf("Shift: %v vs %v", s.At(2.5), w.At(0.5))
+	}
+	if w.T[0] != 0 {
+		t.Error("Shift mutated original")
+	}
+	if k := w.Scale(2); k.At(1) != 6 {
+		t.Errorf("Scale = %v", k.At(1))
+	}
+	if o := w.Offset(-1); o.At(0) != 0 {
+		t.Errorf("Offset = %v", o.At(0))
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := FromPoints([]float64{0, 2}, []float64{0, 2})
+	b := FromPoints([]float64{1, 3}, []float64{4, 0})
+	sum := Add(a, b)
+	// At t=1: a=1, b=4 → 5. At t=2: a=2, b=2 → 4.
+	if math.Abs(sum.At(1)-5) > 1e-12 || math.Abs(sum.At(2)-4) > 1e-12 {
+		t.Errorf("Add wrong: %v %v", sum.At(1), sum.At(2))
+	}
+	d := Sub(a, b)
+	if math.Abs(d.At(1)-(-3)) > 1e-12 {
+		t.Errorf("Sub wrong: %v", d.At(1))
+	}
+}
+
+// Property: Add(a,b) evaluated anywhere equals a.At + b.At.
+func TestAddPointwiseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *Waveform {
+			n := 2 + rng.Intn(8)
+			ts := make([]float64, n)
+			vs := make([]float64, n)
+			acc := rng.Float64()
+			for i := 0; i < n; i++ {
+				acc += 0.01 + rng.Float64()
+				ts[i] = acc
+				vs[i] = rng.NormFloat64()
+			}
+			return FromPoints(ts, vs)
+		}
+		a, b := mk(), mk()
+		s := Add(a, b)
+		for k := 0; k < 20; k++ {
+			x := rng.Float64()*12 - 1
+			if math.Abs(s.At(x)-(a.At(x)+b.At(x))) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaturatedRamp(t *testing.T) {
+	r := SaturatedRamp(1.2, 0, 1e-9, 100e-12)
+	if r.At(0) != 1.2 {
+		t.Errorf("before ramp: %v", r.At(0))
+	}
+	if got := r.At(1.05e-9); math.Abs(got-0.6) > 1e-9 {
+		t.Errorf("mid ramp: %v", got)
+	}
+	if r.At(2e-9) != 0 {
+		t.Errorf("after ramp: %v", r.At(2e-9))
+	}
+}
+
+func TestTriangleMetrics(t *testing.T) {
+	// 0.4 V triangular glitch, 200 ps wide, on a 1.2 V quiet level,
+	// pointing down.
+	g := Triangle(1.2, -0.4, 1e-9, 200e-12)
+	m := MeasureNoise(g, 1.2)
+	if math.Abs(m.Peak-0.4) > 1e-12 {
+		t.Errorf("Peak = %v", m.Peak)
+	}
+	if m.Sign != -1 {
+		t.Errorf("Sign = %v", m.Sign)
+	}
+	// Triangle area = ½·height·width = ½·0.4·200 ps = 40 V·ps.
+	if math.Abs(m.AreaVps()-40) > 1e-9 {
+		t.Errorf("AreaVps = %v", m.AreaVps())
+	}
+	// Width at half height of a triangle is half the base width.
+	if math.Abs(m.WidthPs()-100) > 1e-9 {
+		t.Errorf("WidthPs = %v", m.WidthPs())
+	}
+	if math.Abs(m.TPeak-1.1e-9) > 1e-15 {
+		t.Errorf("TPeak = %v", m.TPeak)
+	}
+}
+
+func TestTrapezoidMetrics(t *testing.T) {
+	g := Trapezoid(0, 0.5, 0, 100e-12, 300e-12)
+	m := MeasureNoise(g, 0)
+	if math.Abs(m.Peak-0.5) > 1e-12 || m.Sign != 1 {
+		t.Errorf("peak %v sign %v", m.Peak, m.Sign)
+	}
+	// Trapezoid area = h·(top + edge) = 0.5·(300+100) ps = 200 V·ps.
+	if math.Abs(m.AreaVps()-200) > 1e-9 {
+		t.Errorf("AreaVps = %v", m.AreaVps())
+	}
+	// At half height the trapezoid spans top + edge = 400 ps.
+	if math.Abs(m.WidthPs()-400) > 1e-9 {
+		t.Errorf("WidthPs = %v", m.WidthPs())
+	}
+}
+
+func TestMeasureNoiseIgnoresOppositeRinging(t *testing.T) {
+	// Downward glitch of 0.5 with an upward overshoot of 0.2: area and
+	// width must come from the downward lobe only.
+	w := FromPoints(
+		[]float64{0, 1, 2, 3, 4},
+		[]float64{1, 0.5, 1, 1.2, 1},
+	)
+	m := MeasureNoise(w, 1)
+	if m.Sign != -1 || math.Abs(m.Peak-0.5) > 1e-12 {
+		t.Fatalf("peak %v sign %v", m.Peak, m.Sign)
+	}
+	// Downward lobe is a triangle height 0.5 base 2 → area 0.5.
+	if math.Abs(m.Area-0.5) > 1e-12 {
+		t.Errorf("Area = %v", m.Area)
+	}
+}
+
+func TestResample(t *testing.T) {
+	w := FromPoints([]float64{0, 1}, []float64{0, 1})
+	r := w.Resample(0, 1, 0.25)
+	if len(r.T) != 5 {
+		t.Fatalf("len = %d", len(r.T))
+	}
+	if math.Abs(r.V[2]-0.5) > 1e-12 {
+		t.Errorf("mid = %v", r.V[2])
+	}
+}
+
+// Property: measured area is invariant under time shift and scales linearly
+// with value scaling (for glitches measured against a zero quiet level).
+func TestMetricsInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := 0.1 + rng.Float64()
+		wdt := (50 + rng.Float64()*500) * 1e-12
+		g := Triangle(0, h, 1e-9, wdt)
+		m0 := MeasureNoise(g, 0)
+		m1 := MeasureNoise(g.Shift(3e-9), 0)
+		if math.Abs(m0.Area-m1.Area) > 1e-18 || math.Abs(m0.Peak-m1.Peak) > 1e-15 {
+			return false
+		}
+		k := 0.5 + rng.Float64()*2
+		m2 := MeasureNoise(g.Scale(k), 0)
+		return math.Abs(m2.Peak-k*m0.Peak) < 1e-12 && math.Abs(m2.Area-k*m0.Area) < 1e-18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeakError(t *testing.T) {
+	if e := PeakError(0.269, 0.345); math.Abs(e-(-22.028)) > 0.01 {
+		t.Errorf("PeakError = %v", e)
+	}
+	if PeakError(1, 0) != 0 {
+		t.Error("PeakError with zero reference should be 0")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := FromPoints([]float64{0, 1}, []float64{0, 1})
+	b := FromPoints([]float64{0, 1}, []float64{0.25, 0.5})
+	if d := MaxAbsDiff(a, b); math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("MaxAbsDiff = %v", d)
+	}
+}
