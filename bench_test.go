@@ -17,7 +17,9 @@ import (
 	"stanoise/internal/core"
 	"stanoise/internal/interconnect"
 	"stanoise/internal/mor"
+	"stanoise/internal/nrc"
 	"stanoise/internal/paper"
+	"stanoise/internal/sna"
 	"stanoise/internal/tech"
 )
 
@@ -247,6 +249,67 @@ func BenchmarkAblationMORMoments(b *testing.B) {
 		})
 	}
 }
+
+// --- Design-level concurrent engine ---------------------------------------
+
+// The design-scale benchmarks measure the two levers of the concurrent
+// analysis engine on a generated 32-cluster design: the bounded worker
+// pool (serial vs parallel — the speedup tracks GOMAXPROCS, so expect ~1x
+// on a single-core runner and ≥2x from 4 cores up) and the shared
+// characterisation cache (cold = every artefact characterised this run,
+// warm = all artefacts served from a pre-populated cache).
+
+const benchDesignClusters = 32
+
+func designBenchOpts(workers int, cache *charlib.Cache) sna.Options {
+	return sna.Options{
+		Method:    core.Macromodel,
+		Dt:        2e-12,
+		Workers:   workers,
+		Cache:     cache,
+		LoadCurve: charlib.LoadCurveOptions{NVin: 31, NVout: 31},
+		NRC:       nrc.Options{Widths: []float64{100e-12, 300e-12, 900e-12}, Dt: 2e-12},
+	}
+}
+
+func benchDesignAnalyze(b *testing.B, workers int, warm bool) {
+	b.Helper()
+	d := sna.GenerateDesign("bench", benchDesignClusters)
+	var shared *charlib.Cache
+	if warm {
+		shared = charlib.NewCache()
+		if _, err := sna.NewAnalyzer(d, designBenchOpts(workers, shared)).Analyze(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache := shared
+		if !warm {
+			// A fresh cache per iteration keeps every characterisation
+			// inside the timed region (within-run sharing still applies,
+			// as it would on a real cold start).
+			cache = charlib.NewCache()
+		}
+		reports, err := sna.NewAnalyzer(d, designBenchOpts(workers, cache)).Analyze()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) != benchDesignClusters {
+			b.Fatalf("reports = %d", len(reports))
+		}
+	}
+}
+
+func BenchmarkDesignAnalyzeSerial(b *testing.B)    { benchDesignAnalyze(b, 1, false) }
+func BenchmarkDesignAnalyzeParallel2(b *testing.B) { benchDesignAnalyze(b, 2, false) }
+func BenchmarkDesignAnalyzeParallel4(b *testing.B) { benchDesignAnalyze(b, 4, false) }
+func BenchmarkDesignAnalyzeParallel8(b *testing.B) { benchDesignAnalyze(b, 8, false) }
+
+// Parallel4 doubles as the cold-cache baseline: same design and workers,
+// every artefact characterised inside the timed region.
+func BenchmarkDesignAnalyzeWarmCache(b *testing.B) { benchDesignAnalyze(b, 4, true) }
 
 // --- Substrate benchmarks --------------------------------------------------
 

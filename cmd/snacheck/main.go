@@ -2,8 +2,12 @@
 // and reports, per victim net, the total noise at the receiver and whether
 // it violates the receiver's Noise Rejection Curve.
 //
-//	snacheck -design design.json [-method macromodel|superposition|zolotov|golden] [-align]
+//	snacheck -design design.json [-method macromodel|superposition|zolotov|golden] [-align] [-workers N]
 //	snacheck -sample > design.json     # emit a starter design
+//
+// Clusters are analysed concurrently on a bounded worker pool (-workers,
+// default GOMAXPROCS) with a characterisation cache shared across all
+// workers; per-stage timing totals are printed after the report table.
 //
 // The exit status is 0 when all nets pass, 1 on analysis errors, and 3 when
 // one or more nets violate their NRC — suitable for sign-off scripting.
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"stanoise/internal/core"
 	"stanoise/internal/report"
@@ -25,6 +30,7 @@ func main() {
 	method := flag.String("method", "macromodel", "victim model: macromodel, superposition, zolotov, golden")
 	align := flag.Bool("align", true, "search worst-case aggressor alignment")
 	dt := flag.Float64("dt-ps", 2, "engine timestep in ps")
+	workers := flag.Int("workers", 0, "concurrent cluster workers (0 = GOMAXPROCS)")
 	sample := flag.Bool("sample", false, "print a sample design JSON and exit")
 	flag.Parse()
 
@@ -57,15 +63,18 @@ func main() {
 	}
 
 	an := sna.NewAnalyzer(design, sna.Options{
-		Method: m,
-		Align:  *align,
-		Dt:     *dt * 1e-12,
+		Method:  m,
+		Align:   *align,
+		Dt:      *dt * 1e-12,
+		Workers: *workers,
 	})
+	wall := time.Now()
 	reports, err := an.Analyze()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "snacheck: %v\n", err)
 		os.Exit(1)
 	}
+	elapsed := time.Since(wall)
 
 	t := &report.Table{
 		Title:   fmt.Sprintf("static noise analysis of %q (%s victim model)", design.Name, m),
@@ -94,6 +103,18 @@ func main() {
 	s := sna.Summarize(reports)
 	fmt.Printf("\n%d nets analysed, %d failing; worst margin %.3f V (%s)\n",
 		s.Total, s.Failing, s.WorstMarginV, s.WorstCluster)
+
+	var stages sna.StageTiming
+	for _, r := range reports {
+		stages.Add(r.Timing)
+	}
+	nw := an.Workers()
+	cs := an.CacheStats()
+	fmt.Printf("stage totals: build %s, characterise %s, align %s, evaluate %s, nrc %s (sum %s over %d workers; wall %s)\n",
+		stages.Build.Round(time.Millisecond), stages.Models.Round(time.Millisecond),
+		stages.Align.Round(time.Millisecond), stages.Eval.Round(time.Millisecond),
+		stages.NRC.Round(time.Millisecond), stages.Total().Round(time.Millisecond), nw, elapsed.Round(time.Millisecond))
+	fmt.Printf("characterisation cache: %d artefacts, %d hits, %d misses\n", cs.Entries, cs.Hits, cs.Misses)
 	if s.Failing > 0 {
 		os.Exit(3)
 	}

@@ -1,0 +1,3 @@
+module stanoise
+
+go 1.24

@@ -1,0 +1,166 @@
+package charlib
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"stanoise/internal/cell"
+	"stanoise/internal/nrc"
+)
+
+// Cache is a thread-safe memoization layer over cell characterisation. A
+// design re-uses the same few cell/drive/state configurations on thousands
+// of nets, so the design-level analysis flow shares one Cache across all
+// clusters (and all worker goroutines): the first cluster to need an
+// artefact characterises it, every later cluster gets the stored result.
+//
+// Entries are keyed by artefact kind, technology, cell (the name embeds the
+// drive strength), characterisation state, pin, and an options fingerprint,
+// so distinct qualities never alias. Concurrent requests for the same key
+// are single-flighted: one goroutine builds while the others wait for the
+// result instead of duplicating the work.
+//
+// A nil *Cache is valid and simply characterises on every call.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*flight
+	hits    int
+	misses  int
+}
+
+// flight is one memoized build: done closes when val/err are final.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewCache returns an empty cache ready for concurrent use.
+func NewCache() *Cache { return &Cache{entries: map[string]*flight{}} }
+
+// CacheStats reports cache effectiveness counters.
+type CacheStats struct {
+	Entries int // distinct artefacts built (or building)
+	Hits    int // requests served from an existing entry
+	Misses  int // requests that triggered a build
+}
+
+// Stats snapshots the counters. Safe on a nil cache.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses}
+}
+
+// Keys returns the sorted entry keys, for inspection and tests.
+func (c *Cache) Keys() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	c.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// Do returns the memoized value for key, building it at most once. If the
+// key is being built by another goroutine, Do waits for that build rather
+// than starting a second one. Build errors are memoized too, so a failing
+// configuration fails identically for every requester. A nil cache just
+// calls build.
+func (c *Cache) Do(key string, build func() (any, error)) (any, error) {
+	if c == nil {
+		return build()
+	}
+	c.mu.Lock()
+	if f, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.entries[key] = f
+	c.misses++
+	c.mu.Unlock()
+	// done must close even if build panics, or every waiter on this key
+	// (and all future requesters) would block forever; the waiters see a
+	// memoized error while the panic propagates in the builder.
+	defer func() {
+		if r := recover(); r != nil {
+			f.err = fmt.Errorf("charlib: cache build for %q panicked: %v", key, r)
+			close(f.done)
+			panic(r)
+		}
+		close(f.done)
+	}()
+	f.val, f.err = build()
+	return f.val, f.err
+}
+
+// CellKey builds a cache key for an artefact of the given kind ("lc",
+// "prop", "nrc", ...) characterised on a cell configuration. The cell name
+// embeds the drive strength, and optsFP fingerprints the characterisation
+// options so different qualities get different entries.
+func CellKey(kind string, cl *cell.Cell, st cell.State, pin, optsFP string) string {
+	return kind + "|" + cl.Tech.Name + "|" + cl.Name() + "|" + st.String() + "|" + pin + "|" + optsFP
+}
+
+// LoadCurve returns the memoized VCCS load-curve table for the cell
+// configuration, characterising it on first use.
+func (c *Cache) LoadCurve(cl *cell.Cell, st cell.State, pin string, opts LoadCurveOptions) (*LoadCurve, error) {
+	if c == nil {
+		return CharacterizeLoadCurve(cl, st, pin, opts)
+	}
+	opts = opts.normalize()
+	fp := fmt.Sprintf("%d,%d,%g", opts.NVin, opts.NVout, opts.MarginFrac)
+	v, err := c.Do(CellKey("lc", cl, st, pin, fp), func() (any, error) {
+		return CharacterizeLoadCurve(cl, st, pin, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*LoadCurve), nil
+}
+
+// PropTable returns the memoized propagation table for the cell
+// configuration, characterising it on first use.
+func (c *Cache) PropTable(cl *cell.Cell, st cell.State, pin string, opts PropOptions) (*PropTable, error) {
+	if c == nil {
+		return CharacterizePropagation(cl, st, pin, opts)
+	}
+	opts = opts.normalize(cl.Tech.VDD)
+	fp := fmt.Sprintf("%v,%v,%v,%g", opts.Heights, opts.Widths, opts.Loads, opts.Dt)
+	v, err := c.Do(CellKey("prop", cl, st, pin, fp), func() (any, error) {
+		return CharacterizePropagation(cl, st, pin, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*PropTable), nil
+}
+
+// NRCCurve returns the memoized Noise Rejection Curve of a receiver pin in
+// the given quiet state, characterising it on first use.
+func (c *Cache) NRCCurve(recv *cell.Cell, st cell.State, pin string, opts nrc.Options) (*nrc.Curve, error) {
+	if c == nil {
+		return nrc.Characterize(recv, st, pin, opts)
+	}
+	opts = opts.Normalized()
+	fp := fmt.Sprintf("%v,%g,%g,%g,%g", opts.Widths, opts.LoadCap, opts.FailFrac, opts.Tol, opts.Dt)
+	v, err := c.Do(CellKey("nrc", recv, st, pin, fp), func() (any, error) {
+		return nrc.Characterize(recv, st, pin, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*nrc.Curve), nil
+}

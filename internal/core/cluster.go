@@ -247,6 +247,10 @@ type ModelOptions struct {
 	// needed by the Superposition baseline and is the most expensive
 	// artefact).
 	SkipProp bool
+	// Cache, when non-nil, memoizes load curves and propagation tables
+	// across clusters (and goroutines) that share a cell configuration,
+	// so a design with repeated cells characterises each one only once.
+	Cache *charlib.Cache
 }
 
 // BuildModels pre-characterises everything the macromodel and the baseline
@@ -259,7 +263,7 @@ func (c *Cluster) BuildModels(opts ModelOptions) (*Models, error) {
 	m := &Models{}
 
 	// 1. The victim VCCS table (the paper's eq. 1).
-	lc, err := charlib.CharacterizeLoadCurve(v.Cell, v.State, v.NoisyPin, opts.LoadCurve)
+	lc, err := opts.Cache.LoadCurve(v.Cell, v.State, v.NoisyPin, opts.LoadCurve)
 	if err != nil {
 		return nil, fmt.Errorf("core: victim load curve: %w", err)
 	}
@@ -274,7 +278,7 @@ func (c *Cluster) BuildModels(opts ModelOptions) (*Models, error) {
 
 	// 3. Propagation table for the superposition baseline.
 	if !opts.SkipProp {
-		prop, err := charlib.CharacterizePropagation(v.Cell, v.State, v.NoisyPin, opts.Prop)
+		prop, err := opts.Cache.PropTable(v.Cell, v.State, v.NoisyPin, opts.Prop)
 		if err != nil {
 			return nil, fmt.Errorf("core: propagation table: %w", err)
 		}

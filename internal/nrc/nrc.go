@@ -42,6 +42,11 @@ type Options struct {
 	Dt       float64   // transient step; default 2 ps
 }
 
+// Normalized returns the options with every default filled in — the
+// canonical form callers should fingerprint when memoizing curves, so that
+// zero values and explicit defaults key identically.
+func (o Options) Normalized() Options { return o.normalize() }
+
 func (o Options) normalize() Options {
 	if len(o.Widths) == 0 {
 		o.Widths = []float64{50e-12, 100e-12, 200e-12, 400e-12, 800e-12, 1600e-12}

@@ -3,6 +3,9 @@ package sna
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"stanoise/internal/cell"
@@ -20,6 +23,14 @@ type Options struct {
 	// FailFrac is the NRC failure threshold (fraction of VDD at the
 	// receiver output); default 0.5.
 	FailFrac float64
+	// Workers bounds how many clusters are analysed concurrently.
+	// Default (and any value <= 0) is runtime.GOMAXPROCS(0); 1 forces a
+	// fully serial run. Reports come back in design order either way.
+	Workers int
+	// Cache optionally supplies a shared characterisation cache so
+	// repeated runs (or several designs) reuse artefacts. When nil the
+	// analyzer creates a private cache for the run.
+	Cache *charlib.Cache
 	// Model quality knobs.
 	LoadCurve charlib.LoadCurveOptions
 	Prop      charlib.PropOptions
@@ -33,7 +44,35 @@ func (o Options) normalize() Options {
 	if o.FailFrac <= 0 {
 		o.FailFrac = 0.5
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
+}
+
+// StageTiming breaks one cluster's analysis into its pipeline stages. On a
+// cache hit the Models and NRC stages collapse to lookup time, which is how
+// the shared characterisation cache shows up in per-stage output.
+type StageTiming struct {
+	Build  time.Duration // cluster construction: geometry, parasitics, cells
+	Models time.Duration // pre-characterisation (load curve, Thevenin, MOR)
+	Align  time.Duration // worst-case aggressor alignment search
+	Eval   time.Duration // transient evaluation of the chosen method
+	NRC    time.Duration // receiver NRC characterisation or cache lookup
+}
+
+// Total sums the stages.
+func (s StageTiming) Total() time.Duration {
+	return s.Build + s.Models + s.Align + s.Eval + s.NRC
+}
+
+// Add accumulates another cluster's timing (for per-design totals).
+func (s *StageTiming) Add(o StageTiming) {
+	s.Build += o.Build
+	s.Models += o.Models
+	s.Align += o.Align
+	s.Eval += o.Eval
+	s.NRC += o.NRC
 }
 
 // NetReport is the per-victim outcome of an analysis.
@@ -54,61 +93,162 @@ type NetReport struct {
 	MarginV float64 // height margin to the NRC (+Inf when unfailable)
 
 	Elapsed time.Duration // evaluation time (excluding characterisation)
+	Timing  StageTiming   // full per-stage breakdown for this cluster
 }
 
-// Analyzer runs static noise analysis over a design, caching characterised
-// artefacts (NRC curves) across clusters that share receivers.
+// ClearTiming zeroes the wall-clock fields, leaving only the analysis
+// results — use it before comparing reports across runs, since timings are
+// the one part of a report that legitimately differs between identical
+// serial and parallel analyses.
+func (r *NetReport) ClearTiming() {
+	r.Elapsed = 0
+	r.Timing = StageTiming{}
+}
+
+// Analyzer runs static noise analysis over a design. All characterised
+// artefacts — load curves, propagation tables and NRC receiver curves — go
+// through a shared thread-safe cache keyed by (cell, drive, state, tech),
+// so the repeated cell configurations of a real design are characterised
+// once no matter how many clusters use them or which worker gets there
+// first.
 type Analyzer struct {
 	design *Design
 	opts   Options
-
-	nrcCache map[string]*nrc.Curve
+	cache  *charlib.Cache
 }
 
 // NewAnalyzer builds an analyzer for a validated design.
 func NewAnalyzer(d *Design, opts Options) *Analyzer {
-	return &Analyzer{design: d, opts: opts.normalize(), nrcCache: map[string]*nrc.Curve{}}
+	opts = opts.normalize()
+	cache := opts.Cache
+	if cache == nil {
+		cache = charlib.NewCache()
+	}
+	return &Analyzer{design: d, opts: opts, cache: cache}
+}
+
+// CacheStats reports the effectiveness of the characterisation cache so
+// far (hits accumulate across Analyze calls on the same analyzer or any
+// analyzer sharing the cache).
+func (a *Analyzer) CacheStats() charlib.CacheStats { return a.cache.Stats() }
+
+// Workers returns the effective worker-pool size Analyze will use: the
+// normalized Options.Workers capped at the cluster count.
+func (a *Analyzer) Workers() int {
+	w := a.opts.Workers
+	if n := len(a.design.Clusters); w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Analyze evaluates every cluster in the design and returns one report per
-// victim net.
+// victim net, in design order regardless of worker count. Clusters are
+// dispatched to a bounded pool of Options.Workers goroutines; on the first
+// cluster error the pool stops taking new work and Analyze returns the
+// error of the earliest failing cluster, mirroring what a serial run would
+// report.
 func (a *Analyzer) Analyze() ([]NetReport, error) {
-	var reports []NetReport
-	for _, cs := range a.design.Clusters {
-		rep, err := a.analyzeCluster(cs)
-		if err != nil {
-			return nil, err
+	clusters := a.design.Clusters
+	reports := make([]NetReport, len(clusters))
+	workers := a.Workers()
+	if workers <= 1 {
+		// Deliberately a separate plain loop rather than a 1-worker pool:
+		// this is the reference implementation the determinism contract is
+		// judged against — TestParallelMatchesSerial compares the pool's
+		// output to this path, which it couldn't do if both went through
+		// the same pool machinery.
+		for i, cs := range clusters {
+			rep, err := a.analyzeCluster(cs)
+			if err != nil {
+				return nil, err
+			}
+			reports[i] = *rep
 		}
-		reports = append(reports, *rep)
+		return reports, nil
+	}
+
+	var (
+		next    atomic.Int64 // index of the next cluster to claim
+		stop    atomic.Bool  // set on first error; halts new claims
+		wg      sync.WaitGroup
+		errMu   sync.Mutex
+		errIdx  = -1
+		poolErr error
+	)
+	fail := func(i int, err error) {
+		errMu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, poolErr = i, err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(clusters) || stop.Load() {
+					return
+				}
+				rep, err := a.analyzeCluster(clusters[i])
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				reports[i] = *rep
+			}
+		}()
+	}
+	wg.Wait()
+	if errIdx >= 0 {
+		return nil, poolErr
 	}
 	return reports, nil
 }
 
 func (a *Analyzer) analyzeCluster(cs ClusterSpec) (*NetReport, error) {
+	var timing StageTiming
+	t0 := time.Now()
 	cl, err := a.design.BuildCluster(cs)
 	if err != nil {
 		return nil, err
 	}
+	timing.Build = time.Since(t0)
+
 	method := a.opts.Method
 	mopts := core.ModelOptions{
 		LoadCurve: a.opts.LoadCurve,
 		Prop:      a.opts.Prop,
 		SkipProp:  method != core.Superposition,
+		Cache:     a.cache,
 	}
+	t0 = time.Now()
 	models, err := cl.BuildModels(mopts)
 	if err != nil {
 		return nil, fmt.Errorf("sna: cluster %s models: %w", cs.Name, err)
 	}
+	timing.Models = time.Since(t0)
+
 	eopts := core.EvalOptions{Dt: a.opts.Dt}
 	if a.opts.Align && len(cl.Aggressors) > 0 {
+		t0 = time.Now()
 		if err := cl.AlignWorstCase(models, eopts); err != nil {
 			return nil, fmt.Errorf("sna: cluster %s alignment: %w", cs.Name, err)
 		}
+		timing.Align = time.Since(t0)
 	}
+	t0 = time.Now()
 	ev, err := cl.Evaluate(method, models, eopts)
 	if err != nil {
 		return nil, fmt.Errorf("sna: cluster %s evaluation: %w", cs.Name, err)
 	}
+	timing.Eval = time.Since(t0)
 
 	rep := &NetReport{
 		Cluster: cs.Name,
@@ -120,17 +260,22 @@ func (a *Analyzer) analyzeCluster(cs ClusterSpec) (*NetReport, error) {
 		Elapsed: ev.Elapsed,
 	}
 
+	t0 = time.Now()
 	curve, err := a.receiverCurve(cl.Victim.Receiver, cl.Victim.ReceiverPin, cl)
 	if err != nil {
 		return nil, fmt.Errorf("sna: cluster %s NRC: %w", cs.Name, err)
 	}
+	timing.NRC = time.Since(t0)
 	rep.Fails = curve.Fails(rep.PeakV, ev.RecvMetrics.Width)
 	rep.MarginV = curve.MarginV(rep.PeakV, ev.RecvMetrics.Width)
+	rep.Timing = timing
 	return rep, nil
 }
 
 // receiverCurve characterises (or retrieves) the NRC of the victim's
-// receiver pin for the victim's quiet level.
+// receiver pin for the victim's quiet level. Curves are memoized in the
+// shared cache, so clusters with the same receiver configuration — the
+// overwhelmingly common case — characterise it once, even across workers.
 func (a *Analyzer) receiverCurve(recv *cell.Cell, pin string, cl *core.Cluster) (*nrc.Curve, error) {
 	quietHigh := cl.QuietVictimLevel() > cl.Tech.VDD/2
 	// The receiver input sits at the victim's quiet level; find a state of
@@ -155,18 +300,9 @@ func (a *Analyzer) receiverCurve(recv *cell.Cell, pin string, cl *core.Cluster) 
 			st = alt
 		}
 	}
-	key := recv.Name() + "/" + pin + "/" + st.String() + "/" + cl.Tech.Name
-	if c, ok := a.nrcCache[key]; ok {
-		return c, nil
-	}
 	nopts := a.opts.NRC
 	nopts.FailFrac = a.opts.FailFrac
-	curve, err := nrc.Characterize(recv, st, pin, nopts)
-	if err != nil {
-		return nil, err
-	}
-	a.nrcCache[key] = curve
-	return curve, nil
+	return a.cache.NRCCurve(recv, st, pin, nopts)
 }
 
 // Summary aggregates reports for quick inspection.

@@ -40,6 +40,7 @@ func (a *Analyzer) PropagateChain(specs []ClusterSpec) ([]wave.NoiseMetrics, err
 			LoadCurve: a.opts.LoadCurve,
 			Prop:      a.opts.Prop,
 			SkipProp:  method != core.Superposition,
+			Cache:     a.cache,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("sna: chain stage %d models: %w", i, err)

@@ -1,0 +1,69 @@
+package sna
+
+import "fmt"
+
+// GenerateDesign builds a deterministic synthetic many-cluster design for
+// benchmarks and concurrency tests: n noise clusters whose victims,
+// aggressors and geometries cycle through a small set of realistic
+// variants. Like a real routed design, the same few cell configurations
+// recur across many nets — which is exactly what the shared
+// characterisation cache exploits — while wire lengths, spacings and
+// glitch sizes vary per cluster so every evaluation is distinct work.
+func GenerateDesign(name string, n int) *Design {
+	victims := []struct {
+		cell  string
+		drive int
+		pin   string
+	}{
+		{"NAND2", 1, "B"},
+		{"INV", 2, "A"},
+		{"NAND2", 2, "A"},
+		{"INV", 1, "A"},
+	}
+	aggDrives := []int{1, 2, 4}
+
+	d := &Design{
+		Name:     name,
+		Tech:     "cmos130",
+		Layer:    "M4",
+		Segments: 8,
+	}
+	for i := 0; i < n; i++ {
+		v := victims[i%len(victims)]
+		length := 200 + 75*float64(i%5)
+		cs := ClusterSpec{
+			Name: fmt.Sprintf("net%03d", i),
+			Victim: VictimSpec{
+				Cell:     v.cell,
+				Drive:    v.drive,
+				NoisyPin: v.pin,
+				LengthUm: length,
+			},
+		}
+		// Every third cluster also receives a propagated glitch, like the
+		// mixed injected+propagated cases of the paper's Table 1.
+		if i%3 == 0 {
+			cs.Victim.GlitchHeightV = 0.4 + 0.1*float64((i/3)%3)
+			cs.Victim.GlitchWidthPs = 300
+		}
+		nAgg := 1 + i%2
+		for j := 0; j < nAgg; j++ {
+			side := "right"
+			if j == 1 {
+				side = "left"
+			}
+			cs.Aggressors = append(cs.Aggressors, AggressorSpec{
+				Cell:          "INV",
+				Drive:         aggDrives[(i+j)%len(aggDrives)],
+				FromState:     map[string]bool{"A": false},
+				SwitchPin:     "A",
+				SlewPs:        60 + 20*float64(i%3),
+				LengthUm:      length,
+				SpacingFactor: 1 + float64(i%2),
+				Side:          side,
+			})
+		}
+		d.Clusters = append(d.Clusters, cs)
+	}
+	return d
+}

@@ -1,0 +1,120 @@
+package sna
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"stanoise/internal/core"
+)
+
+// marshalReports canonicalises reports for byte-for-byte comparison:
+// wall-clock timings are the only fields allowed to differ between an
+// identical serial and parallel run, so they are cleared first.
+func marshalReports(t *testing.T, reports []NetReport) []byte {
+	t.Helper()
+	for i := range reports {
+		reports[i].ClearTiming()
+	}
+	b, err := json.Marshal(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestParallelMatchesSerial is the concurrency contract: a parallel
+// Analyze must produce byte-identical reports, in identical order, to a
+// fully serial run of the same design. Run under -race this also shakes
+// out data races in the shared characterisation cache and worker pool.
+func TestParallelMatchesSerial(t *testing.T) {
+	d := GenerateDesign("par", 6)
+
+	serialOpts := fastOpts(core.Macromodel)
+	serialOpts.Workers = 1
+	serial, err := NewAnalyzer(d, serialOpts).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parOpts := fastOpts(core.Macromodel)
+	parOpts.Workers = 8
+	par, err := NewAnalyzer(d, parOpts).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(par) != len(d.Clusters) {
+		t.Fatalf("parallel returned %d reports for %d clusters", len(par), len(d.Clusters))
+	}
+	for i, r := range par {
+		if r.Cluster != d.Clusters[i].Name {
+			t.Fatalf("report %d is %q, want %q (order not deterministic)", i, r.Cluster, d.Clusters[i].Name)
+		}
+	}
+	sb, pb := marshalReports(t, serial), marshalReports(t, par)
+	if string(sb) != string(pb) {
+		t.Errorf("parallel reports differ from serial:\nserial:   %s\nparallel: %s", sb, pb)
+	}
+}
+
+// TestParallelDefaultWorkers exercises the GOMAXPROCS default path.
+func TestParallelDefaultWorkers(t *testing.T) {
+	d := GenerateDesign("dflt", 3)
+	opts := fastOpts(core.Macromodel)
+	opts.Workers = 0 // normalize() resolves to runtime.GOMAXPROCS(0)
+	reports, err := NewAnalyzer(d, opts).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+}
+
+// TestParallelFirstErrorPropagation: a failing cluster must surface its
+// error from a parallel run, and the pool must not hang or panic.
+func TestParallelFirstErrorPropagation(t *testing.T) {
+	d := GenerateDesign("err", 6)
+	d.Clusters[3].Victim.Cell = "XOR9" // unknown cell: BuildCluster fails
+
+	opts := fastOpts(core.Macromodel)
+	opts.Workers = 4
+	_, err := NewAnalyzer(d, opts).Analyze()
+	if err == nil {
+		t.Fatal("parallel Analyze swallowed a cluster error")
+	}
+	if !strings.Contains(err.Error(), "net003") {
+		t.Errorf("error does not name the failing cluster: %v", err)
+	}
+}
+
+// TestSharedCacheAcrossAnalyzers: a cache passed via Options is reused, so
+// a second analysis of the same design characterises nothing new.
+func TestSharedCacheAcrossAnalyzers(t *testing.T) {
+	d := GenerateDesign("warm", 4)
+	opts := fastOpts(core.Macromodel)
+	opts.Workers = 2
+
+	an1 := NewAnalyzer(d, opts)
+	if _, err := an1.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	cold := an1.CacheStats()
+	if cold.Misses == 0 {
+		t.Fatal("cold run characterised nothing")
+	}
+
+	opts.Cache = an1.cache
+	an2 := NewAnalyzer(d, opts)
+	if _, err := an2.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	warm := an2.CacheStats()
+	if warm.Misses != cold.Misses {
+		t.Errorf("warm run characterised %d new artefacts", warm.Misses-cold.Misses)
+	}
+	if warm.Hits <= cold.Hits {
+		t.Errorf("warm run did not hit the cache: cold %+v warm %+v", cold, warm)
+	}
+}
