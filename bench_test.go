@@ -9,6 +9,7 @@
 package stanoise_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -18,9 +19,9 @@ import (
 	"stanoise/internal/interconnect"
 	"stanoise/internal/mor"
 	"stanoise/internal/nrc"
-	"stanoise/internal/paper"
 	"stanoise/internal/sna"
 	"stanoise/internal/tech"
+	"stanoise/paper"
 )
 
 // prepared caches the expensive model construction per cluster so every
@@ -48,12 +49,12 @@ func prepareBench(b *testing.B, key string, build func(paper.Quality) (*core.Clu
 		b.Fatal(err)
 	}
 	mopts := core.ModelOptions{SkipProp: !needProp}
-	models, err := c.BuildModels(mopts)
+	models, err := c.BuildModels(context.Background(), mopts)
 	if err != nil {
 		b.Fatal(err)
 	}
 	opts := core.EvalOptions{Dt: 1e-12}
-	if err := c.AlignWorstCase(models, opts); err != nil {
+	if err := c.AlignWorstCase(context.Background(), models, opts); err != nil {
 		b.Fatal(err)
 	}
 	p := &prepared{cluster: c, models: models, opts: opts}
@@ -66,7 +67,7 @@ func benchMethod(b *testing.B, p *prepared, m core.Method) {
 	b.ReportAllocs()
 	var peak float64
 	for i := 0; i < b.N; i++ {
-		ev, err := p.cluster.Evaluate(m, p.models, p.opts)
+		ev, err := p.cluster.Evaluate(context.Background(), m, p.models, p.opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,11 +113,11 @@ func BenchmarkSpeedupTable1(b *testing.B) {
 	b.ReportAllocs()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		g, err := p.cluster.Evaluate(core.Golden, p.models, p.opts)
+		g, err := p.cluster.Evaluate(context.Background(), core.Golden, p.models, p.opts)
 		if err != nil {
 			b.Fatal(err)
 		}
-		m, err := p.cluster.Evaluate(core.Macromodel, p.models, p.opts)
+		m, err := p.cluster.Evaluate(context.Background(), core.Macromodel, p.models, p.opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -130,11 +131,11 @@ func BenchmarkSpeedupTable2(b *testing.B) {
 	b.ReportAllocs()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		g, err := p.cluster.Evaluate(core.Golden, p.models, p.opts)
+		g, err := p.cluster.Evaluate(context.Background(), core.Golden, p.models, p.opts)
 		if err != nil {
 			b.Fatal(err)
 		}
-		m, err := p.cluster.Evaluate(core.Macromodel, p.models, p.opts)
+		m, err := p.cluster.Evaluate(context.Background(), core.Macromodel, p.models, p.opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -148,7 +149,7 @@ func BenchmarkSpeedupTable2(b *testing.B) {
 func BenchmarkClusterSweepSubset(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := paper.RunSweep(paper.Quick, 4); err != nil {
+		if _, err := paper.RunSweep(context.Background(), paper.Quick, 4); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -166,7 +167,7 @@ func BenchmarkFig1ModelBuild(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.BuildModels(core.ModelOptions{SkipProp: true}); err != nil {
+		if _, err := c.BuildModels(context.Background(), core.ModelOptions{SkipProp: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -185,7 +186,7 @@ func BenchmarkAblationZolotovPasses(b *testing.B) {
 			opts.ZolotovPasses = passes
 			var peak float64
 			for i := 0; i < b.N; i++ {
-				ev, err := p.cluster.Evaluate(core.Zolotov, p.models, opts)
+				ev, err := p.cluster.Evaluate(context.Background(), core.Zolotov, p.models, opts)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -210,7 +211,7 @@ func BenchmarkAblationMiller(b *testing.B) {
 			opts.Miller = miller
 			var peak float64
 			for i := 0; i < b.N; i++ {
-				ev, err := p.cluster.Evaluate(core.Macromodel, p.models, opts)
+				ev, err := p.cluster.Evaluate(context.Background(), core.Macromodel, p.models, opts)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -278,7 +279,7 @@ func benchDesignAnalyze(b *testing.B, workers int, warm bool) {
 	var shared *charlib.Cache
 	if warm {
 		shared = charlib.NewCache()
-		if _, err := sna.NewAnalyzer(d, designBenchOpts(workers, shared)).Analyze(); err != nil {
+		if _, err := sna.NewAnalyzer(d, designBenchOpts(workers, shared)).Analyze(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -292,7 +293,7 @@ func benchDesignAnalyze(b *testing.B, workers int, warm bool) {
 			// as it would on a real cold start).
 			cache = charlib.NewCache()
 		}
-		reports, err := sna.NewAnalyzer(d, designBenchOpts(workers, cache)).Analyze()
+		reports, err := sna.NewAnalyzer(d, designBenchOpts(workers, cache)).Analyze(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -324,7 +325,7 @@ func BenchmarkLoadCurveCharacterization(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := charlib.CharacterizeLoadCurve(nand, st, "B",
+		if _, err := charlib.CharacterizeLoadCurve(context.Background(), nand, st, "B",
 			charlib.LoadCurveOptions{NVin: 61, NVout: 61}); err != nil {
 			b.Fatal(err)
 		}
@@ -346,7 +347,7 @@ func BenchmarkMacromodelEngine(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunEngine(p.models.Red, sources, p.models.V0,
+		if _, err := core.RunEngine(context.Background(), p.models.Red, sources, p.models.V0,
 			core.EngineOptions{Dt: 1e-12, TStop: 2e-9}); err != nil {
 			b.Fatal(err)
 		}

@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"stanoise/internal/cell"
 	"stanoise/internal/charlib"
@@ -27,6 +30,9 @@ func main() {
 	grid := flag.Int("grid", 61, "load-curve grid points per axis")
 	out := flag.String("out", "", "output JSON path (default stdout)")
 	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 
 	t, err := tech.ByName(*techName)
 	if err != nil {
@@ -70,7 +76,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "libchar: skipping %s pin %s: %v\n", j.kind, j.pin, err)
 			continue
 		}
-		lc, err := charlib.CharacterizeLoadCurve(c, st, j.pin,
+		lc, err := charlib.CharacterizeLoadCurve(ctx, c, st, j.pin,
 			charlib.LoadCurveOptions{NVin: *grid, NVout: *grid})
 		if err != nil {
 			fail(fmt.Errorf("%s/%s: %w", j.kind, j.pin, err))
@@ -80,7 +86,7 @@ func main() {
 			c.Name(), j.pin, st, lc.NVin, lc.NVout,
 			lc.HoldingResistance(c.PinVoltage(st[j.pin]), c.PinVoltage(c.Logic(st))))
 		if *withProp {
-			pt, err := charlib.CharacterizePropagation(c, st, j.pin, charlib.PropOptions{})
+			pt, err := charlib.CharacterizePropagation(ctx, c, st, j.pin, charlib.PropOptions{})
 			if err != nil {
 				fail(fmt.Errorf("%s/%s propagation: %w", j.kind, j.pin, err))
 			}

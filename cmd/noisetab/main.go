@@ -10,15 +10,19 @@
 //	noisetab -exp all               everything above
 //
 // Use -quality quick for a fast smoke run (coarser meshes and grids) and
-// -csv to emit comma-separated values instead of aligned tables.
+// -csv to emit comma-separated values instead of aligned tables. An
+// interrupt (SIGINT/SIGTERM) cancels the running experiment promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"stanoise/internal/paper"
+	"stanoise/paper"
 )
 
 func main() {
@@ -39,12 +43,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	runs := []string{*exp}
 	if *exp == "all" {
 		runs = []string{"table1", "table2", "fig1", "zolotov", "speedup", "sweep"}
 	}
 	for _, name := range runs {
-		if err := run(name, q, *csv, *sweepMax); err != nil {
+		if err := run(ctx, name, q, *csv, *sweepMax); err != nil {
 			fmt.Fprintf(os.Stderr, "noisetab: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -52,9 +59,9 @@ func main() {
 	}
 }
 
-func run(name string, q paper.Quality, csv bool, sweepMax int) error {
+func run(ctx context.Context, name string, q paper.Quality, csv bool, sweepMax int) error {
 	if name == "fig1" {
-		s, err := paper.Fig1Description(q)
+		s, err := paper.Fig1Description(ctx, q)
 		if err != nil {
 			return err
 		}
@@ -67,15 +74,15 @@ func run(name string, q paper.Quality, csv bool, sweepMax int) error {
 	)
 	switch name {
 	case "table1":
-		exp, err = paper.RunTable1(q)
+		exp, err = paper.RunTable1(ctx, q)
 	case "table2":
-		exp, err = paper.RunTable2(q)
+		exp, err = paper.RunTable2(ctx, q)
 	case "zolotov":
-		exp, err = paper.RunZolotovContext(q)
+		exp, err = paper.RunZolotovContext(ctx, q)
 	case "speedup":
-		exp, err = paper.RunSpeedup(q)
+		exp, err = paper.RunSpeedup(ctx, q)
 	case "sweep":
-		exp, err = paper.RunSweep(q, sweepMax)
+		exp, err = paper.RunSweep(ctx, q, sweepMax)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

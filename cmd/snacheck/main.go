@@ -2,27 +2,45 @@
 // and reports, per victim net, the total noise at the receiver and whether
 // it violates the receiver's Noise Rejection Curve.
 //
-//	snacheck -design design.json [-method macromodel|superposition|zolotov|golden] [-align] [-workers N]
+//	snacheck -design design.json [-method macromodel|superposition|zolotov|golden]
+//	         [-align] [-workers N] [-policy fail-fast|continue] [-json]
 //	snacheck -sample > design.json     # emit a starter design
 //
 // Clusters are analysed concurrently on a bounded worker pool (-workers,
 // default GOMAXPROCS) with a characterisation cache shared across all
 // workers; per-stage timing totals are printed after the report table.
+// Interrupting the run (SIGINT/SIGTERM) cancels the analysis promptly —
+// mid-characterisation and mid-transient — via context cancellation.
 //
-// The exit status is 0 when all nets pass, 1 on analysis errors, and 3 when
-// one or more nets violate their NRC — suitable for sign-off scripting.
+// With -json the report is emitted as a single machine-readable JSON
+// document whose reports and summary use the stable schema of the public
+// stanoise.NetReport and stanoise.Summary types (margins that are +Inf,
+// i.e. unfailable, appear as null). With -policy continue every cluster is
+// analysed even after failures and each failure is listed with its cluster
+// and pipeline stage.
+//
+// Exit codes (stable, for sign-off scripting):
+//
+//	0  every net was analysed and passes its NRC (also: empty design)
+//	1  analysis error (bad design file, cluster failure, interrupted run)
+//	2  usage error (bad flags)
+//	3  the analysis completed and one or more nets violate their NRC
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
+	"text/tabwriter"
 	"time"
 
-	"stanoise/internal/core"
-	"stanoise/internal/report"
-	"stanoise/internal/sna"
+	"stanoise"
 )
 
 func main() {
@@ -31,11 +49,13 @@ func main() {
 	align := flag.Bool("align", true, "search worst-case aggressor alignment")
 	dt := flag.Float64("dt-ps", 2, "engine timestep in ps")
 	workers := flag.Int("workers", 0, "concurrent cluster workers (0 = GOMAXPROCS)")
+	policy := flag.String("policy", "fail-fast", "error policy: fail-fast or continue (analyse every cluster, collect failures)")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report on stdout")
 	sample := flag.Bool("sample", false, "print a sample design JSON and exit")
 	flag.Parse()
 
 	if *sample {
-		if err := sampleDesign().WriteJSON(os.Stdout); err != nil {
+		if err := stanoise.SampleDesign().WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "snacheck: %v\n", err)
 			os.Exit(1)
 		}
@@ -45,7 +65,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "snacheck: -design is required (see -sample)")
 		os.Exit(2)
 	}
-	m, err := parseMethod(*method)
+	m, err := stanoise.ParseMethod(*method)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snacheck: %v\n", err)
+		os.Exit(2)
+	}
+	pol, err := stanoise.ParseErrorPolicy(*policy)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "snacheck: %v\n", err)
 		os.Exit(2)
@@ -55,119 +80,145 @@ func main() {
 		fmt.Fprintf(os.Stderr, "snacheck: %v\n", err)
 		os.Exit(1)
 	}
-	defer f.Close()
-	design, err := sna.ParseDesign(f)
+	design, err := stanoise.ParseDesign(f)
+	f.Close()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "snacheck: %v\n", err)
 		os.Exit(1)
 	}
 
-	an := sna.NewAnalyzer(design, sna.Options{
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	an := stanoise.NewAnalyzer(design, stanoise.Options{
 		Method:  m,
 		Align:   *align,
 		Dt:      *dt * 1e-12,
 		Workers: *workers,
+		OnError: pol,
 	})
 	wall := time.Now()
-	reports, err := an.Analyze()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "snacheck: %v\n", err)
-		os.Exit(1)
-	}
+	reports, err := an.Analyze(ctx)
 	elapsed := time.Since(wall)
-
-	t := &report.Table{
-		Title:   fmt.Sprintf("static noise analysis of %q (%s victim model)", design.Name, m),
-		Headers: []string{"cluster", "recv peak (V)", "area (V·ps)", "width (ps)", "DP peak (V)", "NRC", "margin (V)", "time"},
-	}
-	for _, r := range reports {
-		status := "pass"
-		if r.Fails {
-			status = "FAIL"
-		}
-		margin := fmt.Sprintf("%.3f", r.MarginV)
-		if math.IsInf(r.MarginV, 1) {
-			margin = "inf"
-		}
-		t.AddRow(r.Cluster,
-			fmt.Sprintf("%.3f", r.PeakV),
-			fmt.Sprintf("%.1f", r.AreaVps),
-			fmt.Sprintf("%.0f", r.WidthPs),
-			fmt.Sprintf("%.3f", r.DPPeakV),
-			status, margin, r.Elapsed.Round(1e5).String())
-	}
-	if err := t.Render(os.Stdout); err != nil {
+	clusterErrs := collectClusterErrors(err)
+	if err != nil && len(clusterErrs) == 0 {
+		// Not a per-cluster failure: cancellation or an internal error.
 		fmt.Fprintf(os.Stderr, "snacheck: %v\n", err)
 		os.Exit(1)
 	}
-	s := sna.Summarize(reports)
-	fmt.Printf("\n%d nets analysed, %d failing; worst margin %.3f V (%s)\n",
-		s.Total, s.Failing, s.WorstMarginV, s.WorstCluster)
 
-	var stages sna.StageTiming
-	for _, r := range reports {
-		stages.Add(r.Timing)
+	if *jsonOut {
+		writeJSON(design, an, m, pol, reports, clusterErrs, elapsed)
+	} else {
+		writeText(design, an, m, reports, clusterErrs, elapsed)
 	}
-	nw := an.Workers()
-	cs := an.CacheStats()
-	fmt.Printf("stage totals: build %s, characterise %s, align %s, evaluate %s, nrc %s (sum %s over %d workers; wall %s)\n",
-		stages.Build.Round(time.Millisecond), stages.Models.Round(time.Millisecond),
-		stages.Align.Round(time.Millisecond), stages.Eval.Round(time.Millisecond),
-		stages.NRC.Round(time.Millisecond), stages.Total().Round(time.Millisecond), nw, elapsed.Round(time.Millisecond))
-	fmt.Printf("characterisation cache: %d artefacts, %d hits, %d misses\n", cs.Entries, cs.Hits, cs.Misses)
-	if s.Failing > 0 {
+	switch {
+	case len(clusterErrs) > 0:
+		os.Exit(1)
+	case stanoise.Summarize(reports).Failing > 0:
 		os.Exit(3)
 	}
 }
 
-func parseMethod(s string) (core.Method, error) {
-	switch s {
-	case "macromodel":
-		return core.Macromodel, nil
-	case "superposition":
-		return core.Superposition, nil
-	case "zolotov":
-		return core.Zolotov, nil
-	case "golden":
-		return core.Golden, nil
+// collectClusterErrors flattens an Analyze error — a single *ClusterError
+// under fail-fast, or an errors.Join of them under -policy continue — into
+// the list of typed per-cluster failures. Non-cluster errors (notably
+// context cancellation) yield an empty list.
+func collectClusterErrors(err error) []*stanoise.ClusterError {
+	if err == nil {
+		return nil
 	}
-	return 0, fmt.Errorf("unknown method %q", s)
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		var out []*stanoise.ClusterError
+		for _, e := range joined.Unwrap() {
+			out = append(out, collectClusterErrors(e)...)
+		}
+		return out
+	}
+	var cerr *stanoise.ClusterError
+	if errors.As(err, &cerr) {
+		return []*stanoise.ClusterError{cerr}
+	}
+	return nil
 }
 
-// sampleDesign is a ready-to-run starter: one dangerous cluster and one
-// comfortable one, mirroring the paper's Table 1/2 setups.
-func sampleDesign() *sna.Design {
-	return &sna.Design{
-		Name:     "sample",
-		Tech:     "cmos130",
-		Layer:    "M4",
-		Segments: 15,
-		Clusters: []sna.ClusterSpec{
-			{
-				Name: "bus_bit7",
-				Victim: sna.VictimSpec{
-					Cell: "NAND2", Drive: 1, NoisyPin: "B",
-					GlitchHeightV: 0.7, GlitchWidthPs: 400,
-					LengthUm: 500,
-				},
-				Aggressors: []sna.AggressorSpec{
-					{Cell: "INV", Drive: 2, FromState: map[string]bool{"A": false},
-						SwitchPin: "A", LengthUm: 500, Side: "left"},
-					{Cell: "INV", Drive: 2, FromState: map[string]bool{"A": false},
-						SwitchPin: "A", LengthUm: 500, Side: "right"},
-				},
-			},
-			{
-				Name: "ctrl_en",
-				Victim: sna.VictimSpec{
-					Cell: "INV", Drive: 2, NoisyPin: "A",
-					LengthUm: 200,
-				},
-				Aggressors: []sna.AggressorSpec{
-					{Cell: "INV", Drive: 1, FromState: map[string]bool{"A": false},
-						SwitchPin: "A", LengthUm: 200, SpacingFactor: 2},
-				},
-			},
-		},
+func writeText(design *stanoise.Design, an *stanoise.Analyzer, m stanoise.Method,
+	reports []stanoise.NetReport, clusterErrs []*stanoise.ClusterError, elapsed time.Duration) {
+	fmt.Printf("static noise analysis of %q (%s victim model)\n", design.Name, m)
+	if len(reports) > 0 {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+		fmt.Fprintln(tw, "cluster\trecv peak (V)\tarea (V·ps)\twidth (ps)\tDP peak (V)\tNRC\tmargin (V)\ttime")
+		for _, r := range reports {
+			status := "pass"
+			if r.Fails {
+				status = "FAIL"
+			}
+			margin := fmt.Sprintf("%.3f", r.MarginV)
+			if math.IsInf(r.MarginV, 1) {
+				margin = "inf"
+			}
+			fmt.Fprintf(tw, "%s\t%.3f\t%.1f\t%.0f\t%.3f\t%s\t%s\t%s\n",
+				r.Cluster, r.PeakV, r.AreaVps, r.WidthPs, r.DPPeakV,
+				status, margin, r.Elapsed.Round(1e5).String())
+		}
+		tw.Flush()
+	}
+	for _, ce := range clusterErrs {
+		fmt.Printf("ERROR  %s (stage %s): %v\n", ce.Cluster, ce.Stage, ce.Err)
+	}
+	s := stanoise.Summarize(reports)
+	fmt.Printf("\n%s\n", s)
+	if s.Total == 0 && len(clusterErrs) == 0 {
+		return
+	}
+
+	var stages stanoise.StageTiming
+	for _, r := range reports {
+		stages.Add(r.Timing)
+	}
+	cs := an.CacheStats()
+	fmt.Printf("stage totals: build %s, characterise %s, align %s, evaluate %s, nrc %s (sum %s over %d workers; wall %s)\n",
+		stages.Build.Round(time.Millisecond), stages.Models.Round(time.Millisecond),
+		stages.Align.Round(time.Millisecond), stages.Eval.Round(time.Millisecond),
+		stages.NRC.Round(time.Millisecond), stages.Total().Round(time.Millisecond),
+		an.Workers(), elapsed.Round(time.Millisecond))
+	fmt.Printf("characterisation cache: %d artefacts, %d hits, %d misses\n", cs.Entries, cs.Hits, cs.Misses)
+}
+
+// jsonReport is the top-level document of snacheck -json. Reports, errors
+// and summary serialise through the stable schemas of the public types.
+type jsonReport struct {
+	Design    string                   `json:"design"`
+	Method    stanoise.Method          `json:"method"`
+	Policy    string                   `json:"policy"`
+	Workers   int                      `json:"workers"`
+	Reports   []stanoise.NetReport     `json:"reports"`
+	Errors    []*stanoise.ClusterError `json:"errors,omitempty"`
+	Summary   stanoise.Summary         `json:"summary"`
+	Cache     stanoise.CacheStats      `json:"cache"`
+	ElapsedNs int64                    `json:"elapsed_ns"`
+}
+
+func writeJSON(design *stanoise.Design, an *stanoise.Analyzer, m stanoise.Method, pol stanoise.ErrorPolicy,
+	reports []stanoise.NetReport, clusterErrs []*stanoise.ClusterError, elapsed time.Duration) {
+	doc := jsonReport{
+		Design:    design.Name,
+		Method:    m,
+		Policy:    pol.String(),
+		Workers:   an.Workers(),
+		Reports:   reports,
+		Errors:    clusterErrs,
+		Summary:   stanoise.Summarize(reports),
+		Cache:     an.CacheStats(),
+		ElapsedNs: elapsed.Nanoseconds(),
+	}
+	if doc.Reports == nil {
+		doc.Reports = []stanoise.NetReport{}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "snacheck: encoding report: %v\n", err)
+		os.Exit(1)
 	}
 }

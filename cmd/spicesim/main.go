@@ -6,10 +6,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"stanoise/internal/circuit"
 	"stanoise/internal/sim"
@@ -55,7 +58,9 @@ func main() {
 	if err != nil {
 		fail(fmt.Errorf("bad -dt: %w", err))
 	}
-	res, err := sim.Transient(ckt, sim.Options{Dt: step, TStop: stop})
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	res, err := sim.Transient(ctx, ckt, sim.Options{Dt: step, TStop: stop})
 	if err != nil {
 		fail(err)
 	}

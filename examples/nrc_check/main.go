@@ -8,71 +8,73 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"stanoise/internal/cell"
-	"stanoise/internal/core"
-	"stanoise/internal/interconnect"
-	"stanoise/internal/nrc"
-	"stanoise/internal/tech"
+	"stanoise"
 )
 
 func main() {
-	t := tech.Tech130()
+	ctx := context.Background()
 
-	// The receiver whose noise immunity decides pass/fail.
-	recv := cell.MustNew(t, "INV", 2)
-	curve, err := nrc.Characterize(recv, cell.State{"A": true}, "A", nrc.Options{})
+	// A hot cluster: three coupled 500 µm nets, strong aggressors, big
+	// glitch, judged at an INV X2 receiver.
+	design := &stanoise.Design{
+		Name: "nrc-check", Tech: "cmos130", Layer: "M4", Segments: 15,
+		Clusters: []stanoise.ClusterSpec{{
+			Name: "hot",
+			Victim: stanoise.VictimSpec{
+				Cell: "NAND2", Drive: 1, NoisyPin: "B",
+				GlitchHeightV: 0.78, GlitchWidthPs: 480,
+				LengthUm: 500,
+				Receiver: "INV", ReceiverDrive: 2, ReceiverPin: "A",
+			},
+			Aggressors: []stanoise.AggressorSpec{
+				{Cell: "INV", Drive: 4, FromState: map[string]bool{"A": false},
+					SwitchPin: "A", LengthUm: 500, Side: "left"},
+				{Cell: "INV", Drive: 4, FromState: map[string]bool{"A": false},
+					SwitchPin: "A", LengthUm: 500, Side: "right"},
+			},
+		}},
+	}
+	if err := design.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	cs := design.Clusters[0]
+
+	// The receiver's noise immunity decides pass/fail. ReceiverNRC yields
+	// exactly the curve the analyzer judges this cluster against.
+	an := stanoise.NewAnalyzer(design, stanoise.Options{Align: true})
+	curve, err := an.ReceiverNRC(ctx, cs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("NRC of %s pin A (input quiet high, %.0f%% VDD output failure threshold):\n",
-		recv.Name(), curve.FailFrac*100)
+	fmt.Printf("NRC of %s pin %s (input quiet high, %.0f%% VDD output failure threshold):\n",
+		curve.CellName, curve.Pin, curve.FailFrac*100)
 	for i, w := range curve.Widths {
 		fmt.Printf("  width %5.0f ps -> failing height %.3f V\n", w*1e12, curve.Heights[i])
 	}
 	fmt.Println()
 
-	// A hot cluster: three coupled nets, strong aggressors, big glitch.
-	bus, err := interconnect.NewBus(t, "M4", 15,
-		interconnect.LineSpec{Name: "agg1", LengthUm: 500},
-		interconnect.LineSpec{Name: "vic", LengthUm: 500},
-		interconnect.LineSpec{Name: "agg2", LengthUm: 500},
-	)
+	// Evaluate the same cluster with each victim-driver model and judge it
+	// against the curve.
+	cluster, err := design.BuildCluster(cs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	nand := cell.MustNew(t, "NAND2", 1)
-	state, _ := nand.SensitizedState("B", true)
-	inv := func(d int) *cell.Cell { return cell.MustNew(t, "INV", d) }
-	cluster := &core.Cluster{
-		Tech: t, Bus: bus,
-		Victim: core.VictimSpec{
-			Cell: nand, State: state, NoisyPin: "B",
-			Glitch:   core.GlitchSpec{Height: 0.78, Width: 480e-12, Start: 150e-12},
-			Line:     1,
-			Receiver: recv, ReceiverPin: "A",
-		},
-		Aggressors: []core.AggressorSpec{
-			{Cell: inv(4), FromState: cell.State{"A": false}, SwitchPin: "A", Line: 0,
-				Receiver: inv(2), ReceiverPin: "A"},
-			{Cell: inv(4), FromState: cell.State{"A": false}, SwitchPin: "A", Line: 2,
-				Receiver: inv(2), ReceiverPin: "A"},
-		},
-	}
-	models, err := cluster.BuildModels(core.ModelOptions{})
+	models, err := cluster.BuildModels(ctx, stanoise.ModelOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := core.EvalOptions{}
-	if err := cluster.AlignWorstCase(models, opts); err != nil {
+	opts := stanoise.EvalOptions{}
+	if err := cluster.AlignWorstCase(ctx, models, opts); err != nil {
 		log.Fatal(err)
 	}
 
-	verdicts := map[core.Method]bool{}
-	for _, m := range []core.Method{core.Superposition, core.Macromodel, core.Golden} {
-		ev, err := cluster.Evaluate(m, models, opts)
+	verdicts := map[stanoise.Method]bool{}
+	for _, m := range []stanoise.Method{stanoise.Superposition, stanoise.Macromodel, stanoise.Golden} {
+		ev, err := cluster.Evaluate(ctx, m, models, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -86,7 +88,7 @@ func main() {
 			m, ev.RecvMetrics.Peak, ev.RecvMetrics.WidthPs(), verdict,
 			curve.MarginV(ev.RecvMetrics.Peak, ev.RecvMetrics.Width))
 	}
-	if !verdicts[core.Superposition] && verdicts[core.Macromodel] {
+	if !verdicts[stanoise.Superposition] && verdicts[stanoise.Macromodel] {
 		fmt.Println("\nThe superposition flow signed off a net the accurate non-linear model rejects —")
 		fmt.Println("exactly the silent failure mode the paper warns about.")
 	} else {

@@ -1,57 +1,52 @@
-// Quickstart: build a two-net noise cluster, pre-characterise the victim
-// driver's non-linear VCCS table, and compare the paper's macromodel
-// against a full transistor-level simulation.
+// Quickstart: describe a two-net noise cluster through the public stanoise
+// API, pre-characterise the victim driver's non-linear VCCS table, and
+// compare the paper's macromodel against a full transistor-level
+// simulation.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"stanoise/internal/cell"
-	"stanoise/internal/core"
-	"stanoise/internal/interconnect"
-	"stanoise/internal/tech"
+	"stanoise"
 )
 
 func main() {
-	// 1. Pick a technology and lay out two 500 µm parallel wires on M4.
-	t := tech.Tech130()
-	bus, err := interconnect.NewBus(t, "M4", 15,
-		interconnect.LineSpec{Name: "vic", LengthUm: 500},
-		interconnect.LineSpec{Name: "agg", LengthUm: 500},
-	)
-	if err != nil {
-		log.Fatal(err)
-	}
+	ctx := context.Background()
 
-	// 2. Describe the cluster: a NAND2 holds the victim high (A=1, B=0)
-	// while a 0.6 V / 350 ps glitch arrives on B, and a neighbouring
-	// inverter output falls.
-	nand := cell.MustNew(t, "NAND2", 1)
-	state, err := nand.SensitizedState("B", true)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cluster := &core.Cluster{
-		Tech: t,
-		Bus:  bus,
-		Victim: core.VictimSpec{
-			Cell: nand, State: state, NoisyPin: "B",
-			Glitch:   core.GlitchSpec{Height: 0.6, Width: 350e-12, Start: 150e-12},
-			Line:     0,
-			Receiver: cell.MustNew(t, "INV", 2), ReceiverPin: "A",
-		},
-		Aggressors: []core.AggressorSpec{{
-			Cell: cell.MustNew(t, "INV", 2), FromState: cell.State{"A": false}, SwitchPin: "A",
-			Line: 1, Receiver: cell.MustNew(t, "INV", 2), ReceiverPin: "A",
+	// 1. Describe the cluster as a design spec: a NAND2 holds the victim
+	// quiet while a 0.6 V / 350 ps glitch arrives on B, and a neighbouring
+	// inverter output falls on a 500 µm parallel M4 wire.
+	design := &stanoise.Design{
+		Name: "quickstart", Tech: "cmos130", Layer: "M4", Segments: 15,
+		Clusters: []stanoise.ClusterSpec{{
+			Name: "demo",
+			Victim: stanoise.VictimSpec{
+				Cell: "NAND2", Drive: 1, NoisyPin: "B",
+				GlitchHeightV: 0.6, GlitchWidthPs: 350,
+				LengthUm: 500,
+			},
+			Aggressors: []stanoise.AggressorSpec{{
+				Cell: "INV", Drive: 2, FromState: map[string]bool{"A": false},
+				SwitchPin: "A", LengthUm: 500,
+			}},
 		}},
 	}
+	if err := design.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
-	// 3. Pre-characterise: the VCCS load-curve table (eq. 1 of the paper),
-	// the aggressor Thevenin model, and the reduced coupled interconnect.
-	models, err := cluster.BuildModels(core.ModelOptions{SkipProp: true})
+	// 2. Build the evaluable cluster and pre-characterise: the VCCS
+	// load-curve table (eq. 1 of the paper), the aggressor Thevenin model,
+	// and the reduced coupled interconnect.
+	cluster, err := design.BuildCluster(design.Clusters[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	models, err := cluster.BuildModels(ctx, stanoise.ModelOptions{SkipProp: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,16 +56,16 @@ func main() {
 	fmt.Printf("reduced interconnect: %d ports, q=%d states\n\n",
 		len(models.Red.Ports), models.Red.Q)
 
-	// 4. Align every noise contribution at its worst case and evaluate.
-	opts := core.EvalOptions{}
-	if err := cluster.AlignWorstCase(models, opts); err != nil {
+	// 3. Align every noise contribution at its worst case and evaluate.
+	opts := stanoise.EvalOptions{}
+	if err := cluster.AlignWorstCase(ctx, models, opts); err != nil {
 		log.Fatal(err)
 	}
-	golden, err := cluster.Evaluate(core.Golden, models, opts)
+	golden, err := cluster.Evaluate(ctx, stanoise.Golden, models, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	macro, err := cluster.Evaluate(core.Macromodel, models, opts)
+	macro, err := cluster.Evaluate(ctx, stanoise.Macromodel, models, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,8 +74,23 @@ func main() {
 		golden.Metrics.Peak, golden.Metrics.AreaVps(), golden.Elapsed.Round(1e5))
 	fmt.Printf("VCCS macromodel:           peak %.3f V, area %.1f V·ps  (%v)\n",
 		macro.Metrics.Peak, macro.Metrics.AreaVps(), macro.Elapsed.Round(1e5))
-	fmt.Printf("peak error %+.1f%%, area error %+.1f%%, speed-up %.0fX\n",
-		100*(macro.Metrics.Peak-golden.Metrics.Peak)/golden.Metrics.Peak,
-		100*(macro.Metrics.Area-golden.Metrics.Area)/golden.Metrics.Area,
+	fmt.Printf("peak error %+.1f%%, area error %+.1f%%, speed-up %.0fX\n\n",
+		stanoise.PeakError(macro.Metrics.Peak, golden.Metrics.Peak),
+		stanoise.PeakError(macro.Metrics.Area, golden.Metrics.Area),
 		float64(golden.Elapsed)/float64(macro.Elapsed))
+
+	// 4. Or skip the plumbing entirely: the analyzer runs the full
+	// sign-off flow (characterise, align, evaluate, judge against the
+	// receiver's NRC) in one call.
+	reports, err := stanoise.NewAnalyzer(design, stanoise.Options{Align: true}).Analyze(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range reports {
+		verdict := "passes its NRC"
+		if r.Fails {
+			verdict = "VIOLATES its NRC"
+		}
+		fmt.Printf("analyzer: cluster %s %s (receiver peak %.3f V)\n", r.Cluster, verdict, r.PeakV)
+	}
 }

@@ -7,26 +7,27 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"stanoise/internal/core"
-	"stanoise/internal/paper"
-	"stanoise/internal/wave"
+	"stanoise"
+	"stanoise/paper"
 )
 
 func main() {
+	ctx := context.Background()
 	cluster, err := paper.Table1Cluster(paper.Full)
 	if err != nil {
 		log.Fatal(err)
 	}
-	models, err := cluster.BuildModels(core.ModelOptions{})
+	models, err := cluster.BuildModels(ctx, stanoise.ModelOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := core.EvalOptions{}
-	if err := cluster.AlignWorstCase(models, opts); err != nil {
+	opts := stanoise.EvalOptions{}
+	if err := cluster.AlignWorstCase(ctx, models, opts); err != nil {
 		log.Fatal(err)
 	}
 
@@ -34,9 +35,9 @@ func main() {
 	fmt.Println("aggressor: INV X2 falling, 500 um parallel M4 neighbour")
 	fmt.Println()
 
-	var golden *core.Evaluation
-	for _, m := range []core.Method{core.Golden, core.Superposition, core.Zolotov, core.Macromodel} {
-		ev, err := cluster.Evaluate(m, models, opts)
+	var golden *stanoise.Evaluation
+	for _, m := range []stanoise.Method{stanoise.Golden, stanoise.Superposition, stanoise.Zolotov, stanoise.Macromodel} {
+		ev, err := cluster.Evaluate(ctx, m, models, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -47,8 +48,8 @@ func main() {
 			continue
 		}
 		fmt.Printf("%-14s  peak %.3f V (%+5.1f%%)   area %.1f V·ps (%+5.1f%%)   (%v)\n",
-			ev.Method, ev.Metrics.Peak, wave.PeakError(ev.Metrics.Peak, golden.Metrics.Peak),
-			ev.Metrics.AreaVps(), wave.PeakError(ev.Metrics.Area, golden.Metrics.Area),
+			ev.Method, ev.Metrics.Peak, stanoise.PeakError(ev.Metrics.Peak, golden.Metrics.Peak),
+			ev.Metrics.AreaVps(), stanoise.PeakError(ev.Metrics.Area, golden.Metrics.Area),
 			ev.Elapsed.Round(1e6))
 	}
 
@@ -58,7 +59,7 @@ func main() {
 }
 
 // plot renders a small ASCII strip chart of the noise waveform.
-func plot(w *os.File, wf *wave.Waveform, quiet float64) {
+func plot(w *os.File, wf *stanoise.Waveform, quiet float64) {
 	const cols, rows = 72, 12
 	t0, t1 := wf.Start(), wf.End()
 	min, max := quiet, quiet

@@ -6,33 +6,35 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"stanoise/internal/core"
-	"stanoise/internal/paper"
+	"stanoise"
+	"stanoise/paper"
 )
 
 func main() {
+	ctx := context.Background()
 	cluster, err := paper.Table2Cluster(paper.Full)
 	if err != nil {
 		log.Fatal(err)
 	}
-	models, err := cluster.BuildModels(core.ModelOptions{SkipProp: true})
+	models, err := cluster.BuildModels(ctx, stanoise.ModelOptions{SkipProp: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := core.EvalOptions{}
+	opts := stanoise.EvalOptions{}
 
 	// Before alignment: aggressors switch at their nominal times.
-	before, err := cluster.Evaluate(core.Macromodel, models, opts)
+	before, err := cluster.Evaluate(ctx, stanoise.Macromodel, models, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := cluster.AlignWorstCase(models, opts); err != nil {
+	if err := cluster.AlignWorstCase(ctx, models, opts); err != nil {
 		log.Fatal(err)
 	}
-	after, err := cluster.Evaluate(core.Macromodel, models, opts)
+	after, err := cluster.Evaluate(ctx, stanoise.Macromodel, models, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +43,7 @@ func main() {
 		after.Metrics.Peak,
 		cluster.Aggressors[0].Offset*1e12, cluster.Aggressors[1].Offset*1e12)
 
-	golden, err := cluster.Evaluate(core.Golden, models, opts)
+	golden, err := cluster.Evaluate(ctx, stanoise.Golden, models, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,19 +7,25 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"stanoise/internal/core"
-	"stanoise/internal/paper"
+	"stanoise"
+	"stanoise/paper"
 )
 
 func main() {
 	full := flag.Bool("full", false, "run every sweep case at full quality")
 	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 
 	q := paper.Quick
 	maxCases := 6
@@ -39,19 +45,19 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		models, err := cl.BuildModels(core.ModelOptions{SkipProp: true})
+		models, err := cl.BuildModels(ctx, stanoise.ModelOptions{SkipProp: true})
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts := core.EvalOptions{}
-		if err := cl.AlignWorstCase(models, opts); err != nil {
+		opts := stanoise.EvalOptions{}
+		if err := cl.AlignWorstCase(ctx, models, opts); err != nil {
 			log.Fatal(err)
 		}
-		golden, err := cl.Evaluate(core.Golden, models, opts)
+		golden, err := cl.Evaluate(ctx, stanoise.Golden, models, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		mac, err := cl.Evaluate(core.Macromodel, models, opts)
+		mac, err := cl.Evaluate(ctx, stanoise.Macromodel, models, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,134 @@
+// The public-API contract test: everything in here goes exclusively
+// through the root stanoise facade — compiling at all proves the facade
+// needs no stanoise/internal imports from its callers.
+package stanoise_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+
+	"stanoise"
+)
+
+func facadeOpts() stanoise.Options {
+	return stanoise.Options{
+		Method:    stanoise.Macromodel,
+		Dt:        2e-12,
+		Align:     true,
+		LoadCurve: stanoise.LoadCurveOptions{NVin: 31, NVout: 31},
+		NRC:       stanoise.NRCOptions{Widths: []float64{100e-12, 300e-12, 900e-12}, Dt: 2e-12},
+	}
+}
+
+// TestFacadeEndToEnd drives the whole public flow: JSON round trip,
+// batch analysis, streaming, the typed-error contract and the error
+// policies — without touching a single internal package.
+func TestFacadeEndToEnd(t *testing.T) {
+	ctx := context.Background()
+
+	// JSON round trip through the public parser.
+	d := stanoise.GenerateDesign("facade", 3)
+	var b strings.Builder
+	if err := d.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	d, err := stanoise.ParseDesign(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch analysis with a shared cache.
+	cache := stanoise.NewCache()
+	opts := facadeOpts()
+	opts.Cache = cache
+	reports, err := stanoise.NewAnalyzer(d, opts).Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if s := stanoise.Summarize(reports); s.Total != 3 {
+		t.Errorf("summary %+v", s)
+	}
+	if cs := cache.Stats(); cs.Misses == 0 {
+		t.Errorf("shared cache unused: %+v", cs)
+	}
+
+	// The report schema is JSON-stable.
+	raw, err := json.Marshal(reports)
+	if err != nil {
+		t.Fatalf("reports do not marshal: %v", err)
+	}
+	var back []stanoise.NetReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("reports do not unmarshal: %v", err)
+	}
+
+	// Streaming yields the same set of clusters (completion order).
+	var streamed []string
+	for rep, err := range stanoise.NewAnalyzer(d, opts).Stream(ctx) {
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		streamed = append(streamed, rep.Cluster)
+	}
+	sort.Strings(streamed)
+	want := []string{"net000", "net001", "net002"}
+	for i, name := range want {
+		if streamed[i] != name {
+			t.Fatalf("streamed clusters %v, want %v", streamed, want)
+		}
+	}
+}
+
+// TestFacadeTypedErrors exercises the ClusterError and ErrorPolicy
+// contract through the facade aliases.
+func TestFacadeTypedErrors(t *testing.T) {
+	ctx := context.Background()
+	d := stanoise.GenerateDesign("facade-err", 4)
+	d.Clusters[1].Victim.Cell = "NO_SUCH_CELL"
+
+	_, err := stanoise.NewAnalyzer(d, facadeOpts()).Analyze(ctx)
+	var cerr *stanoise.ClusterError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("fail-fast error %v is not a *stanoise.ClusterError", err)
+	}
+	if cerr.Cluster != "net001" || cerr.Stage != stanoise.StageBuild {
+		t.Errorf("cluster %q stage %q, want net001/%s", cerr.Cluster, cerr.Stage, stanoise.StageBuild)
+	}
+
+	opts := facadeOpts()
+	opts.OnError = stanoise.ContinueOnError
+	reports, err := stanoise.NewAnalyzer(d, opts).Analyze(ctx)
+	if len(reports) != 3 {
+		t.Errorf("continue-on-error reports = %d, want 3", len(reports))
+	}
+	if !errors.As(err, &cerr) {
+		t.Errorf("joined error %v hides the *ClusterError", err)
+	}
+
+	// Cancellation surfaces as the context error, not a cluster failure.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := stanoise.NewAnalyzer(d, opts).Analyze(cctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Analyze error = %v", err)
+	}
+}
+
+// TestFacadeSampleDesign keeps the CLI starter design analysable.
+func TestFacadeSampleDesign(t *testing.T) {
+	if err := stanoise.SampleDesign().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stanoise.ParseMethod("golden"); err != nil {
+		t.Error(err)
+	}
+	if _, err := stanoise.ParseErrorPolicy("continue"); err != nil {
+		t.Error(err)
+	}
+}

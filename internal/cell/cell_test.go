@@ -1,6 +1,7 @@
 package cell
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -186,7 +187,7 @@ func TestBUFTransient(t *testing.T) {
 		t.Fatal(err)
 	}
 	ckt.AddC("cl", "out", "0", 30e-15)
-	res, err := sim.Transient(ckt, sim.Options{Dt: 1e-12, TStop: 1.5e-9})
+	res, err := sim.Transient(context.Background(), ckt, sim.Options{Dt: 1e-12, TStop: 1.5e-9})
 	if err != nil {
 		t.Fatal(err)
 	}

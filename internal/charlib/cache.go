@@ -1,6 +1,8 @@
 package charlib
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -39,11 +41,12 @@ type flight struct {
 // NewCache returns an empty cache ready for concurrent use.
 func NewCache() *Cache { return &Cache{entries: map[string]*flight{}} }
 
-// CacheStats reports cache effectiveness counters.
+// CacheStats reports cache effectiveness counters. The JSON tags are part
+// of the stable snacheck -json schema.
 type CacheStats struct {
-	Entries int // distinct artefacts built (or building)
-	Hits    int // requests served from an existing entry
-	Misses  int // requests that triggered a build
+	Entries int `json:"entries"` // distinct artefacts built (or building)
+	Hits    int `json:"hits"`    // requests served from an existing entry
+	Misses  int `json:"misses"`  // requests that triggered a build
 }
 
 // Stats snapshots the counters. Safe on a nil cache.
@@ -76,34 +79,78 @@ func (c *Cache) Keys() []string {
 // than starting a second one. Build errors are memoized too, so a failing
 // configuration fails identically for every requester. A nil cache just
 // calls build.
-func (c *Cache) Do(key string, build func() (any, error)) (any, error) {
+//
+// Cancellation is never memoized: a build abandoned because its ctx was
+// cancelled is forgotten, so the next requester (whose context may well be
+// alive) re-characterises instead of inheriting a stale context.Canceled.
+// Waiters blocked on another goroutine's build also honour their own ctx.
+func (c *Cache) Do(ctx context.Context, key string, build func() (any, error)) (any, error) {
 	if c == nil {
 		return build()
 	}
-	c.mu.Lock()
-	if f, ok := c.entries[key]; ok {
-		c.hits++
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		c.mu.Lock()
+		if f, ok := c.entries[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if isCtxErr(f.err) && ctx.Err() == nil {
+				// The builder's run was cancelled (and the entry has been
+				// forgotten); our context is still live, so try to become
+				// the builder ourselves.
+				continue
+			}
+			// Count the hit only once a memoized result is actually
+			// served, so abandoned waits and forget-and-rebuild retries
+			// don't inflate the stats.
+			c.mu.Lock()
+			c.hits++
+			c.mu.Unlock()
+			return f.val, f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		c.entries[key] = f
+		c.misses++
 		c.mu.Unlock()
-		<-f.done
+		// done must close even if build panics, or every waiter on this key
+		// (and all future requesters) would block forever; the waiters see a
+		// memoized error while the panic propagates in the builder.
+		defer func() {
+			if r := recover(); r != nil {
+				f.err = fmt.Errorf("charlib: cache build for %q panicked: %v", key, r)
+				close(f.done)
+				panic(r)
+			}
+			if isCtxErr(f.err) {
+				c.forget(key, f)
+			}
+			close(f.done)
+		}()
+		f.val, f.err = build()
 		return f.val, f.err
 	}
-	f := &flight{done: make(chan struct{})}
-	c.entries[key] = f
-	c.misses++
+}
+
+// isCtxErr reports whether an error is a context cancellation or timeout —
+// the class of build outcomes the cache must not memoize.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// forget removes the entry for key if it still belongs to flight f. Called
+// before f.done closes, so a retrying waiter always observes the removal.
+func (c *Cache) forget(key string, f *flight) {
+	c.mu.Lock()
+	if c.entries[key] == f {
+		delete(c.entries, key)
+	}
 	c.mu.Unlock()
-	// done must close even if build panics, or every waiter on this key
-	// (and all future requesters) would block forever; the waiters see a
-	// memoized error while the panic propagates in the builder.
-	defer func() {
-		if r := recover(); r != nil {
-			f.err = fmt.Errorf("charlib: cache build for %q panicked: %v", key, r)
-			close(f.done)
-			panic(r)
-		}
-		close(f.done)
-	}()
-	f.val, f.err = build()
-	return f.val, f.err
 }
 
 // CellKey builds a cache key for an artefact of the given kind ("lc",
@@ -116,14 +163,14 @@ func CellKey(kind string, cl *cell.Cell, st cell.State, pin, optsFP string) stri
 
 // LoadCurve returns the memoized VCCS load-curve table for the cell
 // configuration, characterising it on first use.
-func (c *Cache) LoadCurve(cl *cell.Cell, st cell.State, pin string, opts LoadCurveOptions) (*LoadCurve, error) {
+func (c *Cache) LoadCurve(ctx context.Context, cl *cell.Cell, st cell.State, pin string, opts LoadCurveOptions) (*LoadCurve, error) {
 	if c == nil {
-		return CharacterizeLoadCurve(cl, st, pin, opts)
+		return CharacterizeLoadCurve(ctx, cl, st, pin, opts)
 	}
 	opts = opts.normalize()
 	fp := fmt.Sprintf("%d,%d,%g", opts.NVin, opts.NVout, opts.MarginFrac)
-	v, err := c.Do(CellKey("lc", cl, st, pin, fp), func() (any, error) {
-		return CharacterizeLoadCurve(cl, st, pin, opts)
+	v, err := c.Do(ctx, CellKey("lc", cl, st, pin, fp), func() (any, error) {
+		return CharacterizeLoadCurve(ctx, cl, st, pin, opts)
 	})
 	if err != nil {
 		return nil, err
@@ -133,14 +180,14 @@ func (c *Cache) LoadCurve(cl *cell.Cell, st cell.State, pin string, opts LoadCur
 
 // PropTable returns the memoized propagation table for the cell
 // configuration, characterising it on first use.
-func (c *Cache) PropTable(cl *cell.Cell, st cell.State, pin string, opts PropOptions) (*PropTable, error) {
+func (c *Cache) PropTable(ctx context.Context, cl *cell.Cell, st cell.State, pin string, opts PropOptions) (*PropTable, error) {
 	if c == nil {
-		return CharacterizePropagation(cl, st, pin, opts)
+		return CharacterizePropagation(ctx, cl, st, pin, opts)
 	}
 	opts = opts.normalize(cl.Tech.VDD)
 	fp := fmt.Sprintf("%v,%v,%v,%g", opts.Heights, opts.Widths, opts.Loads, opts.Dt)
-	v, err := c.Do(CellKey("prop", cl, st, pin, fp), func() (any, error) {
-		return CharacterizePropagation(cl, st, pin, opts)
+	v, err := c.Do(ctx, CellKey("prop", cl, st, pin, fp), func() (any, error) {
+		return CharacterizePropagation(ctx, cl, st, pin, opts)
 	})
 	if err != nil {
 		return nil, err
@@ -150,14 +197,14 @@ func (c *Cache) PropTable(cl *cell.Cell, st cell.State, pin string, opts PropOpt
 
 // NRCCurve returns the memoized Noise Rejection Curve of a receiver pin in
 // the given quiet state, characterising it on first use.
-func (c *Cache) NRCCurve(recv *cell.Cell, st cell.State, pin string, opts nrc.Options) (*nrc.Curve, error) {
+func (c *Cache) NRCCurve(ctx context.Context, recv *cell.Cell, st cell.State, pin string, opts nrc.Options) (*nrc.Curve, error) {
 	if c == nil {
-		return nrc.Characterize(recv, st, pin, opts)
+		return nrc.Characterize(ctx, recv, st, pin, opts)
 	}
 	opts = opts.Normalized()
 	fp := fmt.Sprintf("%v,%g,%g,%g,%g", opts.Widths, opts.LoadCap, opts.FailFrac, opts.Tol, opts.Dt)
-	v, err := c.Do(CellKey("nrc", recv, st, pin, fp), func() (any, error) {
-		return nrc.Characterize(recv, st, pin, opts)
+	v, err := c.Do(ctx, CellKey("nrc", recv, st, pin, fp), func() (any, error) {
+		return nrc.Characterize(ctx, recv, st, pin, opts)
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package charlib
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -17,12 +18,12 @@ func TestCacheMemoizesLoadCurve(t *testing.T) {
 	opts := LoadCurveOptions{NVin: 11, NVout: 11}
 	c := NewCache()
 
-	lc1, err := c.LoadCurve(cell.MustNew(tt, "INV", 1), st, "A", opts)
+	lc1, err := c.LoadCurve(context.Background(), cell.MustNew(tt, "INV", 1), st, "A", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A distinct *cell.Cell instance with the same configuration must hit.
-	lc2, err := c.LoadCurve(cell.MustNew(tt, "INV", 1), st, "A", opts)
+	lc2, err := c.LoadCurve(context.Background(), cell.MustNew(tt, "INV", 1), st, "A", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestCacheMemoizesLoadCurve(t *testing.T) {
 	}
 
 	// A different drive is a different configuration: must miss.
-	lc3, err := c.LoadCurve(cell.MustNew(tt, "INV", 2), st, "A", opts)
+	lc3, err := c.LoadCurve(context.Background(), cell.MustNew(tt, "INV", 2), st, "A", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestCacheMemoizesLoadCurve(t *testing.T) {
 		t.Error("different drive shared a cache entry")
 	}
 	// So is a different grid quality on the same cell.
-	lc4, err := c.LoadCurve(cell.MustNew(tt, "INV", 1), st, "A", LoadCurveOptions{NVin: 21, NVout: 21})
+	lc4, err := c.LoadCurve(context.Background(), cell.MustNew(tt, "INV", 1), st, "A", LoadCurveOptions{NVin: 21, NVout: 21})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,11 +69,11 @@ func TestCacheMemoizesPropTable(t *testing.T) {
 		Dt:      2e-12,
 	}
 	c := NewCache()
-	pt1, err := c.PropTable(cl, st, "B", opts)
+	pt1, err := c.PropTable(context.Background(), cl, st, "B", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pt2, err := c.PropTable(cell.MustNew(tt, "NAND2", 1), st, "B", opts)
+	pt2, err := c.PropTable(context.Background(), cell.MustNew(tt, "NAND2", 1), st, "B", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := c.Do("shared", func() (any, error) {
+			v, err := c.Do(context.Background(), "shared", func() (any, error) {
 				builds.Add(1)
 				<-release // hold the build so every goroutine piles up
 				return "artefact", nil
@@ -122,7 +123,7 @@ func TestCacheMemoizesErrors(t *testing.T) {
 	sentinel := errors.New("characterisation failed")
 	var builds int
 	for i := 0; i < 3; i++ {
-		_, err := c.Do("bad", func() (any, error) {
+		_, err := c.Do(context.Background(), "bad", func() (any, error) {
 			builds++
 			return nil, sentinel
 		})
@@ -143,13 +144,13 @@ func TestCacheBuildPanicDoesNotDeadlock(t *testing.T) {
 				t.Error("build panic was swallowed")
 			}
 		}()
-		c.Do("boom", func() (any, error) { panic("kaboom") })
+		c.Do(context.Background(), "boom", func() (any, error) { panic("kaboom") })
 	}()
 	// A later requester of the same key must get a memoized error
 	// immediately, not block on a flight that never finished.
 	done := make(chan error, 1)
 	go func() {
-		_, err := c.Do("boom", func() (any, error) { return "ok", nil })
+		_, err := c.Do(context.Background(), "boom", func() (any, error) { return "ok", nil })
 		done <- err
 	}()
 	select {
@@ -165,7 +166,7 @@ func TestCacheBuildPanicDoesNotDeadlock(t *testing.T) {
 func TestNilCachePassthrough(t *testing.T) {
 	var c *Cache
 	tt := tech.Tech130()
-	lc, err := c.LoadCurve(cell.MustNew(tt, "INV", 1), cell.State{"A": false}, "A",
+	lc, err := c.LoadCurve(context.Background(), cell.MustNew(tt, "INV", 1), cell.State{"A": false}, "A",
 		LoadCurveOptions{NVin: 11, NVout: 11})
 	if err != nil || lc == nil {
 		t.Fatalf("nil cache LoadCurve: %v %v", lc, err)

@@ -1,6 +1,7 @@
 package charlib
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -21,7 +22,7 @@ func nand2Table(t *testing.T, n int) *LoadCurve {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lc, err := CharacterizeLoadCurve(cl, st, "B", LoadCurveOptions{NVin: n, NVout: n})
+	lc, err := CharacterizeLoadCurve(context.Background(), cl, st, "B", LoadCurveOptions{NVin: n, NVout: n})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestEvalDerivativesMatchFD(t *testing.T) {
 func TestCharacterizeUnknownPin(t *testing.T) {
 	tt := tech.Tech130()
 	cl := cell.MustNew(tt, "INV", 1)
-	if _, err := CharacterizeLoadCurve(cl, cell.State{"A": false}, "Z", LoadCurveOptions{NVin: 3, NVout: 3}); err == nil {
+	if _, err := CharacterizeLoadCurve(context.Background(), cl, cell.State{"A": false}, "Z", LoadCurveOptions{NVin: 3, NVout: 3}); err == nil {
 		t.Error("unknown noisy pin accepted")
 	}
 }
@@ -153,7 +154,7 @@ func smallPropTable(t *testing.T) *PropTable {
 	tt := tech.Tech130()
 	cl := cell.MustNew(tt, "NAND2", 1)
 	st, _ := cl.SensitizedState("B", true)
-	pt, err := CharacterizePropagation(cl, st, "B", PropOptions{
+	pt, err := CharacterizePropagation(context.Background(), cl, st, "B", PropOptions{
 		Heights: []float64{0.4, 0.8, 1.2},
 		Widths:  []float64{150e-12, 400e-12},
 		Loads:   []float64{30e-15, 120e-15},

@@ -1,6 +1,7 @@
 package charlib
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -12,7 +13,7 @@ import (
 func TestLibraryRoundTrip(t *testing.T) {
 	tt := tech.Tech130()
 	cl := cell.MustNew(tt, "INV", 1)
-	lc, err := CharacterizeLoadCurve(cl, cell.State{"A": false}, "A",
+	lc, err := CharacterizeLoadCurve(context.Background(), cl, cell.State{"A": false}, "A",
 		LoadCurveOptions{NVin: 11, NVout: 11})
 	if err != nil {
 		t.Fatal(err)

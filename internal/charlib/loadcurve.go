@@ -9,6 +9,7 @@
 package charlib
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -132,8 +133,13 @@ func (o LoadCurveOptions) normalize() LoadCurveOptions {
 // the noisy pin and the output are swept over the characterisation range
 // while the remaining inputs stay at the rails of st, and the current drawn
 // through the output-forcing source is recorded — exactly the
-// pre-characterisation step described in §2 of the paper.
-func CharacterizeLoadCurve(cl *cell.Cell, st cell.State, noisyPin string, opts LoadCurveOptions) (*LoadCurve, error) {
+// pre-characterisation step described in §2 of the paper. The sweep checks
+// ctx between grid points, so a cancelled analysis abandons the table
+// mid-characterisation.
+func CharacterizeLoadCurve(ctx context.Context, cl *cell.Cell, st cell.State, noisyPin string, opts LoadCurveOptions) (*LoadCurve, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.normalize()
 	vdd := cl.Tech.VDD
 	margin := opts.MarginFrac * vdd
@@ -160,6 +166,9 @@ func CharacterizeLoadCurve(cl *cell.Cell, st cell.State, noisyPin string, opts L
 	quietOut := cl.PinVoltage(cl.Logic(st))
 	for iv := 0; iv < lc.NVin; iv++ {
 		vin := lc.VinMin + float64(iv)*dvin
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for io := 0; io < lc.NVout; io++ {
 			vout := lc.VoutMin + float64(io)*dvout
 			ckt := circuit.New()

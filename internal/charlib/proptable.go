@@ -1,6 +1,7 @@
 package charlib
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -65,7 +66,10 @@ func (o PropOptions) normalize(vdd float64) PropOptions {
 // (height, width, load) combination: a triangular glitch is applied to the
 // noisy pin from its quiet rail towards the opposite rail, and the output
 // deviation is measured.
-func CharacterizePropagation(cl *cell.Cell, st cell.State, noisyPin string, opts PropOptions) (*PropTable, error) {
+func CharacterizePropagation(ctx context.Context, cl *cell.Cell, st cell.State, noisyPin string, opts PropOptions) (*PropTable, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.normalize(cl.Tech.VDD)
 	pt := &PropTable{
 		CellName: cl.Name(),
@@ -94,7 +98,10 @@ func CharacterizePropagation(cl *cell.Cell, st cell.State, noisyPin string, opts
 			pt.Peak[hi][wi] = make([]float64, len(pt.Loads))
 			pt.Area[hi][wi] = make([]float64, len(pt.Loads))
 			for li, load := range pt.Loads {
-				m, err := propagateOnce(cl, st, noisyPin, quietIn+0, glitchSign*h, w, load, opts.Dt)
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				m, err := propagateOnce(ctx, cl, st, noisyPin, quietIn+0, glitchSign*h, w, load, opts.Dt)
 				if err != nil {
 					return nil, fmt.Errorf("charlib: propagation h=%.2f w=%.0fps: %w", h, w*1e12, err)
 				}
@@ -113,7 +120,7 @@ func CharacterizePropagation(cl *cell.Cell, st cell.State, noisyPin string, opts
 	return pt, nil
 }
 
-func propagateOnce(cl *cell.Cell, st cell.State, noisyPin string, quietIn, height, width, load, dt float64) (wave.NoiseMetrics, error) {
+func propagateOnce(ctx context.Context, cl *cell.Cell, st cell.State, noisyPin string, quietIn, height, width, load, dt float64) (wave.NoiseMetrics, error) {
 	const t0 = 100e-12
 	ckt := circuit.New()
 	ckt.AddVDC("vdd", "vdd", "0", cl.Tech.VDD)
@@ -132,7 +139,7 @@ func propagateOnce(cl *cell.Cell, st cell.State, noisyPin string, quietIn, heigh
 	}
 	ckt.AddC("cload", "out", "0", load)
 	tstop := t0 + width + 1.2e-9
-	res, err := sim.Transient(ckt, sim.Options{Dt: dt, TStop: tstop})
+	res, err := sim.Transient(ctx, ckt, sim.Options{Dt: dt, TStop: tstop})
 	if err != nil {
 		return wave.NoiseMetrics{}, err
 	}

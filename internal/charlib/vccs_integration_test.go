@@ -1,6 +1,7 @@
 package charlib
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -32,7 +33,7 @@ func TestVCCSTableReplacesTransistors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lc, err := CharacterizeLoadCurve(nand, st, "B", LoadCurveOptions{NVin: 41, NVout: 41})
+	lc, err := CharacterizeLoadCurve(context.Background(), nand, st, "B", LoadCurveOptions{NVin: 41, NVout: 41})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestVCCSTableReplacesTransistors(t *testing.T) {
 		t.Fatal(err)
 	}
 	golden.AddC("cl", "out", "0", load)
-	gRes, err := sim.Transient(golden, opts)
+	gRes, err := sim.Transient(context.Background(), golden, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestVCCSTableReplacesTransistors(t *testing.T) {
 	dpCap := load + nand.OutputCap() + nand.OutputFixedGateCap("B") + nand.ConnectedInternalNodeCap(st)
 	table.AddC("cl", "out", "0", dpCap)
 	// Seed the quiet level; the VCCS holds it thereafter.
-	tRes, err := sim.Transient(table, sim.Options{
+	tRes, err := sim.Transient(context.Background(), table, sim.Options{
 		Dt: opts.Dt, TStop: opts.TStop,
 		InitialGuess: map[string]float64{"out": tt.VDD},
 	})

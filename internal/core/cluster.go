@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"stanoise/internal/cell"
@@ -254,8 +255,12 @@ type ModelOptions struct {
 }
 
 // BuildModels pre-characterises everything the macromodel and the baseline
-// methods need for this cluster.
-func (c *Cluster) BuildModels(opts ModelOptions) (*Models, error) {
+// methods need for this cluster. Cancelling ctx abandons characterisation
+// between (and inside) artefacts; a nil context disables cancellation.
+func (c *Cluster) BuildModels(ctx context.Context, opts ModelOptions) (*Models, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -263,7 +268,7 @@ func (c *Cluster) BuildModels(opts ModelOptions) (*Models, error) {
 	m := &Models{}
 
 	// 1. The victim VCCS table (the paper's eq. 1).
-	lc, err := opts.Cache.LoadCurve(v.Cell, v.State, v.NoisyPin, opts.LoadCurve)
+	lc, err := opts.Cache.LoadCurve(ctx, v.Cell, v.State, v.NoisyPin, opts.LoadCurve)
 	if err != nil {
 		return nil, fmt.Errorf("core: victim load curve: %w", err)
 	}
@@ -278,7 +283,7 @@ func (c *Cluster) BuildModels(opts ModelOptions) (*Models, error) {
 
 	// 3. Propagation table for the superposition baseline.
 	if !opts.SkipProp {
-		prop, err := opts.Cache.PropTable(v.Cell, v.State, v.NoisyPin, opts.Prop)
+		prop, err := opts.Cache.PropTable(ctx, v.Cell, v.State, v.NoisyPin, opts.Prop)
 		if err != nil {
 			return nil, fmt.Errorf("core: propagation table: %w", err)
 		}
@@ -287,6 +292,9 @@ func (c *Cluster) BuildModels(opts ModelOptions) (*Models, error) {
 
 	// 4. Thevenin models of the aggressor drivers.
 	for i := range c.Aggressors {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		a := &c.Aggressors[i]
 		load := c.Bus.TotalCap(a.Line) + receiverCap(a.Receiver, a.ReceiverPin) + a.Cell.OutputCap()
 		// Fit at the base ramp time; alignment offsets are applied at
@@ -295,7 +303,7 @@ func (c *Cluster) BuildModels(opts ModelOptions) (*Models, error) {
 		fitOpts := opts.Thevenin
 		fitOpts.InputSlew = a.slew()
 		fitOpts.InputT0 = a.t0()
-		drv, err := thevenin.Fit(a.Cell, a.FromState, a.SwitchPin, load, fitOpts)
+		drv, err := thevenin.Fit(ctx, a.Cell, a.FromState, a.SwitchPin, load, fitOpts)
 		if err != nil {
 			return nil, fmt.Errorf("core: aggressor %d thevenin fit: %w", i, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -208,7 +209,12 @@ func (r *EngineResult) Waveform(k int) *wave.Waveform {
 // This is the "dedicated engine embedded into the noise analysis tool" of
 // the paper's §2, and the source of its ~20X speed-up: the dense system
 // solved per step has ~Q≈15 unknowns instead of the full cluster netlist.
-func RunEngine(red *mor.Reduced, sources []PortSource, v0 []float64, opts EngineOptions) (*EngineResult, error) {
+// The context is checked periodically between timesteps so a cancelled
+// analysis stops mid-transient; a nil context disables cancellation.
+func RunEngine(ctx context.Context, red *mor.Reduced, sources []PortSource, v0 []float64, opts EngineOptions) (*EngineResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts, err := opts.normalize()
 	if err != nil {
 		return nil, err
@@ -262,7 +268,13 @@ func RunEngine(red *mor.Reduced, sources []PortSource, v0 []float64, opts Engine
 	}
 	record(0)
 
+	step := 0
 	for t := h; t <= opts.TStop+h/2; t += h {
+		if step++; step&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// hist = A2·x_prev + B·i_prev
 		copy(xPrev, x)
 		a2.MulVecInto(hist, xPrev)

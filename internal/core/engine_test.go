@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -41,7 +42,7 @@ func TestEngineTheveninStep(t *testing.T) {
 		OpenPort{},
 	}
 	v0 := []float64{1.2, 1.2}
-	res, err := RunEngine(red, srcs, v0, EngineOptions{Dt: 1e-12, TStop: 3e-9})
+	res, err := RunEngine(context.Background(), red, srcs, v0, EngineOptions{Dt: 1e-12, TStop: 3e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,11 +111,11 @@ func TestEngineMatchesFullLinearSimulation(t *testing.T) {
 	}
 	v0 := []float64{1.2, 1.2, 1.2}
 	opts := EngineOptions{Dt: 1e-12, TStop: 2e-9}
-	engRes, err := RunEngine(red, srcs, v0, opts)
+	engRes, err := RunEngine(context.Background(), red, srcs, v0, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	simRes, err := sim.Transient(ckt, sim.Options{Dt: 1e-12, TStop: 2e-9})
+	simRes, err := sim.Transient(context.Background(), ckt, sim.Options{Dt: 1e-12, TStop: 2e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestEngineMatchesFullLinearSimulation(t *testing.T) {
 
 func TestEngineSourceCountMismatch(t *testing.T) {
 	red := reducedLadder(t, 4, 10, 1e-15)
-	_, err := RunEngine(red, []PortSource{OpenPort{}}, []float64{0, 0}, EngineOptions{TStop: 1e-9})
+	_, err := RunEngine(context.Background(), red, []PortSource{OpenPort{}}, []float64{0, 0}, EngineOptions{TStop: 1e-9})
 	if err == nil {
 		t.Error("source count mismatch accepted")
 	}
@@ -136,7 +137,7 @@ func TestEngineSourceCountMismatch(t *testing.T) {
 
 func TestEngineRequiresTStop(t *testing.T) {
 	red := reducedLadder(t, 4, 10, 1e-15)
-	_, err := RunEngine(red, []PortSource{OpenPort{}, OpenPort{}}, []float64{0, 0}, EngineOptions{})
+	_, err := RunEngine(context.Background(), red, []PortSource{OpenPort{}, OpenPort{}}, []float64{0, 0}, EngineOptions{})
 	if err == nil {
 		t.Error("missing TStop accepted")
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -38,6 +40,42 @@ func (m Method) String() string {
 		return "macromodel"
 	}
 	return fmt.Sprintf("method(%d)", int(m))
+}
+
+// ParseMethod converts a method name ("macromodel", "superposition",
+// "zolotov", "golden") into a Method.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "golden":
+		return Golden, nil
+	case "superposition":
+		return Superposition, nil
+	case "zolotov":
+		return Zolotov, nil
+	case "macromodel":
+		return Macromodel, nil
+	}
+	return 0, fmt.Errorf("core: unknown method %q", s)
+}
+
+// MarshalJSON serialises the method as its stable name, not its internal
+// enum value, so JSON reports survive reordering of the constants.
+func (m Method) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.String())
+}
+
+// UnmarshalJSON accepts the method name.
+func (m *Method) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseMethod(s)
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
 }
 
 // Evaluation is the outcome of evaluating a cluster with one method.
@@ -87,23 +125,28 @@ func (o EvalOptions) normalize(c *Cluster) EvalOptions {
 }
 
 // Evaluate computes the total noise with the chosen method. Models must
-// come from BuildModels on the same cluster (Golden ignores them).
-func (c *Cluster) Evaluate(m Method, models *Models, opts EvalOptions) (*Evaluation, error) {
+// come from BuildModels on the same cluster (Golden ignores them). The
+// context cancels the underlying transient engines mid-run; a nil context
+// disables cancellation.
+func (c *Cluster) Evaluate(ctx context.Context, m Method, models *Models, opts EvalOptions) (*Evaluation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.normalize(c)
 	switch m {
 	case Golden:
-		return c.evaluateGolden(opts)
+		return c.evaluateGolden(ctx, opts)
 	case Superposition:
-		return c.evaluateSuperposition(models, opts)
+		return c.evaluateSuperposition(ctx, models, opts)
 	case Zolotov:
-		return c.evaluateZolotov(models, opts)
+		return c.evaluateZolotov(ctx, models, opts)
 	case Macromodel:
-		return c.evaluateMacromodel(models, opts)
+		return c.evaluateMacromodel(ctx, models, opts)
 	}
 	return nil, fmt.Errorf("core: unknown method %v", m)
 }
 
-func (c *Cluster) evaluateGolden(opts EvalOptions) (*Evaluation, error) {
+func (c *Cluster) evaluateGolden(ctx context.Context, opts EvalOptions) (*Evaluation, error) {
 	ckt, err := c.BuildGolden()
 	if err != nil {
 		return nil, err
@@ -113,7 +156,7 @@ func (c *Cluster) evaluateGolden(opts EvalOptions) (*Evaluation, error) {
 	simOpts.Dt = opts.Dt
 	simOpts.TStop = opts.TStop
 	seedQuietLevels(c, ckt, &simOpts)
-	res, err := sim.Transient(ckt, simOpts)
+	res, err := sim.Transient(ctx, ckt, simOpts)
 	if err != nil {
 		return nil, fmt.Errorf("core: golden simulation: %w", err)
 	}
@@ -154,7 +197,7 @@ func (c *Cluster) aggressorSources(models *Models, sources []PortSource) {
 	}
 }
 
-func (c *Cluster) evaluateMacromodel(models *Models, opts EvalOptions) (*Evaluation, error) {
+func (c *Cluster) evaluateMacromodel(ctx context.Context, models *Models, opts EvalOptions) (*Evaluation, error) {
 	if models == nil {
 		return nil, fmt.Errorf("core: macromodel evaluation needs models")
 	}
@@ -170,7 +213,7 @@ func (c *Cluster) evaluateMacromodel(models *Models, opts EvalOptions) (*Evaluat
 	}
 	sources[models.VicPort] = vic
 	c.aggressorSources(models, sources)
-	res, err := RunEngine(models.Red, sources, models.V0, EngineOptions{Dt: opts.Dt, TStop: opts.TStop})
+	res, err := RunEngine(ctx, models.Red, sources, models.V0, EngineOptions{Dt: opts.Dt, TStop: opts.TStop})
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +221,7 @@ func (c *Cluster) evaluateMacromodel(models *Models, opts EvalOptions) (*Evaluat
 	return c.finish(Macromodel, res.Waveform(models.VicPort), res.Waveform(models.RecvPort), elapsed), nil
 }
 
-func (c *Cluster) evaluateSuperposition(models *Models, opts EvalOptions) (*Evaluation, error) {
+func (c *Cluster) evaluateSuperposition(ctx context.Context, models *Models, opts EvalOptions) (*Evaluation, error) {
 	if models == nil {
 		return nil, fmt.Errorf("core: superposition evaluation needs models")
 	}
@@ -196,7 +239,7 @@ func (c *Cluster) evaluateSuperposition(models *Models, opts EvalOptions) (*Eval
 	}
 	sources[models.VicPort] = &HoldingPort{G: models.HoldG, V0: quiet}
 	c.aggressorSources(models, sources)
-	res, err := RunEngine(models.Red, sources, models.V0, EngineOptions{Dt: opts.Dt, TStop: opts.TStop})
+	res, err := RunEngine(ctx, models.Red, sources, models.V0, EngineOptions{Dt: opts.Dt, TStop: opts.TStop})
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +267,10 @@ func (c *Cluster) evaluateSuperposition(models *Models, opts EvalOptions) (*Eval
 // DriverAloneResponse simulates the victim driver transistor-level with its
 // input glitch into the lumped victim load — the waveform a pulsed-Thevenin
 // victim model uses as its source (and a useful diagnostic on its own).
-func (c *Cluster) DriverAloneResponse(models *Models, opts EvalOptions) (*wave.Waveform, error) {
+func (c *Cluster) DriverAloneResponse(ctx context.Context, models *Models, opts EvalOptions) (*wave.Waveform, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.normalize(c)
 	v := &c.Victim
 	ckt := circuit.New()
@@ -248,19 +294,19 @@ func (c *Cluster) DriverAloneResponse(models *Models, opts EvalOptions) (*wave.W
 	if clump > 0 {
 		ckt.AddC("cl", "out", "0", clump)
 	}
-	res, err := sim.Transient(ckt, sim.Options{Dt: opts.Dt, TStop: opts.TStop})
+	res, err := sim.Transient(ctx, ckt, sim.Options{Dt: opts.Dt, TStop: opts.TStop})
 	if err != nil {
 		return nil, fmt.Errorf("core: driver-alone simulation: %w", err)
 	}
 	return res.Waveform("out"), nil
 }
 
-func (c *Cluster) evaluateZolotov(models *Models, opts EvalOptions) (*Evaluation, error) {
+func (c *Cluster) evaluateZolotov(ctx context.Context, models *Models, opts EvalOptions) (*Evaluation, error) {
 	if models == nil {
 		return nil, fmt.Errorf("core: zolotov evaluation needs models")
 	}
 	start := time.Now()
-	drv, err := c.DriverAloneResponse(models, opts)
+	drv, err := c.DriverAloneResponse(ctx, models, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -282,7 +328,7 @@ func (c *Cluster) evaluateZolotov(models *Models, opts EvalOptions) (*Evaluation
 		}
 		sources[models.VicPort] = &PulsePort{W: pulse, R: rHold}
 		c.aggressorSources(models, sources)
-		res, err = RunEngine(models.Red, sources, models.V0, EngineOptions{Dt: opts.Dt, TStop: opts.TStop})
+		res, err = RunEngine(ctx, models.Red, sources, models.V0, EngineOptions{Dt: opts.Dt, TStop: opts.TStop})
 		if err != nil {
 			return nil, err
 		}
@@ -327,7 +373,10 @@ func (c *Cluster) finish(m Method, dp, recv *wave.Waveform, elapsed time.Duratio
 // with fast linear engine runs (one per aggressor); the victim's propagated
 // peak is timed from the driver-alone response when an input glitch is
 // present. The computed shifts are stored in Aggressors[i].Offset.
-func (c *Cluster) AlignWorstCase(models *Models, opts EvalOptions) error {
+func (c *Cluster) AlignWorstCase(ctx context.Context, models *Models, opts EvalOptions) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if models == nil {
 		return fmt.Errorf("core: alignment needs models")
 	}
@@ -350,7 +399,7 @@ func (c *Cluster) AlignWorstCase(models *Models, opts EvalOptions) error {
 				sources[pj] = &PulsePort{W: wave.Constant(models.Agg[j].V0), R: models.Agg[j].RTh}
 			}
 		}
-		res, err := RunEngine(models.Red, sources, models.V0, EngineOptions{Dt: opts.Dt, TStop: opts.TStop})
+		res, err := RunEngine(ctx, models.Red, sources, models.V0, EngineOptions{Dt: opts.Dt, TStop: opts.TStop})
 		if err != nil {
 			return fmt.Errorf("core: alignment run for aggressor %d: %w", i, err)
 		}
@@ -363,7 +412,7 @@ func (c *Cluster) AlignWorstCase(models *Models, opts EvalOptions) error {
 
 	target := 0.0
 	if c.Victim.Glitch.Height > 0 {
-		drv, err := c.DriverAloneResponse(models, opts)
+		drv, err := c.DriverAloneResponse(ctx, models, opts)
 		if err != nil {
 			return err
 		}
@@ -390,7 +439,7 @@ func (c *Cluster) AlignWorstCase(models *Models, opts EvalOptions) error {
 		step   = 20e-12
 		passes = 2
 	)
-	best, err := c.macromodelPeak(models, opts)
+	best, err := c.macromodelPeak(ctx, models, opts)
 	if err != nil {
 		return err
 	}
@@ -404,7 +453,7 @@ func (c *Cluster) AlignWorstCase(models *Models, opts EvalOptions) error {
 					continue
 				}
 				c.Aggressors[i].Offset = off
-				p, err := c.macromodelPeak(models, opts)
+				p, err := c.macromodelPeak(ctx, models, opts)
 				if err != nil {
 					return err
 				}
@@ -424,8 +473,8 @@ func (c *Cluster) AlignWorstCase(models *Models, opts EvalOptions) error {
 
 // macromodelPeak evaluates the cluster's macromodel noise peak at the
 // current offsets — the objective of the worst-case alignment search.
-func (c *Cluster) macromodelPeak(models *Models, opts EvalOptions) (float64, error) {
-	ev, err := c.evaluateMacromodel(models, opts)
+func (c *Cluster) macromodelPeak(ctx context.Context, models *Models, opts EvalOptions) (float64, error) {
+	ev, err := c.evaluateMacromodel(ctx, models, opts)
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -125,7 +126,7 @@ func TestBuildGoldenStructure(t *testing.T) {
 
 func TestBuildModelsStructure(t *testing.T) {
 	c := fastCluster(t, 2)
-	m, err := c.BuildModels(ModelOptions{SkipProp: true, LoadCurve: charlib.LoadCurveOptions{NVin: 21, NVout: 21}})
+	m, err := c.BuildModels(context.Background(), ModelOptions{SkipProp: true, LoadCurve: charlib.LoadCurveOptions{NVin: 21, NVout: 21}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,27 +163,27 @@ func TestBuildModelsStructure(t *testing.T) {
 // golden simulation within a few percent — at a significant speed-up.
 func TestMethodsReproducePaperShape(t *testing.T) {
 	c := fastCluster(t, 1)
-	models, err := c.BuildModels(fastModelOptions())
+	models, err := c.BuildModels(context.Background(), fastModelOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts := fastEvalOptions()
-	if err := c.AlignWorstCase(models, opts); err != nil {
+	if err := c.AlignWorstCase(context.Background(), models, opts); err != nil {
 		t.Fatal(err)
 	}
-	golden, err := c.Evaluate(Golden, models, opts)
+	golden, err := c.Evaluate(context.Background(), Golden, models, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sup, err := c.Evaluate(Superposition, models, opts)
+	sup, err := c.Evaluate(context.Background(), Superposition, models, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	zol, err := c.Evaluate(Zolotov, models, opts)
+	zol, err := c.Evaluate(context.Background(), Zolotov, models, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mac, err := c.Evaluate(Macromodel, models, opts)
+	mac, err := c.Evaluate(context.Background(), Macromodel, models, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,11 +222,11 @@ func TestMethodsReproducePaperShape(t *testing.T) {
 	// ratio gets a few attempts before the test judges it.
 	speedup := float64(golden.Elapsed) / float64(mac.Elapsed)
 	for retry := 0; speedup < 3 && retry < 3; retry++ {
-		g2, err := c.Evaluate(Golden, models, opts)
+		g2, err := c.Evaluate(context.Background(), Golden, models, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
-		m2, err := c.Evaluate(Macromodel, models, opts)
+		m2, err := c.Evaluate(context.Background(), Macromodel, models, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -238,28 +239,28 @@ func TestMethodsReproducePaperShape(t *testing.T) {
 
 func TestAlignWorstCaseAlignsPeaks(t *testing.T) {
 	c := fastCluster(t, 2)
-	models, err := c.BuildModels(ModelOptions{SkipProp: true, LoadCurve: charlib.LoadCurveOptions{NVin: 41, NVout: 41}})
+	models, err := c.BuildModels(context.Background(), ModelOptions{SkipProp: true, LoadCurve: charlib.LoadCurveOptions{NVin: 41, NVout: 41}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts := fastEvalOptions()
-	if err := c.AlignWorstCase(models, opts); err != nil {
+	if err := c.AlignWorstCase(context.Background(), models, opts); err != nil {
 		t.Fatal(err)
 	}
 	// After alignment the aligned macromodel peak must not be smaller than
 	// the unaligned one (it is the worst case).
-	aligned, err := c.Evaluate(Macromodel, models, opts)
+	aligned, err := c.Evaluate(context.Background(), Macromodel, models, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	c2 := fastCluster(t, 2)
 	// Deliberately misalign by pushing one aggressor 500 ps late.
 	c2.Aggressors[1].Offset = 500e-12
-	models2, err := c2.BuildModels(ModelOptions{SkipProp: true, LoadCurve: charlib.LoadCurveOptions{NVin: 41, NVout: 41}})
+	models2, err := c2.BuildModels(context.Background(), ModelOptions{SkipProp: true, LoadCurve: charlib.LoadCurveOptions{NVin: 41, NVout: 41}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	misaligned, err := c2.Evaluate(Macromodel, models2, opts)
+	misaligned, err := c2.Evaluate(context.Background(), Macromodel, models2, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestAlignWorstCaseAlignsPeaks(t *testing.T) {
 func TestEvaluateRequiresModels(t *testing.T) {
 	c := fastCluster(t, 1)
 	for _, m := range []Method{Superposition, Zolotov, Macromodel} {
-		if _, err := c.Evaluate(m, nil, fastEvalOptions()); err == nil {
+		if _, err := c.Evaluate(context.Background(), m, nil, fastEvalOptions()); err == nil {
 			t.Errorf("%v with nil models accepted", m)
 		}
 	}
@@ -279,18 +280,18 @@ func TestEvaluateRequiresModels(t *testing.T) {
 
 func TestMillerExtensionStaysAccurate(t *testing.T) {
 	c := fastCluster(t, 1)
-	models, err := c.BuildModels(ModelOptions{SkipProp: true, LoadCurve: charlib.LoadCurveOptions{NVin: 41, NVout: 41}})
+	models, err := c.BuildModels(context.Background(), ModelOptions{SkipProp: true, LoadCurve: charlib.LoadCurveOptions{NVin: 41, NVout: 41}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts := fastEvalOptions()
-	golden, err := c.Evaluate(Golden, models, opts)
+	golden, err := c.Evaluate(context.Background(), Golden, models, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	mopts := opts
 	mopts.Miller = true
-	mil, err := c.Evaluate(Macromodel, models, mopts)
+	mil, err := c.Evaluate(context.Background(), Macromodel, models, mopts)
 	if err != nil {
 		t.Fatal(err)
 	}

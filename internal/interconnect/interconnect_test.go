@@ -1,6 +1,7 @@
 package interconnect
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -122,7 +123,7 @@ func TestWaveePropagation(t *testing.T) {
 	ckt.AddV("vs", b.InNode(0), "0", wave.SaturatedRamp(0, 1.2, 50e-12, 50e-12))
 	// Keep the aggressor grounded at the near end.
 	ckt.AddVDC("va", b.InNode(1), "0", 0)
-	res, err := sim.Transient(ckt, sim.Options{Dt: 1e-12, TStop: 2e-9})
+	res, err := sim.Transient(context.Background(), ckt, sim.Options{Dt: 1e-12, TStop: 2e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestCrosstalkInjection(t *testing.T) {
 	ckt.AddR("rhold", "vdd", b.InNode(0), 2000)
 	// Aggressor driven by a fast falling ramp.
 	ckt.AddV("va", b.InNode(1), "0", wave.SaturatedRamp(1.2, 0, 200e-12, 80e-12))
-	res, err := sim.Transient(ckt, sim.Options{Dt: 1e-12, TStop: 2e-9})
+	res, err := sim.Transient(context.Background(), ckt, sim.Options{Dt: 1e-12, TStop: 2e-9})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package nrc
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -69,8 +70,12 @@ func (o Options) normalize() Options {
 // Characterize builds the NRC of a receiver input pin in the given quiet
 // state. The glitch is applied from the pin's quiet rail towards the
 // opposite rail, which is the polarity a victim net in that state can
-// experience.
-func Characterize(cl *cell.Cell, st cell.State, pin string, opts Options) (*Curve, error) {
+// experience. The context is honoured between bisection probes, so a
+// cancelled analysis abandons the curve mid-characterisation.
+func Characterize(ctx context.Context, cl *cell.Cell, st cell.State, pin string, opts Options) (*Curve, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.normalize()
 	found := false
 	for _, in := range cl.Inputs() {
@@ -91,7 +96,7 @@ func Characterize(cl *cell.Cell, st cell.State, pin string, opts Options) (*Curv
 		Heights:  make([]float64, len(opts.Widths)),
 	}
 	for i, w := range opts.Widths {
-		h, err := bisectFailingHeight(cl, st, pin, w, opts)
+		h, err := bisectFailingHeight(ctx, cl, st, pin, w, opts)
 		if err != nil {
 			return nil, fmt.Errorf("nrc: width %.0f ps: %w", w*1e12, err)
 		}
@@ -111,10 +116,10 @@ func Characterize(cl *cell.Cell, st cell.State, pin string, opts Options) (*Curv
 
 // bisectFailingHeight finds the smallest glitch height that fails, or +Inf
 // when even a rail-to-rail-plus-margin glitch passes.
-func bisectFailingHeight(cl *cell.Cell, st cell.State, pin string, width float64, opts Options) (float64, error) {
+func bisectFailingHeight(ctx context.Context, cl *cell.Cell, st cell.State, pin string, width float64, opts Options) (float64, error) {
 	vdd := cl.Tech.VDD
 	hi := 1.2 * vdd
-	fails, err := glitchFails(cl, st, pin, hi, width, opts)
+	fails, err := glitchFails(ctx, cl, st, pin, hi, width, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -122,7 +127,7 @@ func bisectFailingHeight(cl *cell.Cell, st cell.State, pin string, width float64
 		return math.Inf(1), nil
 	}
 	lo := 0.05 * vdd
-	fails, err = glitchFails(cl, st, pin, lo, width, opts)
+	fails, err = glitchFails(ctx, cl, st, pin, lo, width, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -131,7 +136,7 @@ func bisectFailingHeight(cl *cell.Cell, st cell.State, pin string, width float64
 	}
 	for hi-lo > opts.Tol {
 		mid := 0.5 * (lo + hi)
-		fails, err = glitchFails(cl, st, pin, mid, width, opts)
+		fails, err = glitchFails(ctx, cl, st, pin, mid, width, opts)
 		if err != nil {
 			return 0, err
 		}
@@ -146,7 +151,7 @@ func bisectFailingHeight(cl *cell.Cell, st cell.State, pin string, width float64
 
 // glitchFails simulates the receiver with a triangular glitch on the pin
 // and reports whether the output deviation exceeds the failure threshold.
-func glitchFails(cl *cell.Cell, st cell.State, pin string, height, width float64, opts Options) (bool, error) {
+func glitchFails(ctx context.Context, cl *cell.Cell, st cell.State, pin string, height, width float64, opts Options) (bool, error) {
 	const t0 = 100e-12
 	ckt := circuit.New()
 	ckt.AddVDC("vdd", "vdd", "0", cl.Tech.VDD)
@@ -169,7 +174,7 @@ func glitchFails(cl *cell.Cell, st cell.State, pin string, height, width float64
 		return false, err
 	}
 	ckt.AddC("cl", "out", "0", opts.LoadCap)
-	res, err := sim.Transient(ckt, sim.Options{Dt: opts.Dt, TStop: t0 + width + 1e-9})
+	res, err := sim.Transient(ctx, ckt, sim.Options{Dt: opts.Dt, TStop: t0 + width + 1e-9})
 	if err != nil {
 		return false, err
 	}

@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -382,8 +383,14 @@ func (r *Result) At(node string, step int) float64 {
 func (r *Result) Steps() int { return len(r.Times) }
 
 // Transient runs a transient analysis from a DC operating point at t = 0 to
-// opts.TStop with a fixed step opts.Dt.
-func Transient(c *circuit.Circuit, opts Options) (*Result, error) {
+// opts.TStop with a fixed step opts.Dt. The context is checked periodically
+// between timesteps, so a cancelled characterisation or analysis run stops
+// mid-transient instead of completing the solve; a nil context disables
+// cancellation.
+func Transient(ctx context.Context, c *circuit.Circuit, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.normalize()
 	if opts.TStop <= 0 {
 		return nil, errors.New("sim: Transient requires positive TStop")
@@ -434,7 +441,13 @@ func Transient(c *circuit.Circuit, opts Options) (*Result, error) {
 	}
 
 	b := make([]float64, s.size)
+	step := 0
 	for t := h; t <= opts.TStop+h/2; t += h {
+		if step++; step&15 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		s.sourceRHS(b, t)
 		for i, cp := range c.Capacitors {
 			var hist float64

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -50,7 +51,7 @@ func TestRCStepResponse(t *testing.T) {
 	c.AddV("vs", "in", "0", wave.SaturatedRamp(0, 1, 0, 1e-12))
 	c.AddR("r", "in", "out", 1000)
 	c.AddC("c", "out", "0", 1e-12)
-	res, err := Transient(c, Options{Dt: 5e-12, TStop: 5e-9})
+	res, err := Transient(context.Background(), c, Options{Dt: 5e-12, TStop: 5e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,11 +73,11 @@ func TestRCBackwardEulerMatchesTrapezoidal(t *testing.T) {
 	c.AddV("vs", "in", "0", wave.SaturatedRamp(0, 1, 0, 50e-12))
 	c.AddR("r", "in", "out", 500)
 	c.AddC("c", "out", "0", 200e-15)
-	tr, err := Transient(c, Options{Dt: 1e-12, TStop: 1e-9, Method: Trapezoidal})
+	tr, err := Transient(context.Background(), c, Options{Dt: 1e-12, TStop: 1e-9, Method: Trapezoidal})
 	if err != nil {
 		t.Fatal(err)
 	}
-	be, err := Transient(c, Options{Dt: 1e-12, TStop: 1e-9, Method: BackwardEuler})
+	be, err := Transient(context.Background(), c, Options{Dt: 1e-12, TStop: 1e-9, Method: BackwardEuler})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestInverterTransient(t *testing.T) {
 	c.AddV("vin", "in", "0", wave.SaturatedRamp(0, vdd, 200e-12, 50e-12))
 	inv013(c, "u1", "in", "out", "vdd")
 	c.AddC("cl", "out", "0", 20e-15)
-	res, err := Transient(c, Options{Dt: 1e-12, TStop: 2e-9})
+	res, err := Transient(context.Background(), c, Options{Dt: 1e-12, TStop: 2e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestTransientRequiresTStop(t *testing.T) {
 	c := circuit.New()
 	c.AddVDC("v", "a", "0", 1)
 	c.AddR("r", "a", "0", 100)
-	if _, err := Transient(c, Options{}); err == nil {
+	if _, err := Transient(context.Background(), c, Options{}); err == nil {
 		t.Error("Transient without TStop should fail")
 	}
 }
@@ -205,15 +206,15 @@ func TestLinearSuperpositionProperty(t *testing.T) {
 		amp1 := 0.3 + rng.Float64()
 		amp2 := 0.3 + rng.Float64()
 		o := Options{Dt: 2e-12, TStop: 1e-9}
-		rBoth, err := Transient(build(amp1, amp2), o)
+		rBoth, err := Transient(context.Background(), build(amp1, amp2), o)
 		if err != nil {
 			return false
 		}
-		r1, err := Transient(build(amp1, 0), o)
+		r1, err := Transient(context.Background(), build(amp1, 0), o)
 		if err != nil {
 			return false
 		}
-		r2, err := Transient(build(0, amp2), o)
+		r2, err := Transient(context.Background(), build(0, amp2), o)
 		if err != nil {
 			return false
 		}
@@ -270,7 +271,7 @@ func BenchmarkTransientInverter(b *testing.B) {
 	c.AddC("cl", "out", "0", 20e-15)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Transient(c, Options{Dt: 1e-12, TStop: 1e-9}); err != nil {
+		if _, err := Transient(context.Background(), c, Options{Dt: 1e-12, TStop: 1e-9}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,7 +1,11 @@
 package sna
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"iter"
 	"math"
 	"runtime"
 	"sync"
@@ -25,8 +29,13 @@ type Options struct {
 	FailFrac float64
 	// Workers bounds how many clusters are analysed concurrently.
 	// Default (and any value <= 0) is runtime.GOMAXPROCS(0); 1 forces a
-	// fully serial run. Reports come back in design order either way.
+	// fully serial run. Analyze reports come back in design order either
+	// way; Stream yields in completion order.
 	Workers int
+	// OnError selects the error policy: FailFast (default) stops
+	// dispatching at the first failing cluster, ContinueOnError analyses
+	// every cluster and collects all failures via errors.Join.
+	OnError ErrorPolicy
 	// Cache optionally supplies a shared characterisation cache so
 	// repeated runs (or several designs) reuse artefacts. When nil the
 	// analyzer creates a private cache for the run.
@@ -47,6 +56,11 @@ func (o Options) normalize() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.OnError != ContinueOnError {
+		// Clamp out-of-range policies to the default so Analyze and Stream
+		// can test against either constant and still agree.
+		o.OnError = FailFast
+	}
 	return o
 }
 
@@ -54,11 +68,11 @@ func (o Options) normalize() Options {
 // cache hit the Models and NRC stages collapse to lookup time, which is how
 // the shared characterisation cache shows up in per-stage output.
 type StageTiming struct {
-	Build  time.Duration // cluster construction: geometry, parasitics, cells
-	Models time.Duration // pre-characterisation (load curve, Thevenin, MOR)
-	Align  time.Duration // worst-case aggressor alignment search
-	Eval   time.Duration // transient evaluation of the chosen method
-	NRC    time.Duration // receiver NRC characterisation or cache lookup
+	Build  time.Duration `json:"build_ns"`  // cluster construction: geometry, parasitics, cells
+	Models time.Duration `json:"models_ns"` // pre-characterisation (load curve, Thevenin, MOR)
+	Align  time.Duration `json:"align_ns"`  // worst-case aggressor alignment search
+	Eval   time.Duration `json:"eval_ns"`   // transient evaluation of the chosen method
+	NRC    time.Duration `json:"nrc_ns"`    // receiver NRC characterisation or cache lookup
 }
 
 // Total sums the stages.
@@ -75,25 +89,77 @@ func (s *StageTiming) Add(o StageTiming) {
 	s.NRC += o.NRC
 }
 
-// NetReport is the per-victim outcome of an analysis.
+// NetReport is the per-victim outcome of an analysis. Its JSON form is the
+// stable machine-readable schema shared between the public API and
+// snacheck -json; the one non-trivial mapping is MarginV, which is +Inf for
+// unfailable nets and therefore serialised as null (JSON has no infinity).
 type NetReport struct {
-	Cluster string
-	Method  core.Method
+	Cluster string      `json:"cluster"`
+	Method  core.Method `json:"method"`
 
 	// Noise at the victim receiver input (what the NRC judges).
-	PeakV   float64
-	AreaVps float64
-	WidthPs float64
+	PeakV   float64 `json:"peak_v"`
+	AreaVps float64 `json:"area_vps"`
+	WidthPs float64 `json:"width_ps"`
 
 	// DPPeakV is the noise at the victim driving point (the paper's
 	// measurement node), for cross-referencing against table results.
-	DPPeakV float64
+	DPPeakV float64 `json:"dp_peak_v"`
 
-	Fails   bool
-	MarginV float64 // height margin to the NRC (+Inf when unfailable)
+	Fails   bool    `json:"fails"`
+	MarginV float64 `json:"margin_v"` // height margin to the NRC (+Inf when unfailable)
 
-	Elapsed time.Duration // evaluation time (excluding characterisation)
-	Timing  StageTiming   // full per-stage breakdown for this cluster
+	Elapsed time.Duration `json:"elapsed_ns"` // evaluation time (excluding characterisation)
+	Timing  StageTiming   `json:"timing"`     // full per-stage breakdown for this cluster
+}
+
+// netReportJSON is the wire form of NetReport: identical except that the
+// margin is a pointer, absent (null) for unfailable nets.
+type netReportJSON struct {
+	Cluster string      `json:"cluster"`
+	Method  core.Method `json:"method"`
+	PeakV   float64     `json:"peak_v"`
+	AreaVps float64     `json:"area_vps"`
+	WidthPs float64     `json:"width_ps"`
+	DPPeakV float64     `json:"dp_peak_v"`
+	Fails   bool        `json:"fails"`
+	MarginV *float64    `json:"margin_v"`
+
+	Elapsed time.Duration `json:"elapsed_ns"`
+	Timing  StageTiming   `json:"timing"`
+}
+
+// MarshalJSON implements the stable report schema (see NetReport).
+func (r NetReport) MarshalJSON() ([]byte, error) {
+	j := netReportJSON{
+		Cluster: r.Cluster, Method: r.Method,
+		PeakV: r.PeakV, AreaVps: r.AreaVps, WidthPs: r.WidthPs,
+		DPPeakV: r.DPPeakV, Fails: r.Fails,
+		Elapsed: r.Elapsed, Timing: r.Timing,
+	}
+	if !math.IsInf(r.MarginV, 0) {
+		m := r.MarginV
+		j.MarginV = &m
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON: a null margin becomes +Inf.
+func (r *NetReport) UnmarshalJSON(b []byte) error {
+	var j netReportJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*r = NetReport{
+		Cluster: j.Cluster, Method: j.Method,
+		PeakV: j.PeakV, AreaVps: j.AreaVps, WidthPs: j.WidthPs,
+		DPPeakV: j.DPPeakV, Fails: j.Fails, MarginV: math.Inf(1),
+		Elapsed: j.Elapsed, Timing: j.Timing,
+	}
+	if j.MarginV != nil {
+		r.MarginV = *j.MarginV
+	}
+	return nil
 }
 
 // ClearTiming zeroes the wall-clock fields, leaving only the analysis
@@ -145,79 +211,224 @@ func (a *Analyzer) Workers() int {
 	return w
 }
 
-// Analyze evaluates every cluster in the design and returns one report per
-// victim net, in design order regardless of worker count. Clusters are
-// dispatched to a bounded pool of Options.Workers goroutines; on the first
-// cluster error the pool stops taking new work and Analyze returns the
-// error of the earliest failing cluster, mirroring what a serial run would
-// report.
-func (a *Analyzer) Analyze() ([]NetReport, error) {
+// outcome is one completed cluster: exactly one of rep/err is non-nil.
+type outcome struct {
+	idx int
+	rep *NetReport
+	err *ClusterError
+}
+
+// runClusters dispatches every cluster of the design to a bounded pool of
+// Workers goroutines and delivers each completed outcome to emit, always
+// from the calling goroutine, in completion order. emit returning false
+// stops the run: no new clusters are claimed, in-flight workers are
+// cancelled, and runClusters returns nil without further emissions.
+//
+// Under FailFast the pool stops claiming new clusters after the first
+// failure but still delivers the outcomes of clusters already in flight,
+// so the caller can pick the earliest failure in design order. Under
+// ContinueOnError every cluster is attempted exactly once.
+//
+// Cancellation of ctx wins over everything else: outcomes of clusters cut
+// short by the cancel are discarded and runClusters returns ctx.Err().
+func (a *Analyzer) runClusters(ctx context.Context, emit func(outcome) bool) error {
 	clusters := a.design.Clusters
-	reports := make([]NetReport, len(clusters))
-	workers := a.Workers()
-	if workers <= 1 {
-		// Deliberately a separate plain loop rather than a 1-worker pool:
-		// this is the reference implementation the determinism contract is
-		// judged against — TestParallelMatchesSerial compares the pool's
-		// output to this path, which it couldn't do if both went through
-		// the same pool machinery.
+	if len(clusters) == 0 {
+		return ctx.Err()
+	}
+	if a.Workers() <= 1 {
+		// Deliberately a plain loop rather than a 1-worker pool: this is
+		// the reference implementation the determinism contract is judged
+		// against — TestParallelMatchesSerial compares the pool's output
+		// to this path, which it couldn't do if both went through the same
+		// pool machinery.
 		for i, cs := range clusters {
-			rep, err := a.analyzeCluster(cs)
-			if err != nil {
-				return nil, err
+			if err := ctx.Err(); err != nil {
+				return err
 			}
-			reports[i] = *rep
+			rep, cerr := a.analyzeCluster(ctx, cs)
+			if cerr != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if !emit(outcome{idx: i, err: cerr}) {
+					return nil
+				}
+				if a.opts.OnError == FailFast {
+					return nil
+				}
+				continue
+			}
+			if !emit(outcome{idx: i, rep: rep}) {
+				return nil
+			}
 		}
-		return reports, nil
+		return nil
 	}
 
+	parent := ctx
+	ctx, cancel := context.WithCancel(parent)
+	results := make(chan outcome)
 	var (
-		next    atomic.Int64 // index of the next cluster to claim
-		stop    atomic.Bool  // set on first error; halts new claims
-		wg      sync.WaitGroup
-		errMu   sync.Mutex
-		errIdx  = -1
-		poolErr error
+		next atomic.Int64 // index of the next cluster to claim
+		stop atomic.Bool  // FailFast latch: halts new claims
+		wg   sync.WaitGroup
 	)
-	fail := func(i int, err error) {
-		errMu.Lock()
-		if errIdx < 0 || i < errIdx {
-			errIdx, poolErr = i, err
-		}
-		errMu.Unlock()
-		stop.Store(true)
-	}
-	for w := 0; w < workers; w++ {
+	for w := 0; w < a.Workers(); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(clusters) || stop.Load() {
+				if i >= len(clusters) || stop.Load() || ctx.Err() != nil {
 					return
 				}
-				rep, err := a.analyzeCluster(clusters[i])
-				if err != nil {
-					fail(i, err)
+				rep, cerr := a.analyzeCluster(ctx, clusters[i])
+				if cerr != nil {
+					if ctx.Err() != nil {
+						// Cut short by cancellation, not a real cluster
+						// failure — drop it.
+						return
+					}
+					if a.opts.OnError == FailFast {
+						stop.Store(true)
+					}
+				}
+				select {
+				case results <- outcome{idx: i, rep: rep, err: cerr}:
+				case <-ctx.Done():
 					return
 				}
-				reports[i] = *rep
 			}
 		}()
 	}
-	wg.Wait()
-	if errIdx >= 0 {
-		return nil, poolErr
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	// The deferred cancel-and-drain keeps the pool leak-free on every exit
+	// path, including a panic inside emit: workers blocked on the results
+	// channel observe the cancel (or are drained) and exit, after which the
+	// closer goroutine closes the channel and the drain loop ends.
+	defer func() {
+		cancel()
+		for range results {
+		}
+	}()
+	for out := range results {
+		if !emit(out) {
+			return nil
+		}
 	}
-	return reports, nil
+	return parent.Err()
 }
 
-func (a *Analyzer) analyzeCluster(cs ClusterSpec) (*NetReport, error) {
+// Analyze evaluates every cluster in the design and returns one report per
+// victim net, in design order regardless of worker count.
+//
+// Under FailFast (the default) the first cluster error stops the run and
+// Analyze returns nil reports and the *ClusterError of the earliest failing
+// cluster in design order, mirroring what a serial run would report. Under
+// ContinueOnError every cluster is analysed: the reports of all successful
+// clusters are returned in design order together with every failure
+// combined via errors.Join (each one an extractable *ClusterError).
+//
+// Cancelling ctx stops the analysis promptly — mid-characterisation and
+// mid-transient, not just between clusters — and returns ctx.Err().
+func (a *Analyzer) Analyze(ctx context.Context) ([]NetReport, error) {
+	n := len(a.design.Clusters)
+	reports := make([]*NetReport, n)
+	clusterErrs := make([]*ClusterError, n)
+	if err := a.runClusters(ctx, func(out outcome) bool {
+		reports[out.idx], clusterErrs[out.idx] = out.rep, out.err
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	if a.opts.OnError == FailFast {
+		for _, cerr := range clusterErrs {
+			if cerr != nil {
+				return nil, cerr
+			}
+		}
+	}
+	out := make([]NetReport, 0, n)
+	var errs []error
+	for i := 0; i < n; i++ {
+		switch {
+		case clusterErrs[i] != nil:
+			errs = append(errs, clusterErrs[i])
+		case reports[i] != nil:
+			out = append(out, *reports[i])
+		}
+	}
+	return out, errors.Join(errs...)
+}
+
+// Stream analyses the design and yields reports in completion order, so a
+// caller can show progress, pipeline downstream work, or stop early by
+// breaking out of the loop (the worker pool is then cancelled and drained —
+// no goroutines leak).
+//
+// Error handling follows Options.OnError. Under ContinueOnError every
+// failing cluster yields a (zero-report, *ClusterError) pair as it fails
+// and the run continues. Under FailFast the pool stops claiming clusters
+// at the first failure; reports already in flight are still yielded, and
+// the earliest failure in design order is yielded last. When ctx is
+// cancelled the final yield carries ctx.Err().
+//
+// A run consumed to completion yields exactly the reports (and, under
+// ContinueOnError, the errors) of an equivalent Analyze call.
+func (a *Analyzer) Stream(ctx context.Context) iter.Seq2[NetReport, error] {
+	return func(yield func(NetReport, error) bool) {
+		var (
+			stopped bool
+			failIdx = -1
+			failErr *ClusterError
+		)
+		runErr := a.runClusters(ctx, func(out outcome) bool {
+			if out.err != nil {
+				if a.opts.OnError == ContinueOnError {
+					ok := yield(NetReport{Cluster: out.err.Cluster}, out.err)
+					stopped = !ok
+					return ok
+				}
+				// FailFast: keep draining in-flight outcomes so the error
+				// we surface is the earliest in design order, as a serial
+				// run would report.
+				if failIdx < 0 || out.idx < failIdx {
+					failIdx, failErr = out.idx, out.err
+				}
+				return true
+			}
+			ok := yield(*out.rep, nil)
+			stopped = !ok
+			return ok
+		})
+		if stopped {
+			return
+		}
+		if runErr != nil {
+			yield(NetReport{}, runErr)
+			return
+		}
+		if failErr != nil {
+			yield(NetReport{Cluster: failErr.Cluster}, failErr)
+		}
+	}
+}
+
+// analyzeCluster runs the full pipeline on one cluster. The error, when
+// non-nil, is always a *ClusterError naming the failed stage.
+func (a *Analyzer) analyzeCluster(ctx context.Context, cs ClusterSpec) (*NetReport, *ClusterError) {
+	fail := func(stage Stage, err error) (*NetReport, *ClusterError) {
+		return nil, &ClusterError{Cluster: cs.Name, Stage: stage, Err: err}
+	}
 	var timing StageTiming
 	t0 := time.Now()
 	cl, err := a.design.BuildCluster(cs)
 	if err != nil {
-		return nil, err
+		return fail(StageBuild, err)
 	}
 	timing.Build = time.Since(t0)
 
@@ -229,24 +440,24 @@ func (a *Analyzer) analyzeCluster(cs ClusterSpec) (*NetReport, error) {
 		Cache:     a.cache,
 	}
 	t0 = time.Now()
-	models, err := cl.BuildModels(mopts)
+	models, err := cl.BuildModels(ctx, mopts)
 	if err != nil {
-		return nil, fmt.Errorf("sna: cluster %s models: %w", cs.Name, err)
+		return fail(StageModels, err)
 	}
 	timing.Models = time.Since(t0)
 
 	eopts := core.EvalOptions{Dt: a.opts.Dt}
 	if a.opts.Align && len(cl.Aggressors) > 0 {
 		t0 = time.Now()
-		if err := cl.AlignWorstCase(models, eopts); err != nil {
-			return nil, fmt.Errorf("sna: cluster %s alignment: %w", cs.Name, err)
+		if err := cl.AlignWorstCase(ctx, models, eopts); err != nil {
+			return fail(StageAlign, err)
 		}
 		timing.Align = time.Since(t0)
 	}
 	t0 = time.Now()
-	ev, err := cl.Evaluate(method, models, eopts)
+	ev, err := cl.Evaluate(ctx, method, models, eopts)
 	if err != nil {
-		return nil, fmt.Errorf("sna: cluster %s evaluation: %w", cs.Name, err)
+		return fail(StageEval, err)
 	}
 	timing.Eval = time.Since(t0)
 
@@ -261,9 +472,9 @@ func (a *Analyzer) analyzeCluster(cs ClusterSpec) (*NetReport, error) {
 	}
 
 	t0 = time.Now()
-	curve, err := a.receiverCurve(cl.Victim.Receiver, cl.Victim.ReceiverPin, cl)
+	curve, err := a.receiverCurve(ctx, cl.Victim.Receiver, cl.Victim.ReceiverPin, cl)
 	if err != nil {
-		return nil, fmt.Errorf("sna: cluster %s NRC: %w", cs.Name, err)
+		return fail(StageNRC, err)
 	}
 	timing.NRC = time.Since(t0)
 	rep.Fails = curve.Fails(rep.PeakV, ev.RecvMetrics.Width)
@@ -272,11 +483,23 @@ func (a *Analyzer) analyzeCluster(cs ClusterSpec) (*NetReport, error) {
 	return rep, nil
 }
 
+// ReceiverNRC characterises (or retrieves from the shared cache) the Noise
+// Rejection Curve the analyzer would judge the given cluster's victim
+// receiver against — the sign-off criterion itself, exposed for reporting
+// and inspection.
+func (a *Analyzer) ReceiverNRC(ctx context.Context, cs ClusterSpec) (*nrc.Curve, error) {
+	cl, err := a.design.BuildCluster(cs)
+	if err != nil {
+		return nil, err
+	}
+	return a.receiverCurve(ctx, cl.Victim.Receiver, cl.Victim.ReceiverPin, cl)
+}
+
 // receiverCurve characterises (or retrieves) the NRC of the victim's
 // receiver pin for the victim's quiet level. Curves are memoized in the
 // shared cache, so clusters with the same receiver configuration — the
 // overwhelmingly common case — characterise it once, even across workers.
-func (a *Analyzer) receiverCurve(recv *cell.Cell, pin string, cl *core.Cluster) (*nrc.Curve, error) {
+func (a *Analyzer) receiverCurve(ctx context.Context, recv *cell.Cell, pin string, cl *core.Cluster) (*nrc.Curve, error) {
 	quietHigh := cl.QuietVictimLevel() > cl.Tech.VDD/2
 	// The receiver input sits at the victim's quiet level; find a state of
 	// the receiver consistent with that and sensitised through the pin.
@@ -302,25 +525,74 @@ func (a *Analyzer) receiverCurve(recv *cell.Cell, pin string, cl *core.Cluster) 
 	}
 	nopts := a.opts.NRC
 	nopts.FailFrac = a.opts.FailFrac
-	return a.cache.NRCCurve(recv, st, pin, nopts)
+	return a.cache.NRCCurve(ctx, recv, st, pin, nopts)
 }
 
-// Summary aggregates reports for quick inspection.
+// Summary aggregates reports for quick inspection. WorstMarginV is +Inf
+// (serialised as null in JSON) when no analysed net can fail its NRC — in
+// particular for an empty design.
 type Summary struct {
 	Total, Failing int
 	WorstMarginV   float64
 	WorstCluster   string
 }
 
-// Summarize folds reports into a Summary.
+// summaryJSON is the wire form of Summary, with the +Inf margin mapped to
+// null like NetReport's.
+type summaryJSON struct {
+	Total        int      `json:"total"`
+	Failing      int      `json:"failing"`
+	WorstMarginV *float64 `json:"worst_margin_v"`
+	WorstCluster string   `json:"worst_cluster,omitempty"`
+}
+
+// MarshalJSON implements the stable summary schema.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	j := summaryJSON{Total: s.Total, Failing: s.Failing, WorstCluster: s.WorstCluster}
+	if !math.IsInf(s.WorstMarginV, 0) {
+		m := s.WorstMarginV
+		j.WorstMarginV = &m
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (s *Summary) UnmarshalJSON(b []byte) error {
+	var j summaryJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*s = Summary{Total: j.Total, Failing: j.Failing, WorstMarginV: math.Inf(1), WorstCluster: j.WorstCluster}
+	if j.WorstMarginV != nil {
+		s.WorstMarginV = *j.WorstMarginV
+	}
+	return nil
+}
+
+// String renders the one-line human summary, guarding the empty-design and
+// all-unfailable cases instead of printing "+Inf (  )".
+func (s Summary) String() string {
+	if s.Total == 0 {
+		return "no nets analysed"
+	}
+	if math.IsInf(s.WorstMarginV, 1) {
+		return fmt.Sprintf("%d nets analysed, %d failing; no net can fail its NRC", s.Total, s.Failing)
+	}
+	return fmt.Sprintf("%d nets analysed, %d failing; worst margin %.3f V (%s)",
+		s.Total, s.Failing, s.WorstMarginV, s.WorstCluster)
+}
+
+// Summarize folds reports into a Summary. The worst cluster is the one
+// with the smallest margin; ties go to the earliest report, and a run where
+// every margin is +Inf still names the first net rather than none.
 func Summarize(reports []NetReport) Summary {
 	s := Summary{WorstMarginV: math.Inf(1)}
-	for _, r := range reports {
+	for i, r := range reports {
 		s.Total++
 		if r.Fails {
 			s.Failing++
 		}
-		if r.MarginV < s.WorstMarginV {
+		if i == 0 || r.MarginV < s.WorstMarginV {
 			s.WorstMarginV = r.MarginV
 			s.WorstCluster = r.Cluster
 		}

@@ -1,6 +1,7 @@
 package sna
 
 import (
+	"context"
 	"fmt"
 
 	"stanoise/internal/core"
@@ -18,7 +19,7 @@ import (
 // chain converges (noise dies out stage over stage) when every stage's
 // driver attenuates below unity noise gain; a growing sequence is the
 // signature of a propagating functional failure.
-func (a *Analyzer) PropagateChain(specs []ClusterSpec) ([]wave.NoiseMetrics, error) {
+func (a *Analyzer) PropagateChain(ctx context.Context, specs []ClusterSpec) ([]wave.NoiseMetrics, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("sna: empty chain")
 	}
@@ -31,12 +32,15 @@ func (a *Analyzer) PropagateChain(specs []ClusterSpec) ([]wave.NoiseMetrics, err
 			cs.Victim.GlitchHeightV = carry
 			cs.Victim.GlitchWidthPs = carryW * 1e12
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cl, err := a.design.BuildCluster(cs)
 		if err != nil {
 			return nil, fmt.Errorf("sna: chain stage %d: %w", i, err)
 		}
 		method := a.opts.Method
-		models, err := cl.BuildModels(core.ModelOptions{
+		models, err := cl.BuildModels(ctx, core.ModelOptions{
 			LoadCurve: a.opts.LoadCurve,
 			Prop:      a.opts.Prop,
 			SkipProp:  method != core.Superposition,
@@ -47,11 +51,11 @@ func (a *Analyzer) PropagateChain(specs []ClusterSpec) ([]wave.NoiseMetrics, err
 		}
 		eopts := core.EvalOptions{Dt: a.opts.Dt}
 		if a.opts.Align && len(cl.Aggressors) > 0 {
-			if err := cl.AlignWorstCase(models, eopts); err != nil {
+			if err := cl.AlignWorstCase(ctx, models, eopts); err != nil {
 				return nil, fmt.Errorf("sna: chain stage %d alignment: %w", i, err)
 			}
 		}
-		ev, err := cl.Evaluate(method, models, eopts)
+		ev, err := cl.Evaluate(ctx, method, models, eopts)
 		if err != nil {
 			return nil, fmt.Errorf("sna: chain stage %d evaluation: %w", i, err)
 		}

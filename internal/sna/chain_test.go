@@ -1,6 +1,7 @@
 package sna
 
 import (
+	"context"
 	"testing"
 
 	"stanoise/internal/core"
@@ -30,7 +31,7 @@ func TestPropagateChainAttenuates(t *testing.T) {
 	}
 	an := NewAnalyzer(d, fastOpts(core.Macromodel))
 	chain := []ClusterSpec{stage("s1", 0.55), stage("s2", 0), stage("s3", 0)}
-	metrics, err := an.PropagateChain(chain)
+	metrics, err := an.PropagateChain(context.Background(), chain)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestPropagateChainAttenuates(t *testing.T) {
 func TestPropagateChainEmpty(t *testing.T) {
 	d := sampleDesign()
 	an := NewAnalyzer(d, fastOpts(core.Macromodel))
-	if _, err := an.PropagateChain(nil); err == nil {
+	if _, err := an.PropagateChain(context.Background(), nil); err == nil {
 		t.Error("empty chain accepted")
 	}
 }

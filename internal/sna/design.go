@@ -97,9 +97,9 @@ func (d *Design) Validate() error {
 	if d.Layer == "" {
 		return fmt.Errorf("sna: design %q needs a layer", d.Name)
 	}
-	if len(d.Clusters) == 0 {
-		return fmt.Errorf("sna: design %q has no clusters", d.Name)
-	}
+	// An empty design is valid and trivially passes analysis: a service
+	// partitioning a large design must be able to hand an analyzer an empty
+	// shard without special-casing it.
 	for _, cs := range d.Clusters {
 		if cs.Name == "" {
 			return fmt.Errorf("sna: design %q has an unnamed cluster", d.Name)

@@ -2,6 +2,45 @@ package sna
 
 import "fmt"
 
+// SampleDesign is a ready-to-run starter design: one dangerous cluster and
+// one comfortable one, mirroring the paper's Table 1/2 setups. It is what
+// `snacheck -sample` emits.
+func SampleDesign() *Design {
+	return &Design{
+		Name:     "sample",
+		Tech:     "cmos130",
+		Layer:    "M4",
+		Segments: 15,
+		Clusters: []ClusterSpec{
+			{
+				Name: "bus_bit7",
+				Victim: VictimSpec{
+					Cell: "NAND2", Drive: 1, NoisyPin: "B",
+					GlitchHeightV: 0.7, GlitchWidthPs: 400,
+					LengthUm: 500,
+				},
+				Aggressors: []AggressorSpec{
+					{Cell: "INV", Drive: 2, FromState: map[string]bool{"A": false},
+						SwitchPin: "A", LengthUm: 500, Side: "left"},
+					{Cell: "INV", Drive: 2, FromState: map[string]bool{"A": false},
+						SwitchPin: "A", LengthUm: 500, Side: "right"},
+				},
+			},
+			{
+				Name: "ctrl_en",
+				Victim: VictimSpec{
+					Cell: "INV", Drive: 2, NoisyPin: "A",
+					LengthUm: 200,
+				},
+				Aggressors: []AggressorSpec{
+					{Cell: "INV", Drive: 1, FromState: map[string]bool{"A": false},
+						SwitchPin: "A", LengthUm: 200, SpacingFactor: 2},
+				},
+			},
+		},
+	}
+}
+
 // GenerateDesign builds a deterministic synthetic many-cluster design for
 // benchmarks and concurrency tests: n noise clusters whose victims,
 // aggressors and geometries cycle through a small set of realistic

@@ -1,6 +1,7 @@
 package sna
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -32,14 +33,14 @@ func TestParallelMatchesSerial(t *testing.T) {
 
 	serialOpts := fastOpts(core.Macromodel)
 	serialOpts.Workers = 1
-	serial, err := NewAnalyzer(d, serialOpts).Analyze()
+	serial, err := NewAnalyzer(d, serialOpts).Analyze(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	parOpts := fastOpts(core.Macromodel)
 	parOpts.Workers = 8
-	par, err := NewAnalyzer(d, parOpts).Analyze()
+	par, err := NewAnalyzer(d, parOpts).Analyze(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestParallelDefaultWorkers(t *testing.T) {
 	d := GenerateDesign("dflt", 3)
 	opts := fastOpts(core.Macromodel)
 	opts.Workers = 0 // normalize() resolves to runtime.GOMAXPROCS(0)
-	reports, err := NewAnalyzer(d, opts).Analyze()
+	reports, err := NewAnalyzer(d, opts).Analyze(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestParallelFirstErrorPropagation(t *testing.T) {
 
 	opts := fastOpts(core.Macromodel)
 	opts.Workers = 4
-	_, err := NewAnalyzer(d, opts).Analyze()
+	_, err := NewAnalyzer(d, opts).Analyze(context.Background())
 	if err == nil {
 		t.Fatal("parallel Analyze swallowed a cluster error")
 	}
@@ -97,7 +98,7 @@ func TestSharedCacheAcrossAnalyzers(t *testing.T) {
 	opts.Workers = 2
 
 	an1 := NewAnalyzer(d, opts)
-	if _, err := an1.Analyze(); err != nil {
+	if _, err := an1.Analyze(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	cold := an1.CacheStats()
@@ -107,7 +108,7 @@ func TestSharedCacheAcrossAnalyzers(t *testing.T) {
 
 	opts.Cache = an1.cache
 	an2 := NewAnalyzer(d, opts)
-	if _, err := an2.Analyze(); err != nil {
+	if _, err := an2.Analyze(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	warm := an2.CacheStats()

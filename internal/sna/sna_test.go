@@ -1,6 +1,7 @@
 package sna
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -101,8 +102,8 @@ func TestDesignValidate(t *testing.T) {
 	}
 	d = sampleDesign()
 	d.Clusters = nil
-	if err := d.Validate(); err == nil {
-		t.Error("empty design accepted")
+	if err := d.Validate(); err != nil {
+		t.Errorf("empty design rejected: %v (an empty shard must be analysable)", err)
 	}
 }
 
@@ -132,7 +133,7 @@ func TestBuildClusterGeometry(t *testing.T) {
 func TestAnalyzeFlagsHotCluster(t *testing.T) {
 	d := sampleDesign()
 	an := NewAnalyzer(d, fastOpts(core.Macromodel))
-	reports, err := an.Analyze()
+	reports, err := an.Analyze(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,11 +169,11 @@ func TestAnalyzeFlagsHotCluster(t *testing.T) {
 func TestSuperpositionUnderestimatesInFlow(t *testing.T) {
 	d := sampleDesign()
 	d.Clusters = d.Clusters[:1]
-	mac, err := NewAnalyzer(d, fastOpts(core.Macromodel)).Analyze()
+	mac, err := NewAnalyzer(d, fastOpts(core.Macromodel)).Analyze(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	sup, err := NewAnalyzer(d, fastOpts(core.Superposition)).Analyze()
+	sup, err := NewAnalyzer(d, fastOpts(core.Superposition)).Analyze(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestSuperpositionUnderestimatesInFlow(t *testing.T) {
 func TestNRCCacheSharedAcrossClusters(t *testing.T) {
 	d := sampleDesign()
 	an := NewAnalyzer(d, fastOpts(core.Macromodel))
-	if _, err := an.Analyze(); err != nil {
+	if _, err := an.Analyze(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Both clusters use INV_X2/A receivers at quiet-high: one curve.

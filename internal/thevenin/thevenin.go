@@ -12,6 +12,7 @@
 package thevenin
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -73,7 +74,7 @@ func (o FitOptions) normalize() FitOptions {
 // Fit characterises the aggressor driver cl switching pin switchPin from
 // fromState (the remaining pins stay at their fromState rails), driving a
 // lumped load of loadCap farads.
-func Fit(cl *cell.Cell, fromState cell.State, switchPin string, loadCap float64, opts FitOptions) (*Driver, error) {
+func Fit(ctx context.Context, cl *cell.Cell, fromState cell.State, switchPin string, loadCap float64, opts FitOptions) (*Driver, error) {
 	opts = opts.normalize()
 	toState := fromState.Clone()
 	toState[switchPin] = !toState[switchPin]
@@ -92,7 +93,7 @@ func Fit(cl *cell.Cell, fromState cell.State, switchPin string, loadCap float64,
 	}
 
 	// Golden transistor-level response.
-	goldenOut, err := simulateSwitch(cl, fromState, switchPin, loadCap, opts)
+	goldenOut, err := simulateSwitch(ctx, cl, fromState, switchPin, loadCap, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +154,7 @@ func midSwingResistance(cl *cell.Cell, toState cell.State, v0, v1 float64) (floa
 	return math.Abs(mid-v1) / i, nil
 }
 
-func simulateSwitch(cl *cell.Cell, fromState cell.State, switchPin string, loadCap float64, opts FitOptions) (*wave.Waveform, error) {
+func simulateSwitch(ctx context.Context, cl *cell.Cell, fromState cell.State, switchPin string, loadCap float64, opts FitOptions) (*wave.Waveform, error) {
 	ckt := circuit.New()
 	ckt.AddVDC("vdd", "vdd", "0", cl.Tech.VDD)
 	pins := map[string]string{}
@@ -175,7 +176,7 @@ func simulateSwitch(cl *cell.Cell, fromState cell.State, switchPin string, loadC
 		ckt.AddC("cl", "out", "0", loadCap)
 	}
 	tstop := opts.InputT0 + opts.InputSlew + 2e-9
-	res, err := sim.Transient(ckt, sim.Options{Dt: opts.Dt, TStop: tstop})
+	res, err := sim.Transient(ctx, ckt, sim.Options{Dt: opts.Dt, TStop: tstop})
 	if err != nil {
 		return nil, fmt.Errorf("thevenin: golden switch simulation: %w", err)
 	}

@@ -1,6 +1,7 @@
 package thevenin
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestFitInverterFalling(t *testing.T) {
 	tt := tech.Tech130()
 	inv := cell.MustNew(tt, "INV", 2)
 	// Input rises ⇒ output falls: the paper's aggressor direction.
-	drv, err := Fit(inv, cell.State{"A": false}, "A", 80e-15, FitOptions{})
+	drv, err := Fit(context.Background(), inv, cell.State{"A": false}, "A", 80e-15, FitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,11 +71,11 @@ func TestFittedModelMatchesGolden(t *testing.T) {
 	inv := cell.MustNew(tt, "INV", 2)
 	load := 80e-15
 	opts := FitOptions{}
-	drv, err := Fit(inv, cell.State{"A": false}, "A", load, opts)
+	drv, err := Fit(context.Background(), inv, cell.State{"A": false}, "A", load, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	golden, err := simulateSwitch(inv, cell.State{"A": false}, "A", load, opts.normalize())
+	golden, err := simulateSwitch(context.Background(), inv, cell.State{"A": false}, "A", load, opts.normalize())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestFittedModelMatchesGolden(t *testing.T) {
 	lin.AddV("vth", "th", "0", drv.Waveform())
 	lin.AddR("rth", "th", "out", drv.RTh)
 	lin.AddC("cl", "out", "0", load)
-	res, err := sim.Transient(lin, sim.Options{Dt: 1e-12, TStop: golden.End()})
+	res, err := sim.Transient(context.Background(), lin, sim.Options{Dt: 1e-12, TStop: golden.End()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestFitRejectsNonToggling(t *testing.T) {
 	tt := tech.Tech130()
 	nand := cell.MustNew(tt, "NAND2", 1)
 	// With A=0, toggling B does not change the NAND output.
-	if _, err := Fit(nand, cell.State{"A": false, "B": false}, "B", 50e-15, FitOptions{}); err == nil {
+	if _, err := Fit(context.Background(), nand, cell.State{"A": false, "B": false}, "B", 50e-15, FitOptions{}); err == nil {
 		t.Error("non-toggling switch accepted")
 	}
 }
@@ -127,7 +128,7 @@ func TestFitNAND2Rising(t *testing.T) {
 	tt := tech.Tech130()
 	nand := cell.MustNew(tt, "NAND2", 2)
 	// A=1,B=1 → out low; B falls ⇒ out rises.
-	drv, err := Fit(nand, cell.State{"A": true, "B": true}, "B", 60e-15, FitOptions{})
+	drv, err := Fit(context.Background(), nand, cell.State{"A": true, "B": true}, "B", 60e-15, FitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestShifted(t *testing.T) {
 func TestFit90nm(t *testing.T) {
 	tt := tech.Tech90()
 	inv := cell.MustNew(tt, "INV", 1)
-	drv, err := Fit(inv, cell.State{"A": false}, "A", 40e-15, FitOptions{})
+	drv, err := Fit(context.Background(), inv, cell.State{"A": false}, "A", 40e-15, FitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

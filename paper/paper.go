@@ -9,6 +9,7 @@
 package paper
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -178,45 +179,45 @@ type prepared struct {
 	opts    core.EvalOptions
 }
 
-func prepare(c *core.Cluster, q Quality, needProp bool) (*prepared, error) {
+func prepare(ctx context.Context, c *core.Cluster, q Quality, needProp bool) (*prepared, error) {
 	mopts := q.modelOptions()
 	mopts.SkipProp = !needProp
-	models, err := c.BuildModels(mopts)
+	models, err := c.BuildModels(ctx, mopts)
 	if err != nil {
 		return nil, err
 	}
 	opts := core.EvalOptions{Dt: q.dt()}
-	if err := c.AlignWorstCase(models, opts); err != nil {
+	if err := c.AlignWorstCase(ctx, models, opts); err != nil {
 		return nil, err
 	}
 	return &prepared{cluster: c, models: models, opts: opts}, nil
 }
 
-func (p *prepared) eval(m core.Method) (*core.Evaluation, error) {
-	return p.cluster.Evaluate(m, p.models, p.opts)
+func (p *prepared) eval(ctx context.Context, m core.Method) (*core.Evaluation, error) {
+	return p.cluster.Evaluate(ctx, m, p.models, p.opts)
 }
 
 // RunTable1 regenerates Table 1: injected and propagated noise combination
 // — golden (ELDO stand-in) versus linear superposition versus the paper's
 // macromodel.
-func RunTable1(q Quality) (*Experiment, error) {
+func RunTable1(ctx context.Context, q Quality) (*Experiment, error) {
 	c, err := Table1Cluster(q)
 	if err != nil {
 		return nil, err
 	}
-	p, err := prepare(c, q, true)
+	p, err := prepare(ctx, c, q, true)
 	if err != nil {
 		return nil, err
 	}
-	golden, err := p.eval(core.Golden)
+	golden, err := p.eval(ctx, core.Golden)
 	if err != nil {
 		return nil, err
 	}
-	sup, err := p.eval(core.Superposition)
+	sup, err := p.eval(ctx, core.Superposition)
 	if err != nil {
 		return nil, err
 	}
-	mac, err := p.eval(core.Macromodel)
+	mac, err := p.eval(ctx, core.Macromodel)
 	if err != nil {
 		return nil, err
 	}
@@ -236,20 +237,20 @@ func RunTable1(q Quality) (*Experiment, error) {
 
 // RunTable2 regenerates Table 2: worst-case overlap of two in-phase
 // aggressors and one propagating glitch.
-func RunTable2(q Quality) (*Experiment, error) {
+func RunTable2(ctx context.Context, q Quality) (*Experiment, error) {
 	c, err := Table2Cluster(q)
 	if err != nil {
 		return nil, err
 	}
-	p, err := prepare(c, q, false)
+	p, err := prepare(ctx, c, q, false)
 	if err != nil {
 		return nil, err
 	}
-	golden, err := p.eval(core.Golden)
+	golden, err := p.eval(ctx, core.Golden)
 	if err != nil {
 		return nil, err
 	}
-	mac, err := p.eval(core.Macromodel)
+	mac, err := p.eval(ctx, core.Macromodel)
 	if err != nil {
 		return nil, err
 	}
@@ -270,16 +271,16 @@ func RunTable2(q Quality) (*Experiment, error) {
 // its reference [4]: the iterative pulsed-Thevenin victim model, evaluated
 // at increasing iteration counts on the Table 1 cluster, bracketed by
 // superposition and the macromodel.
-func RunZolotovContext(q Quality) (*Experiment, error) {
+func RunZolotovContext(ctx context.Context, q Quality) (*Experiment, error) {
 	c, err := Table1Cluster(q)
 	if err != nil {
 		return nil, err
 	}
-	p, err := prepare(c, q, true)
+	p, err := prepare(ctx, c, q, true)
 	if err != nil {
 		return nil, err
 	}
-	golden, err := p.eval(core.Golden)
+	golden, err := p.eval(ctx, core.Golden)
 	if err != nil {
 		return nil, err
 	}
@@ -291,7 +292,7 @@ func RunZolotovContext(q Quality) (*Experiment, error) {
 			"paper quotes [4] at -18% peak / -20% width errors; iterations converge toward the non-linear result",
 		},
 	}
-	sup, err := p.eval(core.Superposition)
+	sup, err := p.eval(ctx, core.Superposition)
 	if err != nil {
 		return nil, err
 	}
@@ -299,13 +300,13 @@ func RunZolotovContext(q Quality) (*Experiment, error) {
 	for _, passes := range []int{1, 2, 4} {
 		opts := p.opts
 		opts.ZolotovPasses = passes
-		ev, err := c.Evaluate(core.Zolotov, p.models, opts)
+		ev, err := c.Evaluate(ctx, core.Zolotov, p.models, opts)
 		if err != nil {
 			return nil, err
 		}
 		exp.Rows = append(exp.Rows, evalRow(fmt.Sprintf("zolotov (%d passes)", passes), ev, golden))
 	}
-	mac, err := p.eval(core.Macromodel)
+	mac, err := p.eval(ctx, core.Macromodel)
 	if err != nil {
 		return nil, err
 	}
@@ -315,7 +316,7 @@ func RunZolotovContext(q Quality) (*Experiment, error) {
 
 // RunSpeedup regenerates the paper's claim C2 ("the speed-up obtained with
 // our approach was about 20X with respect to ELDO") on both table clusters.
-func RunSpeedup(q Quality) (*Experiment, error) {
+func RunSpeedup(ctx context.Context, q Quality) (*Experiment, error) {
 	exp := &Experiment{
 		ID:    "speedup",
 		Title: "Claim C2: analysis speed-up of the macromodel engine vs the golden transistor-level simulation",
@@ -334,15 +335,15 @@ func RunSpeedup(q Quality) (*Experiment, error) {
 		if err != nil {
 			return nil, err
 		}
-		p, err := prepare(c, q, false)
+		p, err := prepare(ctx, c, q, false)
 		if err != nil {
 			return nil, err
 		}
-		golden, err := p.eval(core.Golden)
+		golden, err := p.eval(ctx, core.Golden)
 		if err != nil {
 			return nil, err
 		}
-		mac, err := p.eval(core.Macromodel)
+		mac, err := p.eval(ctx, core.Macromodel)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package paper
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -10,7 +11,7 @@ import (
 // Table 1 cluster, superposition must underestimate peak and area by
 // double-digit percentages while the macromodel stays within a few percent.
 func TestTable1Shape(t *testing.T) {
-	exp, err := RunTable1(Quick)
+	exp, err := RunTable1(context.Background(), Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	exp, err := RunTable2(Quick)
+	exp, err := RunTable2(context.Background(), Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestZolotovContextOrdering(t *testing.T) {
-	exp, err := RunZolotovContext(Quick)
+	exp, err := RunZolotovContext(context.Background(), Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,19 +88,25 @@ func TestZolotovContextOrdering(t *testing.T) {
 }
 
 func TestSpeedupClaim(t *testing.T) {
-	exp, err := RunSpeedup(Quick)
+	exp, err := RunSpeedup(context.Background(), Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Quick quality uses a coarse mesh, so the ratio is smaller than the
-	// published Full-quality number; it must still be a clear win.
+	// published Full-quality number; it must still be a clear win. Race
+	// instrumentation skews the two engines differently, so only the
+	// relaxed bound applies there.
+	minRatio := 3.0
+	if raceEnabled {
+		minRatio = 1.5
+	}
 	for i := 0; i < len(exp.Rows); i += 2 {
 		g, m := exp.Rows[i], exp.Rows[i+1]
 		if m.Elapsed >= g.Elapsed {
 			t.Errorf("%s: macromodel (%v) not faster than golden (%v)", m.Label, m.Elapsed, g.Elapsed)
 		}
-		if float64(g.Elapsed)/float64(m.Elapsed) < 3 {
-			t.Errorf("%s: speed-up below 3X even at quick quality", m.Label)
+		if float64(g.Elapsed)/float64(m.Elapsed) < minRatio {
+			t.Errorf("%s: speed-up below %.1fX even at quick quality", m.Label, minRatio)
 		}
 	}
 }
@@ -107,7 +114,7 @@ func TestSpeedupClaim(t *testing.T) {
 func TestSweepSubsetAccuracy(t *testing.T) {
 	// A cross-technology subset: first four 0.13 µm cases and the worst
 	// structural variety; full sweep runs via cmd/noisetab.
-	exp, err := RunSweep(Quick, 4)
+	exp, err := RunSweep(context.Background(), Quick, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +166,7 @@ func TestBuildSweepClusterTwoAggressors(t *testing.T) {
 }
 
 func TestFig1Description(t *testing.T) {
-	s, err := Fig1Description(Quick)
+	s, err := Fig1Description(context.Background(), Quick)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package paper
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -116,7 +117,7 @@ func BuildSweepCluster(sc SweepCase, q Quality) (*core.Cluster, error) {
 
 // RunSweep regenerates claim C1: macromodel and superposition accuracy over
 // the cluster sweep. With maxCases > 0 only the first maxCases are run.
-func RunSweep(q Quality, maxCases int) (*Experiment, error) {
+func RunSweep(ctx context.Context, q Quality, maxCases int) (*Experiment, error) {
 	cases := SweepCases()
 	if maxCases > 0 && maxCases < len(cases) {
 		cases = cases[:maxCases]
@@ -134,15 +135,15 @@ func RunSweep(q Quality, maxCases int) (*Experiment, error) {
 		if err != nil {
 			return nil, fmt.Errorf("paper: sweep case %s: %w", sc.Name, err)
 		}
-		p, err := prepare(c, q, false)
+		p, err := prepare(ctx, c, q, false)
 		if err != nil {
 			return nil, fmt.Errorf("paper: sweep case %s: %w", sc.Name, err)
 		}
-		golden, err := p.eval(core.Golden)
+		golden, err := p.eval(ctx, core.Golden)
 		if err != nil {
 			return nil, fmt.Errorf("paper: sweep case %s golden: %w", sc.Name, err)
 		}
-		mac, err := p.eval(core.Macromodel)
+		mac, err := p.eval(ctx, core.Macromodel)
 		if err != nil {
 			return nil, fmt.Errorf("paper: sweep case %s macromodel: %w", sc.Name, err)
 		}
@@ -162,14 +163,14 @@ func RunSweep(q Quality, maxCases int) (*Experiment, error) {
 // Table 2 configuration — the circuit of the paper's Figure 1 — as an
 // annotated textual schematic plus the element values this implementation
 // derived.
-func Fig1Description(q Quality) (string, error) {
+func Fig1Description(ctx context.Context, q Quality) (string, error) {
 	c, err := Table2Cluster(q)
 	if err != nil {
 		return "", err
 	}
 	mopts := q.modelOptions()
 	mopts.SkipProp = true
-	models, err := c.BuildModels(mopts)
+	models, err := c.BuildModels(ctx, mopts)
 	if err != nil {
 		return "", err
 	}

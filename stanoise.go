@@ -1,0 +1,172 @@
+package stanoise
+
+import (
+	"io"
+
+	"stanoise/internal/charlib"
+	"stanoise/internal/core"
+	"stanoise/internal/nrc"
+	"stanoise/internal/sna"
+	"stanoise/internal/wave"
+)
+
+// This file is the curated public surface of the repository: a facade over
+// the internal analysis engine. Everything a caller needs to describe a
+// design, run (or stream) a static noise analysis, tune model quality and
+// interpret results is re-exported here, so programs never import
+// stanoise/internal/... directly. The fine-grained cluster API reached
+// through Design.BuildCluster — BuildModels, AlignWorstCase, Evaluate —
+// stays usable through these aliases without naming internal packages.
+
+// Design description and construction.
+type (
+	// Design is the top-level JSON design description: a set of noise
+	// clusters extracted from a routed design, with common technology and
+	// layer.
+	Design = sna.Design
+	// ClusterSpec describes one victim net and its coupled aggressors.
+	ClusterSpec = sna.ClusterSpec
+	// VictimSpec is the victim net of a cluster.
+	VictimSpec = sna.VictimSpec
+	// AggressorSpec is one coupled aggressor of a cluster.
+	AggressorSpec = sna.AggressorSpec
+	// Cluster is the evaluable form of a ClusterSpec (see
+	// Design.BuildCluster): the victim driver, aggressors, coupled
+	// interconnect and receivers of one noise cluster.
+	Cluster = core.Cluster
+)
+
+// Analysis entry points and results.
+type (
+	// Analyzer runs static noise analysis over a design; see NewAnalyzer.
+	// Analyze(ctx) returns reports in design order; Stream(ctx) yields
+	// them in completion order.
+	Analyzer = sna.Analyzer
+	// Options configures an analysis run.
+	Options = sna.Options
+	// NetReport is the per-victim outcome of an analysis; its JSON form is
+	// the stable schema emitted by snacheck -json.
+	NetReport = sna.NetReport
+	// Summary aggregates reports (see Summarize).
+	Summary = sna.Summary
+	// StageTiming breaks one cluster's analysis into pipeline stages.
+	StageTiming = sna.StageTiming
+)
+
+// Typed errors and policies.
+type (
+	// ClusterError is the typed per-cluster failure: cluster name, pipeline
+	// stage and cause. Extract it from any analysis error with errors.As.
+	ClusterError = sna.ClusterError
+	// Stage identifies the failing pipeline stage inside a ClusterError.
+	Stage = sna.Stage
+	// ErrorPolicy selects fail-fast or continue-and-collect error handling.
+	ErrorPolicy = sna.ErrorPolicy
+)
+
+// Pipeline stages, in execution order.
+const (
+	StageBuild  = sna.StageBuild
+	StageModels = sna.StageModels
+	StageAlign  = sna.StageAlign
+	StageEval   = sna.StageEval
+	StageNRC    = sna.StageNRC
+)
+
+// Error policies.
+const (
+	// FailFast stops at the first failing cluster (the default).
+	FailFast = sna.FailFast
+	// ContinueOnError analyses every cluster and collects all failures
+	// via errors.Join.
+	ContinueOnError = sna.ContinueOnError
+)
+
+// Victim-driver models.
+type (
+	// Method selects how the total noise on a cluster is computed.
+	Method = core.Method
+	// Evaluation is the outcome of evaluating one cluster with one method:
+	// waveforms and glitch metrics at the driving point and receiver.
+	Evaluation = core.Evaluation
+	// EvalOptions tunes cluster evaluation.
+	EvalOptions = core.EvalOptions
+	// Models holds a cluster's pre-characterised artefacts (see
+	// Cluster.BuildModels).
+	Models = core.Models
+	// ModelOptions tunes model construction.
+	ModelOptions = core.ModelOptions
+)
+
+const (
+	// Golden is the full transistor-level simulation (ELDO stand-in).
+	Golden = core.Golden
+	// Superposition is the traditional linear flow.
+	Superposition = core.Superposition
+	// Zolotov is the iterative pulsed-Thevenin victim model of ref [4].
+	Zolotov = core.Zolotov
+	// Macromodel is the paper's non-linear VCCS approach (the default).
+	Macromodel = core.Macromodel
+)
+
+// Characterisation quality knobs and artefacts.
+type (
+	// Cache memoizes characterisation artefacts across clusters, workers
+	// and analyzers; see NewCache and Options.Cache.
+	Cache = charlib.Cache
+	// CacheStats reports cache effectiveness counters.
+	CacheStats = charlib.CacheStats
+	// LoadCurveOptions tunes VCCS load-curve characterisation.
+	LoadCurveOptions = charlib.LoadCurveOptions
+	// PropOptions tunes propagation-table characterisation.
+	PropOptions = charlib.PropOptions
+	// NRCOptions tunes Noise Rejection Curve characterisation.
+	NRCOptions = nrc.Options
+	// NRCCurve is a characterised Noise Rejection Curve: the dynamic noise
+	// margin a receiver pin is judged against.
+	NRCCurve = nrc.Curve
+)
+
+// Waveforms and glitch metrics (the payload of an Evaluation).
+type (
+	// Waveform is a sampled voltage waveform.
+	Waveform = wave.Waveform
+	// NoiseMetrics are the glitch metrics (peak, area, width) of a noise
+	// waveform relative to its quiet level.
+	NoiseMetrics = wave.NoiseMetrics
+)
+
+// MeasureNoise extracts glitch metrics from a waveform around a quiet
+// level.
+func MeasureNoise(w *Waveform, quiet float64) NoiseMetrics { return wave.MeasureNoise(w, quiet) }
+
+// PeakError returns the relative error of got versus want in percent.
+func PeakError(got, want float64) float64 { return wave.PeakError(got, want) }
+
+// NewAnalyzer builds an analyzer for a validated design.
+func NewAnalyzer(d *Design, opts Options) *Analyzer { return sna.NewAnalyzer(d, opts) }
+
+// NewCache returns an empty characterisation cache ready for concurrent
+// use, for sharing across analyzers via Options.Cache.
+func NewCache() *Cache { return charlib.NewCache() }
+
+// ParseDesign reads a Design from JSON.
+func ParseDesign(r io.Reader) (*Design, error) { return sna.ParseDesign(r) }
+
+// GenerateDesign builds a deterministic synthetic many-cluster design for
+// benchmarks, load tests and demos.
+func GenerateDesign(name string, n int) *Design { return sna.GenerateDesign(name, n) }
+
+// SampleDesign is a ready-to-run starter design (what `snacheck -sample`
+// emits).
+func SampleDesign() *Design { return sna.SampleDesign() }
+
+// Summarize folds reports into a Summary.
+func Summarize(reports []NetReport) Summary { return sna.Summarize(reports) }
+
+// ParseMethod converts a method name ("macromodel", "superposition",
+// "zolotov", "golden") into a Method.
+func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
+
+// ParseErrorPolicy converts "fail-fast" or "continue" into an ErrorPolicy.
+func ParseErrorPolicy(s string) (ErrorPolicy, error) { return sna.ParseErrorPolicy(s) }
