@@ -312,6 +312,61 @@ func BenchmarkDesignAnalyzeParallel8(b *testing.B) { benchDesignAnalyze(b, 8, fa
 // every artefact characterised inside the timed region.
 func BenchmarkDesignAnalyzeWarmCache(b *testing.B) { benchDesignAnalyze(b, 4, true) }
 
+// --- Persistent characterisation store (internal/charstore) ---------------
+
+// The disk-tier benchmarks measure the cross-run lever: ColdDisk is a
+// first-ever run that characterises everything and persists it (the
+// write-behind cost rides along); WarmDisk starts each iteration with an
+// empty in-memory cache but a populated store, so every artefact is a
+// disk read + decode instead of a transistor-level sweep. The
+// WarmDisk/ColdDisk ratio is the speedup a second `snacheck -cache-dir`
+// invocation sees.
+
+func benchDesignAnalyzeDisk(b *testing.B, warm bool) {
+	b.Helper()
+	d := sna.GenerateDesign("bench", benchDesignClusters)
+	dir := b.TempDir()
+	if warm {
+		// Populate the store once, outside the timed region. Cache is nil:
+		// CacheDir configures the analyzer's private cache (a supplied
+		// shared cache is never store-mutated — see sna.Options).
+		opts := designBenchOpts(4, nil)
+		opts.CacheDir = dir
+		if _, err := sna.NewAnalyzer(d, opts).Analyze(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !warm {
+			// A fresh store directory per iteration keeps every sweep and
+			// every first-time persist inside the timed region.
+			b.StopTimer()
+			dir = b.TempDir()
+			b.StartTimer()
+		}
+		opts := designBenchOpts(4, nil)
+		opts.CacheDir = dir
+		an := sna.NewAnalyzer(d, opts)
+		reports, err := an.Analyze(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) != benchDesignClusters {
+			b.Fatalf("reports = %d", len(reports))
+		}
+		if warm {
+			if cs := an.CacheStats(); cs.DiskHits != cs.Misses {
+				b.Fatalf("warm iteration characterised: %+v", cs)
+			}
+		}
+	}
+}
+
+func BenchmarkDesignAnalyzeColdDisk(b *testing.B) { benchDesignAnalyzeDisk(b, false) }
+func BenchmarkDesignAnalyzeWarmDisk(b *testing.B) { benchDesignAnalyzeDisk(b, true) }
+
 // --- Substrate benchmarks --------------------------------------------------
 
 // BenchmarkLoadCurveCharacterization times the paper's pre-characterisation

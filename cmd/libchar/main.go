@@ -5,6 +5,20 @@
 //
 //	libchar -tech cmos130 -cell NAND2 -pin B -out nand2.json
 //	libchar -tech cmos090 -all -out lib90.json
+//
+// With -cache-dir every characterised artefact is also persisted to a
+// content-addressed store, so a later snacheck/noisetab run pointed at the
+// same directory starts warm — libchar is the offline library step of the
+// paper's flow. A whole precharacterised library travels between machines
+// as a portable bundle:
+//
+//	libchar -tech cmos130 -all -prop -cache-dir ./noise-lib     # precharacterise
+//	libchar -cache-dir ./noise-lib -export-store lib130.bundle  # pack it up
+//	libchar -cache-dir /fresh/dir  -import-store lib130.bundle  # unpack elsewhere
+//
+// Bundles carry the model version they were built under; importing a
+// bundle from a different model generation is refused (recharacterise
+// instead), and individual damaged entries are skipped, never fatal.
 package main
 
 import (
@@ -17,6 +31,7 @@ import (
 
 	"stanoise/internal/cell"
 	"stanoise/internal/charlib"
+	"stanoise/internal/charstore"
 	"stanoise/internal/tech"
 )
 
@@ -29,10 +44,63 @@ func main() {
 	withProp := flag.Bool("prop", false, "also build propagation tables (slow)")
 	grid := flag.Int("grid", 61, "load-curve grid points per axis")
 	out := flag.String("out", "", "output JSON path (default stdout)")
+	cacheDir := flag.String("cache-dir", "", "persist characterised artefacts to a content-addressed store at this directory")
+	exportStore := flag.String("export-store", "", "write the whole -cache-dir store as a portable bundle to this path and exit")
+	importStore := flag.String("import-store", "", "import a bundle into -cache-dir and exit")
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+
+	var store *charstore.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = charstore.Open(*cacheDir)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if *exportStore != "" || *importStore != "" {
+		if store == nil {
+			fail(fmt.Errorf("-export-store/-import-store need -cache-dir"))
+		}
+		if *importStore != "" {
+			f, err := os.Open(*importStore)
+			if err != nil {
+				fail(err)
+			}
+			n, err := store.Import(f)
+			f.Close()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "libchar: imported %d artefacts into %s (%d total)\n",
+				n, store.Dir(), store.Len())
+		}
+		if *exportStore != "" {
+			f, err := os.Create(*exportStore)
+			if err != nil {
+				fail(err)
+			}
+			err = store.Export(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "libchar: exported %d artefacts from %s\n", store.Len(), store.Dir())
+		}
+		return
+	}
+
+	// The cache is how artefacts reach the store: characterisation goes
+	// through its two-tier path, so re-running libchar over an existing
+	// store is itself warm.
+	cache := charlib.NewCache()
+	if store != nil {
+		cache.SetStore(store)
+	}
 
 	t, err := tech.ByName(*techName)
 	if err != nil {
@@ -76,7 +144,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "libchar: skipping %s pin %s: %v\n", j.kind, j.pin, err)
 			continue
 		}
-		lc, err := charlib.CharacterizeLoadCurve(ctx, c, st, j.pin,
+		lc, err := cache.LoadCurve(ctx, c, st, j.pin,
 			charlib.LoadCurveOptions{NVin: *grid, NVout: *grid})
 		if err != nil {
 			fail(fmt.Errorf("%s/%s: %w", j.kind, j.pin, err))
@@ -86,7 +154,7 @@ func main() {
 			c.Name(), j.pin, st, lc.NVin, lc.NVout,
 			lc.HoldingResistance(c.PinVoltage(st[j.pin]), c.PinVoltage(c.Logic(st))))
 		if *withProp {
-			pt, err := charlib.CharacterizePropagation(ctx, c, st, j.pin, charlib.PropOptions{})
+			pt, err := cache.PropTable(ctx, c, st, j.pin, charlib.PropOptions{})
 			if err != nil {
 				fail(fmt.Errorf("%s/%s propagation: %w", j.kind, j.pin, err))
 			}
@@ -94,6 +162,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "libchar: %s pin %s: propagation table, max peak %.3f V\n",
 				c.Name(), j.pin, pt.MaxPeak())
 		}
+	}
+	if store != nil {
+		stats := cache.Stats()
+		fmt.Fprintf(os.Stderr, "libchar: store %s holds %d artefacts (%d loaded from disk this run)\n",
+			store.Dir(), store.Len(), stats.DiskHits)
 	}
 
 	w := os.Stdout

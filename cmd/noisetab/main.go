@@ -12,6 +12,14 @@
 // Use -quality quick for a fast smoke run (coarser meshes and grids) and
 // -csv to emit comma-separated values instead of aligned tables. An
 // interrupt (SIGINT/SIGTERM) cancels the running experiment promptly.
+//
+// With -cache-dir the experiment runners share a persistent
+// characterisation store: the first invocation persists every load curve,
+// propagation table and Thevenin aggressor fit it characterises, and later
+// invocations (of any experiment using the same grids) load them from
+// disk. Note that cached characterisation makes the *characterisation*
+// columns free, not the timed analysis columns — the speedup experiment
+// still measures real engine runs.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"stanoise"
 	"stanoise/paper"
 )
 
@@ -30,7 +39,19 @@ func main() {
 	quality := flag.String("quality", "full", "full (publication numbers) or quick (smoke run)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	sweepMax := flag.Int("sweep-max", 0, "limit the number of sweep cases (0 = all)")
+	cacheDir := flag.String("cache-dir", "", "persistent characterisation store directory shared by the runners")
 	flag.Parse()
+
+	if *cacheDir != "" {
+		store, err := stanoise.OpenStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "noisetab: warning: %v (continuing without a persistent cache)\n", err)
+		} else {
+			c := stanoise.NewCache()
+			c.SetStore(store)
+			paper.SetCache(c)
+		}
+	}
 
 	var q paper.Quality
 	switch *quality {

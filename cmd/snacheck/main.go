@@ -4,6 +4,7 @@
 //
 //	snacheck -design design.json [-method macromodel|superposition|zolotov|golden]
 //	         [-align] [-workers N] [-policy fail-fast|continue] [-json]
+//	         [-cache-dir DIR] [-deterministic]
 //	snacheck -sample > design.json     # emit a starter design
 //
 // Clusters are analysed concurrently on a bounded worker pool (-workers,
@@ -12,12 +13,22 @@
 // Interrupting the run (SIGINT/SIGTERM) cancels the analysis promptly —
 // mid-characterisation and mid-transient — via context cancellation.
 //
+// With -cache-dir the characterisation cache gains a persistent
+// content-addressed tier at DIR: the first run characterises and persists
+// every artefact, and later runs against the same library/options load
+// them from disk instead of re-running the transistor-level sweeps. A
+// damaged or unwritable store degrades to memory-only caching with a
+// warning on stderr — it never changes results or blocks sign-off.
+//
 // With -json the report is emitted as a single machine-readable JSON
 // document whose reports and summary use the stable schema of the public
 // stanoise.NetReport and stanoise.Summary types (margins that are +Inf,
 // i.e. unfailable, appear as null). With -policy continue every cluster is
 // analysed even after failures and each failure is listed with its cluster
-// and pipeline stage.
+// and pipeline stage. With -deterministic the JSON omits everything that
+// legitimately varies between identical runs — wall-clock timings and
+// cache counters — so a cold and a warm -cache-dir run of the same design
+// produce byte-identical documents (CI asserts exactly that).
 //
 // Exit codes (stable, for sign-off scripting):
 //
@@ -51,6 +62,8 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent cluster workers (0 = GOMAXPROCS)")
 	policy := flag.String("policy", "fail-fast", "error policy: fail-fast or continue (analyse every cluster, collect failures)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report on stdout")
+	cacheDir := flag.String("cache-dir", "", "persistent characterisation store directory (warm runs skip all transistor-level sweeps)")
+	deterministic := flag.Bool("deterministic", false, "omit run-varying fields (timings, cache counters) from -json output")
 	sample := flag.Bool("sample", false, "print a sample design JSON and exit")
 	flag.Parse()
 
@@ -91,12 +104,16 @@ func main() {
 	defer cancel()
 
 	an := stanoise.NewAnalyzer(design, stanoise.Options{
-		Method:  m,
-		Align:   *align,
-		Dt:      *dt * 1e-12,
-		Workers: *workers,
-		OnError: pol,
+		Method:   m,
+		Align:    *align,
+		Dt:       *dt * 1e-12,
+		Workers:  *workers,
+		OnError:  pol,
+		CacheDir: *cacheDir,
 	})
+	if err := an.StoreError(); err != nil {
+		fmt.Fprintf(os.Stderr, "snacheck: warning: %v (continuing without a persistent cache)\n", err)
+	}
 	wall := time.Now()
 	reports, err := an.Analyze(ctx)
 	elapsed := time.Since(wall)
@@ -108,7 +125,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		writeJSON(design, an, m, pol, reports, clusterErrs, elapsed)
+		writeJSON(design, an, m, pol, reports, clusterErrs, elapsed, *deterministic)
 	} else {
 		writeText(design, an, m, reports, clusterErrs, elapsed)
 	}
@@ -182,11 +199,14 @@ func writeText(design *stanoise.Design, an *stanoise.Analyzer, m stanoise.Method
 		stages.Align.Round(time.Millisecond), stages.Eval.Round(time.Millisecond),
 		stages.NRC.Round(time.Millisecond), stages.Total().Round(time.Millisecond),
 		an.Workers(), elapsed.Round(time.Millisecond))
-	fmt.Printf("characterisation cache: %d artefacts, %d hits, %d misses\n", cs.Entries, cs.Hits, cs.Misses)
+	fmt.Printf("characterisation cache: %d artefacts, %d hits, %d misses (%d served from disk)\n",
+		cs.Entries, cs.Hits, cs.Misses, cs.DiskHits)
 }
 
 // jsonReport is the top-level document of snacheck -json. Reports, errors
 // and summary serialise through the stable schemas of the public types.
+// Cache and ElapsedNs are absent under -deterministic (they are the only
+// fields that legitimately differ between identical runs).
 type jsonReport struct {
 	Design    string                   `json:"design"`
 	Method    stanoise.Method          `json:"method"`
@@ -195,22 +215,29 @@ type jsonReport struct {
 	Reports   []stanoise.NetReport     `json:"reports"`
 	Errors    []*stanoise.ClusterError `json:"errors,omitempty"`
 	Summary   stanoise.Summary         `json:"summary"`
-	Cache     stanoise.CacheStats      `json:"cache"`
-	ElapsedNs int64                    `json:"elapsed_ns"`
+	Cache     *stanoise.CacheStats     `json:"cache,omitempty"`
+	ElapsedNs int64                    `json:"elapsed_ns,omitempty"`
 }
 
 func writeJSON(design *stanoise.Design, an *stanoise.Analyzer, m stanoise.Method, pol stanoise.ErrorPolicy,
-	reports []stanoise.NetReport, clusterErrs []*stanoise.ClusterError, elapsed time.Duration) {
+	reports []stanoise.NetReport, clusterErrs []*stanoise.ClusterError, elapsed time.Duration, deterministic bool) {
 	doc := jsonReport{
-		Design:    design.Name,
-		Method:    m,
-		Policy:    pol.String(),
-		Workers:   an.Workers(),
-		Reports:   reports,
-		Errors:    clusterErrs,
-		Summary:   stanoise.Summarize(reports),
-		Cache:     an.CacheStats(),
-		ElapsedNs: elapsed.Nanoseconds(),
+		Design:  design.Name,
+		Method:  m,
+		Policy:  pol.String(),
+		Workers: an.Workers(),
+		Reports: reports,
+		Errors:  clusterErrs,
+		Summary: stanoise.Summarize(reports),
+	}
+	if deterministic {
+		for i := range doc.Reports {
+			doc.Reports[i].ClearTiming()
+		}
+	} else {
+		cs := an.CacheStats()
+		doc.Cache = &cs
+		doc.ElapsedNs = elapsed.Nanoseconds()
 	}
 	if doc.Reports == nil {
 		doc.Reports = []stanoise.NetReport{}

@@ -120,6 +120,81 @@ func TestFacadeTypedErrors(t *testing.T) {
 	}
 }
 
+// TestFacadePersistentStore drives the disk tier entirely through the
+// facade: OpenStore, Cache.SetStore, Options.CacheDir, export/import —
+// the workflow a long-running sign-off service or CI pipeline scripts.
+func TestFacadePersistentStore(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	d := stanoise.GenerateDesign("facade-store", 2)
+
+	opts := facadeOpts()
+	opts.Align = false
+	opts.LoadCurve = stanoise.LoadCurveOptions{NVin: 9, NVout: 9}
+	opts.NRC = stanoise.NRCOptions{Widths: []float64{150e-12, 600e-12}, Tol: 0.05, Dt: 2e-12}
+	opts.CacheDir = dir
+
+	cold := stanoise.NewAnalyzer(d, opts)
+	if err := cold.StoreError(); err != nil {
+		t.Fatal(err)
+	}
+	coldReports, err := cold.Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := stanoise.NewAnalyzer(d, opts)
+	warmReports, err := warm.Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := warm.CacheStats(); cs.DiskHits == 0 || cs.DiskHits != cs.Misses {
+		t.Errorf("warm run stats %+v, want every miss served from disk", cs)
+	}
+	for i := range coldReports {
+		coldReports[i].ClearTiming()
+		warmReports[i].ClearTiming()
+	}
+	cj, _ := json.Marshal(coldReports)
+	wj, _ := json.Marshal(warmReports)
+	if string(cj) != string(wj) {
+		t.Errorf("warm reports differ from cold:\n%s\n%s", cj, wj)
+	}
+
+	// Export the precharacterised library and import it into a fresh
+	// store; an analyzer over the fresh store starts warm too.
+	store, err := stanoise.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bundle strings.Builder
+	if err := store.Export(&bundle); err != nil {
+		t.Fatal(err)
+	}
+	dir2 := t.TempDir()
+	store2, err := stanoise.OpenStore(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := store2.Import(strings.NewReader(bundle.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("bundle import added no entries")
+	}
+	opts2 := opts
+	opts2.CacheDir = ""
+	opts2.Store = store2
+	imported := stanoise.NewAnalyzer(d, opts2)
+	if _, err := imported.Analyze(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if cs := imported.CacheStats(); cs.DiskHits != cs.Misses {
+		t.Errorf("imported-store run stats %+v, want fully warm", cs)
+	}
+}
+
 // TestFacadeSampleDesign keeps the CLI starter design analysable.
 func TestFacadeSampleDesign(t *testing.T) {
 	if err := stanoise.SampleDesign().Validate(); err != nil {

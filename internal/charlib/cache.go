@@ -23,12 +23,34 @@ import (
 // are single-flighted: one goroutine builds while the others wait for the
 // result instead of duplicating the work.
 //
+// A Cache optionally carries a persistent second tier (see SetStore): on a
+// memory miss the disk store is consulted before characterising, and every
+// successful fresh build is written behind to disk — so a second process
+// (or a second run of the same tool) starts warm. Cancelled or failed
+// builds are never persisted.
+//
 // A nil *Cache is valid and simply characterises on every call.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]*flight
-	hits    int
-	misses  int
+	mu       sync.Mutex
+	entries  map[string]*flight
+	store    PersistentStore
+	hits     int
+	misses   int
+	diskHits int
+}
+
+// PersistentStore is the on-disk tier of the cache, implemented by
+// charstore.Store. The cache keeps only this narrow view so the in-memory
+// layer never depends on the serialisation layer.
+//
+// Get returns the decoded artefact for the configuration or ok=false on
+// any miss — including corruption and version mismatches, which must
+// degrade to a miss, never an error. Put persists a freshly built
+// artefact; its error is advisory (persistence is an optimisation, never a
+// correctness gate). Both must be safe for concurrent use.
+type PersistentStore interface {
+	Get(kind string, cl *cell.Cell, st cell.State, pin, optsFP string) (any, bool)
+	Put(kind string, cl *cell.Cell, st cell.State, pin, optsFP string, v any) error
 }
 
 // flight is one memoized build: done closes when val/err are final.
@@ -41,12 +63,35 @@ type flight struct {
 // NewCache returns an empty cache ready for concurrent use.
 func NewCache() *Cache { return &Cache{entries: map[string]*flight{}} }
 
+// SetStore attaches (or, with nil, detaches) the persistent tier. Call it
+// before sharing the cache; attaching mid-flight is safe but entries
+// already memoized in memory are not retroactively persisted.
+func (c *Cache) SetStore(s PersistentStore) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.store = s
+	c.mu.Unlock()
+}
+
+// getStore snapshots the persistent tier.
+func (c *Cache) getStore() PersistentStore {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.store
+}
+
 // CacheStats reports cache effectiveness counters. The JSON tags are part
 // of the stable snacheck -json schema.
 type CacheStats struct {
 	Entries int `json:"entries"` // distinct artefacts built (or building)
 	Hits    int `json:"hits"`    // requests served from an existing entry
 	Misses  int `json:"misses"`  // requests that triggered a build
+	// DiskHits counts the misses that were then answered by the persistent
+	// store instead of a fresh characterisation. Misses includes them: a
+	// warm-disk run shows Misses == DiskHits, a cold run DiskHits == 0.
+	DiskHits int `json:"disk_hits"`
 }
 
 // Stats snapshots the counters. Safe on a nil cache.
@@ -56,7 +101,7 @@ func (c *Cache) Stats() CacheStats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses}
+	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses, DiskHits: c.diskHits}
 }
 
 // Keys returns the sorted entry keys, for inspection and tests.
@@ -156,9 +201,44 @@ func (c *Cache) forget(key string, f *flight) {
 // CellKey builds a cache key for an artefact of the given kind ("lc",
 // "prop", "nrc", ...) characterised on a cell configuration. The cell name
 // embeds the drive strength, and optsFP fingerprints the characterisation
-// options so different qualities get different entries.
+// options so different qualities never alias. This is the *in-memory* key;
+// the persistent tier derives its own content-addressed key from the same
+// configuration (plus the cell netlist, tech card and model version).
 func CellKey(kind string, cl *cell.Cell, st cell.State, pin, optsFP string) string {
 	return kind + "|" + cl.Tech.Name + "|" + cl.Name() + "|" + st.String() + "|" + pin + "|" + optsFP
+}
+
+// Artefact runs the full two-tier lookup for one artefact of the given
+// kind: memory (single-flighted), then the persistent store, then build.
+// A successful fresh build is written behind to the store; build errors
+// and cancellations are never persisted. optsFP must fingerprint every
+// option that shapes the result. A nil cache just builds.
+//
+// This is the extension point for artefact kinds the cache has no typed
+// accessor for (core uses it for Thevenin driver fits).
+func (c *Cache) Artefact(ctx context.Context, kind string, cl *cell.Cell, st cell.State, pin, optsFP string, build func() (any, error)) (any, error) {
+	if c == nil {
+		return build()
+	}
+	return c.Do(ctx, CellKey(kind, cl, st, pin, optsFP), func() (any, error) {
+		if s := c.getStore(); s != nil {
+			if v, ok := s.Get(kind, cl, st, pin, optsFP); ok {
+				c.mu.Lock()
+				c.diskHits++
+				c.mu.Unlock()
+				return v, nil
+			}
+		}
+		v, err := build()
+		if err == nil {
+			if s := c.getStore(); s != nil {
+				// Best-effort write-behind: a full disk or unwritable store
+				// directory costs persistence, never the analysis.
+				_ = s.Put(kind, cl, st, pin, optsFP, v)
+			}
+		}
+		return v, err
+	})
 }
 
 // LoadCurve returns the memoized VCCS load-curve table for the cell
@@ -169,7 +249,7 @@ func (c *Cache) LoadCurve(ctx context.Context, cl *cell.Cell, st cell.State, pin
 	}
 	opts = opts.normalize()
 	fp := fmt.Sprintf("%d,%d,%g", opts.NVin, opts.NVout, opts.MarginFrac)
-	v, err := c.Do(ctx, CellKey("lc", cl, st, pin, fp), func() (any, error) {
+	v, err := c.Artefact(ctx, "lc", cl, st, pin, fp, func() (any, error) {
 		return CharacterizeLoadCurve(ctx, cl, st, pin, opts)
 	})
 	if err != nil {
@@ -186,7 +266,7 @@ func (c *Cache) PropTable(ctx context.Context, cl *cell.Cell, st cell.State, pin
 	}
 	opts = opts.normalize(cl.Tech.VDD)
 	fp := fmt.Sprintf("%v,%v,%v,%g", opts.Heights, opts.Widths, opts.Loads, opts.Dt)
-	v, err := c.Do(ctx, CellKey("prop", cl, st, pin, fp), func() (any, error) {
+	v, err := c.Artefact(ctx, "prop", cl, st, pin, fp, func() (any, error) {
 		return CharacterizePropagation(ctx, cl, st, pin, opts)
 	})
 	if err != nil {
@@ -203,7 +283,7 @@ func (c *Cache) NRCCurve(ctx context.Context, recv *cell.Cell, st cell.State, pi
 	}
 	opts = opts.Normalized()
 	fp := fmt.Sprintf("%v,%g,%g,%g,%g", opts.Widths, opts.LoadCap, opts.FailFrac, opts.Tol, opts.Dt)
-	v, err := c.Do(ctx, CellKey("nrc", recv, st, pin, fp), func() (any, error) {
+	v, err := c.Artefact(ctx, "nrc", recv, st, pin, fp, func() (any, error) {
 		return nrc.Characterize(ctx, recv, st, pin, opts)
 	})
 	if err != nil {

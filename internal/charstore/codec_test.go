@@ -1,0 +1,192 @@
+package charstore
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"stanoise/internal/charlib"
+	"stanoise/internal/nrc"
+	"stanoise/internal/thevenin"
+)
+
+// sampleArtefacts builds one hand-constructed instance of every
+// persistable artefact type, deliberately including the awkward values:
+// +Inf NRC heights (unfailable widths), negative currents, sub-femto
+// magnitudes.
+func sampleArtefacts() []any {
+	return []any{
+		&charlib.LoadCurve{
+			CellName: "INV_X1", State: "A=0", NoisyPin: "A",
+			VinMin: -0.24, VinMax: 1.44, VoutMin: -0.24, VoutMax: 1.44,
+			NVin: 2, NVout: 3,
+			I: []float64{1.5e-3, -2.25e-4, 0, 3.125e-5, -1e-12, 7.5e-6},
+		},
+		&charlib.PropTable{
+			CellName: "NAND2_X1", State: "A=1,B=0", NoisyPin: "B",
+			Heights: []float64{0.3, 0.9}, Widths: []float64{2e-10}, Loads: []float64{3e-14, 1.2e-13},
+			Peak:    [][][]float64{{{0.01, 0.005}}, {{0.4, 0.22}}},
+			Area:    [][][]float64{{{1e-12, 5e-13}}, {{6e-11, 3.3e-11}}},
+			OutSign: -1, QuietOut: 1.2,
+		},
+		&nrc.Curve{
+			CellName: "INV_X2", State: "A=0", Pin: "A", FailFrac: 0.5,
+			Widths:  []float64{5e-11, 2e-10, 8e-10},
+			Heights: []float64{math.Inf(1), 1.05, 0.84},
+		},
+		&thevenin.Driver{V0: 0, V1: 1.2, T0: 1.07e-10, Tr: 4.4e-11, RTh: 3200},
+	}
+}
+
+// TestCodecRoundTripByteIdentical is the round-trip property test of the
+// issue: serialize → deserialize → re-serialize must be byte-identical for
+// every table type, and the decoded value must equal the original.
+func TestCodecRoundTripByteIdentical(t *testing.T) {
+	for _, v := range sampleArtefacts() {
+		tag, payload, ok := encodeArtefact(v)
+		if !ok {
+			t.Fatalf("%T did not encode", v)
+		}
+		decoded, err := decodeArtefact(tag, payload)
+		if err != nil {
+			t.Fatalf("%T decode: %v", v, err)
+		}
+		if !reflect.DeepEqual(decoded, v) {
+			t.Errorf("%T round trip changed the value:\n got %#v\nwant %#v", v, decoded, v)
+		}
+		tag2, payload2, ok := encodeArtefact(decoded)
+		if !ok || tag2 != tag {
+			t.Fatalf("%T re-encode failed (tag %d vs %d)", v, tag2, tag)
+		}
+		if !bytes.Equal(payload, payload2) {
+			t.Errorf("%T re-serialisation is not byte-identical (%d vs %d bytes)", v, len(payload), len(payload2))
+		}
+	}
+}
+
+// TestCodecRejectsDamage: every prefix truncation and any trailing junk
+// must decode to an error, never to a plausible-looking artefact.
+func TestCodecRejectsDamage(t *testing.T) {
+	for _, v := range sampleArtefacts() {
+		tag, payload, _ := encodeArtefact(v)
+		for n := 0; n < len(payload); n++ {
+			if _, err := decodeArtefact(tag, payload[:n]); err == nil {
+				t.Errorf("%T: truncation to %d/%d bytes decoded without error", v, n, len(payload))
+				break
+			}
+		}
+		if _, err := decodeArtefact(tag, append(append([]byte{}, payload...), 0xEE)); err == nil {
+			t.Errorf("%T: trailing byte decoded without error", v)
+		}
+	}
+	if _, err := decodeArtefact(99, nil); err == nil {
+		t.Error("unknown kind tag decoded without error")
+	}
+}
+
+// TestCodecRejectsOverflowingSliceCount pins an integer-overflow panic: a
+// corrupted slice-count varint near 2^61 made 8*n wrap past the old
+// length guard and crash in make(). It must decode to an error.
+func TestCodecRejectsOverflowingSliceCount(t *testing.T) {
+	var e enc
+	e.str("cell")
+	e.str("state")
+	e.str("pin")
+	e.f64(0.5)                 // FailFrac
+	e.uvarint(uint64(1) << 61) // Widths count: 8*n wraps to 0
+	payload := e.b
+	if _, err := decodeArtefact(kindNRCCurve, payload); err == nil {
+		t.Fatal("overflowing slice count decoded without error")
+	}
+}
+
+// TestCodecRejectsHostileShapes pins two crafted-input crashes: prop-table
+// axes whose product would pre-allocate petabytes, and load-curve grid
+// counts whose int product wraps onto the I length. Both must decode to
+// errors, never to allocations or "valid" tables.
+func TestCodecRejectsHostileShapes(t *testing.T) {
+	// Prop table: three genuine 1500-element axes (36 KB of payload), but
+	// a Peak volume of 1500^3 floats (~27 TB) that must never allocate.
+	var e enc
+	e.str("cell")
+	e.str("state")
+	e.str("pin")
+	axis := make([]float64, 1500)
+	e.f64s(axis)
+	e.f64s(axis)
+	e.f64s(axis)
+	if _, err := decodeArtefact(kindPropTable, e.b); err == nil {
+		t.Fatal("petabyte prop table decoded without error")
+	}
+
+	// Load curve: NVin = NVout = 2^32 wraps the int product to 0 == len(I).
+	var e2 enc
+	e2.str("cell")
+	e2.str("state")
+	e2.str("pin")
+	for i := 0; i < 4; i++ {
+		e2.f64(1)
+	}
+	e2.uvarint(1 << 32)
+	e2.uvarint(1 << 32)
+	e2.f64s(nil)
+	if _, err := decodeArtefact(kindLoadCurve, e2.b); err == nil {
+		t.Fatal("overflowing load-curve grid decoded without error")
+	}
+}
+
+// TestContainerRejectsOverflowingPayloadLength pins the sibling overflow
+// in the container framing: a payload-length varint near 2^64 made
+// n+sha256.Size wrap, pass the equality check and panic slicing.
+func TestContainerRejectsOverflowingPayloadLength(t *testing.T) {
+	var e enc
+	e.b = append(e.b, entryMagic[:]...)
+	e.b = append(e.b, 1, 0) // format version 1, little-endian
+	e.b = append(e.b, kindLoadCurve)
+	e.str(ModelVersion)
+	e.uvarint(^uint64(0) - 31) // n + 32 wraps to 0
+	// Trailing bytes sized so len(rest) == 0 == wrapped n+32.
+	if _, _, _, err := parseContainer(e.b); err == nil {
+		t.Fatal("overflowing payload length parsed without error")
+	}
+}
+
+// TestContainerRoundTripAndDamage exercises the container framing the same
+// way: valid parse, then rejection of every corruption class Get must
+// survive.
+func TestContainerRoundTripAndDamage(t *testing.T) {
+	payload := []byte("not a real payload but checksummed all the same")
+	c := buildContainer(kindLoadCurve, ModelVersion, payload)
+
+	tag, model, got, err := parseContainer(c)
+	if err != nil || tag != kindLoadCurve || model != ModelVersion || !bytes.Equal(got, payload) {
+		t.Fatalf("container round trip: tag=%d model=%q err=%v", tag, model, err)
+	}
+
+	for n := 0; n < len(c); n++ {
+		if _, _, _, err := parseContainer(c[:n]); err == nil {
+			t.Fatalf("truncated container (%d/%d bytes) parsed without error", n, len(c))
+		}
+	}
+	// Flip one payload byte: the checksum must catch it.
+	bad := append([]byte{}, c...)
+	bad[len(bad)-sha256Size-1] ^= 0x01
+	if _, _, _, err := parseContainer(bad); err == nil {
+		t.Error("payload corruption passed the checksum")
+	}
+	// Future container format version.
+	bad = append([]byte{}, c...)
+	bad[4] = 0xFF
+	if _, _, _, err := parseContainer(bad); err == nil {
+		t.Error("future format version parsed without error")
+	}
+	// Wrong magic.
+	bad = append([]byte{}, c...)
+	bad[0] = 'X'
+	if _, _, _, err := parseContainer(bad); err == nil {
+		t.Error("wrong magic parsed without error")
+	}
+}
+
+const sha256Size = 32

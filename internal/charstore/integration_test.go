@@ -1,0 +1,83 @@
+package charstore
+
+import (
+	"context"
+	"os"
+	"reflect"
+	"testing"
+
+	"stanoise/internal/cell"
+	"stanoise/internal/charlib"
+	"stanoise/internal/tech"
+)
+
+// TestCacheRecharacterizesThroughDamagedStore wires a real Cache to a real
+// Store, characterises a tiny load curve, damages the persisted entry, and
+// proves a fresh cache falls back to recharacterisation — same numbers, no
+// error — then re-persists a valid entry.
+func TestCacheRecharacterizesThroughDamagedStore(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	tt := tech.Tech130()
+	cl := cell.MustNew(tt, "INV", 1)
+	st := cell.State{"A": false}
+	opts := charlib.LoadCurveOptions{NVin: 7, NVout: 7}
+	ctx := context.Background()
+
+	cold := charlib.NewCache()
+	cold.SetStore(s)
+	lc1, err := cold.LoadCurve(ctx, cl, st, "A", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("store holds %d entries after characterisation, want 1", s.Len())
+	}
+
+	// A pristine warm cache is served from disk with identical numbers.
+	warm := charlib.NewCache()
+	warm.SetStore(s)
+	lc2, err := warm.LoadCurve(ctx, cl, st, "A", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lc1, lc2) {
+		t.Error("disk-served load curve differs from the characterised one")
+	}
+	if cs := warm.Stats(); cs.DiskHits != 1 {
+		t.Errorf("warm cache stats: %+v", cs)
+	}
+
+	// Corrupt the entry: the next fresh cache must recharacterise without
+	// surfacing any error, and heal the store.
+	path := entryPath(t, s)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/3] ^= 0xA5
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	healed := charlib.NewCache()
+	healed.SetStore(s)
+	lc3, err := healed.LoadCurve(ctx, cl, st, "A", opts)
+	if err != nil {
+		t.Fatalf("damaged store surfaced an error: %v", err)
+	}
+	if !reflect.DeepEqual(lc1, lc3) {
+		t.Error("recharacterised load curve differs")
+	}
+	if cs := healed.Stats(); cs.DiskHits != 0 {
+		t.Errorf("damaged entry counted as a disk hit: %+v", cs)
+	}
+	// The rebuild was persisted: one more cache reads it from disk again.
+	again := charlib.NewCache()
+	again.SetStore(s)
+	if _, err := again.LoadCurve(ctx, cl, st, "A", opts); err != nil {
+		t.Fatal(err)
+	}
+	if cs := again.Stats(); cs.DiskHits != 1 {
+		t.Errorf("store did not heal after recharacterisation: %+v", cs)
+	}
+}

@@ -1,0 +1,96 @@
+// Package charstore is the persistent, versioned, content-addressed tier
+// of the characterisation cache: the on-disk library of load curves,
+// propagation tables, NRC curves and Thevenin driver fits that lets every
+// snacheck/noisetab/libchar invocation reuse the transistor-level sweeps of
+// all previous runs — exactly as delay-model characterisation is reused
+// across runs in a production sign-off flow.
+//
+// Keys are content hashes over everything the artefact's numbers depend
+// on: the technology card's device parameters, the cell's full transistor
+// netlist (topology, sizing, parasitics), the characterisation state and
+// pin, the sweep-grid fingerprint, and a model version. Editing a tech
+// card, resizing a cell, changing a sweep grid or bumping ModelVersion
+// therefore silently invalidates exactly the affected entries: their keys
+// no longer match, the store misses, and the caller recharacterises.
+//
+// See DESIGN.md §6 for the layering and invalidation rules.
+package charstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"stanoise/internal/cell"
+	"stanoise/internal/circuit"
+	"stanoise/internal/tech"
+)
+
+// ModelVersion names the characterisation model generation. Bump it when
+// the *meaning* of stored numbers changes — a device-model fix, a different
+// sweep semantics — and every existing entry becomes unreachable (its key
+// embeds the old version), so stale physics can never leak into an
+// analysis. Orphaned entries are reclaimed by Store.GC.
+const ModelVersion = "1"
+
+// keyScheme versions the key-derivation recipe itself, separately from the
+// physics, so a change to how keys are built also invalidates cleanly.
+const keyScheme = "stanoise-charstore-key/v1"
+
+// TechFingerprint renders the device-relevant fields of a technology card
+// deterministically. Wire parasitics are deliberately excluded: they shape
+// interconnect models, not cell characterisation, and including them would
+// invalidate every cell artefact on a routing-stack edit.
+func TechFingerprint(t *tech.Tech) string {
+	mos := func(m tech.MOSParams) string {
+		return fmt.Sprintf("KP=%.17g VT0=%.17g LAMBDA=%.17g CG=%.17g COV=%.17g CJ=%.17g",
+			m.KP, m.VT0, m.Lambda, m.CGatePerWL, m.COverlap, m.CJunction)
+	}
+	return fmt.Sprintf("tech=%s VDD=%.17g Lmin=%.17g WUnit=%.17g PNRatio=%.17g NMOS{%s} PMOS{%s}",
+		t.Name, t.VDD, t.Lmin, t.WUnit, t.PNRatio, mos(t.NMOS), mos(t.PMOS))
+}
+
+// CellNetlist renders the cell's transistor-level netlist with canonical
+// node names — the content the characterisation engine actually simulates.
+// Any change to the cell template, drive sizing, device parameters or
+// parasitic derivation changes this text and therefore every derived key.
+func CellNetlist(c *cell.Cell) (string, error) {
+	ckt := circuit.New()
+	pins := map[string]string{}
+	for _, in := range c.Inputs() {
+		pins[in] = "in_" + in
+	}
+	if err := c.Build(ckt, "dut", pins, "out", "vdd"); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if err := ckt.Write(&b, ""); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Key derives the content address of one artefact under the current
+// ModelVersion. The same physical inputs always map to the same key, on
+// any machine, which is what makes exported stores portable.
+func Key(kind string, cl *cell.Cell, st cell.State, pin, optsFP string) (string, error) {
+	netlist, err := CellNetlist(cl)
+	if err != nil {
+		return "", fmt.Errorf("charstore: keying %s: %w", cl.Name(), err)
+	}
+	return keyFor(ModelVersion, kind, TechFingerprint(cl.Tech), netlist, st.String(), pin, optsFP), nil
+}
+
+// keyFor is the raw recipe, split out so tests can prove that a model
+// version bump changes every key.
+func keyFor(version, kind, techFP, netlist, state, pin, optsFP string) string {
+	h := sha256.New()
+	// Length-prefix every field so no concatenation of adjacent fields can
+	// collide with a different split of the same bytes.
+	for _, f := range []string{keyScheme, version, kind, techFP, netlist, state, pin, optsFP} {
+		fmt.Fprintf(h, "%d:", len(f))
+		h.Write([]byte(f))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,113 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds covers every element class, every source spec form, every
+// engineering suffix, comments, model cards (before and after use),
+// .end/.title handling and a sampler of malformed lines — the corpus
+// `go test -fuzz=FuzzParse` mutates from. Checked-in crash reproducers
+// live in testdata/fuzz/FuzzParse.
+var fuzzSeeds = []string{
+	"* empty netlist\n",
+	".end\n",
+	".title fuzz seed\nR1 a b 1k\nC1 a 0 10f\n.end\n",
+	"Rload in out 4.7meg\n",
+	"Cpar n1 0 0\n",
+	"V1 a 0 DC 1.2\n",
+	"V2 b 0 PWL(0 0 1n 1.2 2n 0)\n",
+	"V3 c 0 RAMP(0 1.2 100p 60p)\n",
+	"V4 d 0 0.75\n",
+	"Iinj n 0 DC 1m\n",
+	"M1 d g s nch W=2u L=0.13u\n.model nch NMOS (KP=340u VT0=0.35 LAMBDA=0.15)\n",
+	".model pch PMOS (KP=90u VT0=-0.38)\nM2 out in vdd pch W=1.2u L=130n\n",
+	"R1 a b 1t\nR2 b c 1g\nR3 c d 1u\nR4 d e 1p\nR5 e f 1f\n",
+	// Malformed on purpose: the parser must error, never panic.
+	"R1 a b\n",
+	"R1 a b -5\n",
+	"C1 a 0 -1f\n",
+	"V1 a 0 PWL(0 0)\n",
+	"V1 a 0 PWL(0 0 0 1)\n",
+	"V1 a 0 RAMP(0 1 0 0)\n",
+	"M1 d g s missing W=1u L=1u\n",
+	"M1 d g s nch W=0 L=1u\n.model nch NMOS (KP=1m)\n",
+	"M1 d g s nch Z=1\n",
+	".model x NMOS (KP=0)\n",
+	".model x DIODE ()\n",
+	".model\n",
+	"Q1 a b c\n",
+	"V1 a 0 DC\n",
+	"V1 a 0 PWL(((\n",
+	"R1 a b 1kk\n",
+	"R1 a b nan\n",
+	"C1 a 0 inf\n",
+	"R1 a b 1e306k\n",
+	"\x00\x01\x02",
+	strings.Repeat("(", 64) + "\n",
+}
+
+// TestParseRejectsNonFiniteValues pins the fuzz-found hole: "nan"/"inf"
+// parse as floats, and a large mantissa can overflow to +Inf once the
+// engineering suffix multiplies in — all must be parse errors, or they
+// poison the MNA matrix silently.
+func TestParseRejectsNonFiniteValues(t *testing.T) {
+	for _, line := range []string{
+		"R1 a b nan",
+		"R1 a b nAnK",
+		"C1 a 0 inf",
+		"V1 a 0 DC -inf",
+		"R1 a b 1e306k",
+		"C1 a 0 1e300t",
+	} {
+		if _, err := Parse(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("%q parsed without error", line)
+		}
+	}
+	// Large-but-finite survives the suffix.
+	if _, err := Parse(strings.NewReader("R1 a b 1e300\n")); err != nil {
+		t.Errorf("finite value rejected: %v", err)
+	}
+}
+
+// FuzzParse asserts the crash-safety contract of the netlist parser: any
+// input either parses into a circuit or returns an error — it never
+// panics, and a reported *ParseError always carries a positive line
+// number.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		ckt, err := Parse(strings.NewReader(input))
+		if err != nil {
+			if ckt != nil {
+				t.Errorf("Parse returned both a circuit and an error: %v", err)
+			}
+			var pe *ParseError
+			if ok := asParseError(err, &pe); ok && pe.Line <= 0 {
+				t.Errorf("ParseError with non-positive line %d: %v", pe.Line, err)
+			}
+			return
+		}
+		// A successful parse must round-trip through the writer and parse
+		// again: Write emits the same SPICE subset Parse accepts.
+		var b strings.Builder
+		if werr := ckt.Write(&b, ""); werr != nil {
+			t.Fatalf("writing parsed circuit: %v", werr)
+		}
+		if _, rerr := Parse(strings.NewReader(b.String())); rerr != nil {
+			t.Errorf("round trip failed: %v\ninput:\n%s\nrewritten:\n%s", rerr, input, b.String())
+		}
+	})
+}
+
+// asParseError is errors.As without importing errors in the fuzz hot loop.
+func asParseError(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}

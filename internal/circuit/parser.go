@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -334,5 +335,13 @@ func parseValue(s string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return v * mult, nil
+	v *= mult
+	// ParseFloat happily accepts "nan" and "inf", and a huge mantissa can
+	// overflow to +Inf once the engineering suffix is applied ("1e305k") —
+	// either would silently poison every matrix stamp downstream, so
+	// element values must be finite after scaling.
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value")
+	}
+	return v, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 
 	"stanoise/internal/device"
@@ -66,10 +67,15 @@ func modelKey(p device.Params) string {
 	return fmt.Sprintf("%v/%.6g/%.6g/%.6g", p.Kind, p.KP, p.VT0, p.Lambda)
 }
 
-// sourceSpec renders a waveform as DC or PWL.
+// sourceSpec renders a waveform as DC or PWL. Points are formatted with
+// the shortest exact representation (not a fixed precision): waveform
+// builders separate breakpoints by as little as 1 fs, and rounding two
+// such times to the same printed value would emit a PWL that Parse rejects
+// as non-increasing — netlists must round-trip losslessly.
 func sourceSpec(ts, vs []float64) string {
+	exact := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	if len(ts) == 1 {
-		return fmt.Sprintf("DC %.6g", vs[0])
+		return "DC " + exact(vs[0])
 	}
 	var b strings.Builder
 	b.WriteString("PWL(")
@@ -77,7 +83,9 @@ func sourceSpec(ts, vs []float64) string {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "%.6g %.6g", ts[i], vs[i])
+		b.WriteString(exact(ts[i]))
+		b.WriteByte(' ')
+		b.WriteString(exact(vs[i]))
 	}
 	b.WriteByte(')')
 	return b.String()

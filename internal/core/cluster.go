@@ -290,7 +290,12 @@ func (c *Cluster) BuildModels(ctx context.Context, opts ModelOptions) (*Models, 
 		m.Prop = prop
 	}
 
-	// 4. Thevenin models of the aggressor drivers.
+	// 4. Thevenin models of the aggressor drivers. Fits are memoized (and
+	// persisted, when the cache has a disk tier) like every other
+	// characterised artefact: the fingerprint covers the lumped load and
+	// every fit option, so aggressors with distinct geometry never alias,
+	// while the repeated driver/load configurations of a real design fit
+	// once.
 	for i := range c.Aggressors {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -300,14 +305,18 @@ func (c *Cluster) BuildModels(ctx context.Context, opts ModelOptions) (*Models, 
 		// Fit at the base ramp time; alignment offsets are applied at
 		// evaluation time via Driver.Shifted, so re-aligning a cluster
 		// never requires refitting.
-		fitOpts := opts.Thevenin
+		fitOpts := opts.Thevenin.Normalized()
 		fitOpts.InputSlew = a.slew()
 		fitOpts.InputT0 = a.t0()
-		drv, err := thevenin.Fit(ctx, a.Cell, a.FromState, a.SwitchPin, load, fitOpts)
+		fp := fmt.Sprintf("%.17g,%.17g,%.17g,%.17g,%.17g,%.17g",
+			load, fitOpts.InputSlew, fitOpts.InputT0, fitOpts.Dt, fitOpts.Crossings[0], fitOpts.Crossings[1])
+		fit, err := opts.Cache.Artefact(ctx, "thev", a.Cell, a.FromState, a.SwitchPin, fp, func() (any, error) {
+			return thevenin.Fit(ctx, a.Cell, a.FromState, a.SwitchPin, load, fitOpts)
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: aggressor %d thevenin fit: %w", i, err)
 		}
-		m.Agg = append(m.Agg, drv)
+		m.Agg = append(m.Agg, fit.(*thevenin.Driver))
 	}
 
 	// 5. Reduced coupled interconnect with lumped parasitics at the ports.

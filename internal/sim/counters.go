@@ -1,0 +1,36 @@
+package sim
+
+import "sync/atomic"
+
+// Process-wide invocation counters for the two transistor-level entry
+// points. They exist so higher layers can *prove* characterisation reuse:
+// a warm persistent-store run must perform zero DC sweeps and zero
+// transient characterisation runs, and the cheapest airtight way to assert
+// that is to count every solve the engine actually starts.
+var (
+	dcCount        atomic.Int64
+	transientCount atomic.Int64
+)
+
+// Counters is a snapshot of the cumulative engine invocation counts since
+// process start. Transient includes the internal DC operating-point solve
+// each transient performs, so a single Transient call advances both
+// counters by one.
+type Counters struct {
+	DC        int64
+	Transient int64
+}
+
+// Snapshot returns the current cumulative counters. Subtract two snapshots
+// (see Sub) to measure the solves attributable to a region of code.
+func Snapshot() Counters {
+	return Counters{DC: dcCount.Load(), Transient: transientCount.Load()}
+}
+
+// Sub returns the per-counter difference c − prev.
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{DC: c.DC - prev.DC, Transient: c.Transient - prev.Transient}
+}
+
+// Total is the sum of all engine invocations in the snapshot.
+func (c Counters) Total() int64 { return c.DC + c.Transient }

@@ -319,6 +319,7 @@ func (r *DCResult) BranchI(vsrc string) float64 {
 // falls back to gmin stepping: solving a sequence of progressively less
 // regularised systems, warm-starting each from the last.
 func DC(c *circuit.Circuit, opts Options) (*DCResult, error) {
+	dcCount.Add(1)
 	s := newSolver(c, opts)
 	x := s.initialGuess()
 	s.sourceRHS(s.rhs, 0)
@@ -388,6 +389,7 @@ func (r *Result) Steps() int { return len(r.Times) }
 // mid-transient instead of completing the solve; a nil context disables
 // cancellation.
 func Transient(ctx context.Context, c *circuit.Circuit, opts Options) (*Result, error) {
+	transientCount.Add(1)
 	if ctx == nil {
 		ctx = context.Background()
 	}

@@ -14,6 +14,7 @@ import (
 
 	"stanoise/internal/cell"
 	"stanoise/internal/charlib"
+	"stanoise/internal/charstore"
 	"stanoise/internal/core"
 	"stanoise/internal/nrc"
 )
@@ -40,6 +41,19 @@ type Options struct {
 	// repeated runs (or several designs) reuse artefacts. When nil the
 	// analyzer creates a private cache for the run.
 	Cache *charlib.Cache
+	// CacheDir, when non-empty, attaches a persistent content-addressed
+	// characterisation store (see internal/charstore) at that directory to
+	// the analyzer's private cache: artefacts built by this run are
+	// persisted, and a later run pointed at the same directory skips the
+	// transistor-level sweeps entirely. A directory that cannot be opened
+	// degrades to memory-only caching; the error is reported by
+	// Analyzer.StoreError. Ignored when Cache is supplied — a shared cache
+	// belongs to the caller, who attaches a disk tier with Cache.SetStore.
+	CacheDir string
+	// Store attaches an already-opened persistent tier to the analyzer's
+	// private cache, taking precedence over CacheDir. Like CacheDir it is
+	// ignored when Cache is supplied.
+	Store charlib.PersistentStore
 	// Model quality knobs.
 	LoadCurve charlib.LoadCurveOptions
 	Prop      charlib.PropOptions
@@ -178,9 +192,10 @@ func (r *NetReport) ClearTiming() {
 // once no matter how many clusters use them or which worker gets there
 // first.
 type Analyzer struct {
-	design *Design
-	opts   Options
-	cache  *charlib.Cache
+	design   *Design
+	opts     Options
+	cache    *charlib.Cache
+	storeErr error
 }
 
 // NewAnalyzer builds an analyzer for a validated design.
@@ -190,8 +205,30 @@ func NewAnalyzer(d *Design, opts Options) *Analyzer {
 	if cache == nil {
 		cache = charlib.NewCache()
 	}
-	return &Analyzer{design: d, opts: opts, cache: cache}
+	a := &Analyzer{design: d, opts: opts, cache: cache}
+	switch {
+	case opts.Cache != nil:
+		// A shared cache is the caller's object: never mutate its disk
+		// tier from here (two analyzers with different CacheDirs would
+		// silently clobber each other's store).
+	case opts.Store != nil:
+		cache.SetStore(opts.Store)
+	case opts.CacheDir != "":
+		store, err := charstore.Open(opts.CacheDir)
+		if err != nil {
+			// Degrade to memory-only caching: a broken cache directory
+			// must never block sign-off. The error stays inspectable.
+			a.storeErr = err
+		} else {
+			cache.SetStore(store)
+		}
+	}
+	return a
 }
+
+// StoreError reports why Options.CacheDir could not be opened, or nil.
+// The analysis itself proceeds memory-cached either way.
+func (a *Analyzer) StoreError() error { return a.storeErr }
 
 // CacheStats reports the effectiveness of the characterisation cache so
 // far (hits accumulate across Analyze calls on the same analyzer or any

@@ -55,6 +55,11 @@ type FitOptions struct {
 	Crossings [2]float64
 }
 
+// Normalized returns the options with every default filled in — the
+// canonical form callers should fingerprint when memoizing fits, so that
+// zero values and explicit defaults key identically.
+func (o FitOptions) Normalized() FitOptions { return o.normalize() }
+
 func (o FitOptions) normalize() FitOptions {
 	if o.InputSlew <= 0 {
 		o.InputSlew = 60e-12

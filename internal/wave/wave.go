@@ -10,6 +10,7 @@ package wave
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -167,6 +168,24 @@ func (w *Waveform) Resample(t0, t1, dt float64) *Waveform {
 	return &Waveform{T: ts, V: vs}
 }
 
+// strictlyIncreasing repairs a breakpoint sequence in place: any point
+// that does not strictly exceed its predecessor is bumped to the next
+// representable float. The shape builders below separate breakpoints by a
+// fixed 1 fs guard (and by caller-supplied durations), which can collapse
+// to equal floats when |t| is large relative to the spacing of float64 —
+// and equal breakpoints would make the waveform unwritable as a PWL
+// netlist source (Parse requires strictly increasing times). Physical
+// configurations are untouched; only degenerate corners are nudged by one
+// ulp.
+func strictlyIncreasing(ts []float64) []float64 {
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			ts[i] = math.Nextafter(ts[i-1], math.Inf(1))
+		}
+	}
+	return ts
+}
+
 // SaturatedRamp returns the canonical Thevenin source waveform: v0 until
 // t0, a linear transition to v1 over tr seconds, then v1 forever.
 func SaturatedRamp(v0, v1, t0, tr float64) *Waveform {
@@ -174,7 +193,7 @@ func SaturatedRamp(v0, v1, t0, tr float64) *Waveform {
 		panic("wave: SaturatedRamp needs positive transition time")
 	}
 	return &Waveform{
-		T: []float64{t0 - 1e-15, t0, t0 + tr, t0 + tr + 1e-15},
+		T: strictlyIncreasing([]float64{t0 - 1e-15, t0, t0 + tr, t0 + tr + 1e-15}),
 		V: []float64{v0, v0, v1, v1},
 	}
 }
@@ -187,7 +206,7 @@ func Triangle(base, height, t0, width float64) *Waveform {
 		panic("wave: Triangle needs positive width")
 	}
 	return &Waveform{
-		T: []float64{t0 - 1e-15, t0, t0 + width/2, t0 + width, t0 + width + 1e-15},
+		T: strictlyIncreasing([]float64{t0 - 1e-15, t0, t0 + width/2, t0 + width, t0 + width + 1e-15}),
 		V: []float64{base, base, base + height, base, base},
 	}
 }
@@ -199,7 +218,7 @@ func Trapezoid(base, height, t0, edge, top float64) *Waveform {
 		panic("wave: invalid Trapezoid shape")
 	}
 	return &Waveform{
-		T: []float64{t0 - 1e-15, t0, t0 + edge, t0 + edge + top, t0 + 2*edge + top, t0 + 2*edge + top + 1e-15},
+		T: strictlyIncreasing([]float64{t0 - 1e-15, t0, t0 + edge, t0 + edge + top, t0 + 2*edge + top, t0 + 2*edge + top + 1e-15}),
 		V: []float64{base, base, base + height, base + height, base, base},
 	}
 }

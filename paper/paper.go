@@ -11,6 +11,7 @@ package paper
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"stanoise/internal/cell"
@@ -20,6 +21,30 @@ import (
 	"stanoise/internal/tech"
 	"stanoise/internal/wave"
 )
+
+// The shared characterisation cache of the experiment runners. By default
+// every runner characterises from scratch (nil cache — the honest setting
+// for regenerating published timings). noisetab -cache-dir installs a
+// disk-backed cache here so repeated experiment runs skip the
+// transistor-level sweeps.
+var (
+	cacheMu     sync.Mutex
+	sharedCache *charlib.Cache
+)
+
+// SetCache installs (or, with nil, removes) a characterisation cache used
+// by every subsequent experiment runner in this process.
+func SetCache(c *charlib.Cache) {
+	cacheMu.Lock()
+	sharedCache = c
+	cacheMu.Unlock()
+}
+
+func activeCache() *charlib.Cache {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	return sharedCache
+}
 
 // Row is one line of a comparison table.
 type Row struct {
@@ -67,18 +92,17 @@ func (q Quality) dt() float64 {
 }
 
 func (q Quality) modelOptions() core.ModelOptions {
+	opts := core.ModelOptions{Cache: activeCache()}
 	if q == Quick {
-		return core.ModelOptions{
-			LoadCurve: charlib.LoadCurveOptions{NVin: 41, NVout: 41},
-			Prop: charlib.PropOptions{
-				Heights: []float64{0.3, 0.6, 0.9, 1.2},
-				Widths:  []float64{150e-12, 350e-12, 700e-12},
-				Loads:   []float64{40e-15, 90e-15, 160e-15},
-				Dt:      2e-12,
-			},
+		opts.LoadCurve = charlib.LoadCurveOptions{NVin: 41, NVout: 41}
+		opts.Prop = charlib.PropOptions{
+			Heights: []float64{0.3, 0.6, 0.9, 1.2},
+			Widths:  []float64{150e-12, 350e-12, 700e-12},
+			Loads:   []float64{40e-15, 90e-15, 160e-15},
+			Dt:      2e-12,
 		}
 	}
-	return core.ModelOptions{}
+	return opts
 }
 
 // Table1Cluster builds the paper's Table 1 test case: "a simple test case

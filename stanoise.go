@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"stanoise/internal/charlib"
+	"stanoise/internal/charstore"
 	"stanoise/internal/core"
 	"stanoise/internal/nrc"
 	"stanoise/internal/sna"
@@ -116,6 +117,14 @@ type (
 	Cache = charlib.Cache
 	// CacheStats reports cache effectiveness counters.
 	CacheStats = charlib.CacheStats
+	// Store is the persistent, versioned, content-addressed on-disk tier
+	// of the characterisation cache; see OpenStore, Options.CacheDir and
+	// Cache.SetStore. Stores are safe to share between concurrent
+	// processes and portable across machines via Export/Import.
+	Store = charstore.Store
+	// PersistentStore is the interface a Cache's disk tier satisfies
+	// (implemented by *Store); see Options.Store.
+	PersistentStore = charlib.PersistentStore
 	// LoadCurveOptions tunes VCCS load-curve characterisation.
 	LoadCurveOptions = charlib.LoadCurveOptions
 	// PropOptions tunes propagation-table characterisation.
@@ -149,6 +158,12 @@ func NewAnalyzer(d *Design, opts Options) *Analyzer { return sna.NewAnalyzer(d, 
 // NewCache returns an empty characterisation cache ready for concurrent
 // use, for sharing across analyzers via Options.Cache.
 func NewCache() *Cache { return charlib.NewCache() }
+
+// OpenStore opens (creating if needed) a persistent characterisation store
+// rooted at dir. Attach it to a cache with Cache.SetStore or Options.Store,
+// or let Options.CacheDir do both. A corrupted index is rebuilt from the
+// entry files; OpenStore fails only when the directory itself is unusable.
+func OpenStore(dir string) (*Store, error) { return charstore.Open(dir) }
 
 // ParseDesign reads a Design from JSON.
 func ParseDesign(r io.Reader) (*Design, error) { return sna.ParseDesign(r) }
