@@ -7,8 +7,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -19,75 +21,102 @@ import (
 )
 
 func main() {
-	dc := flag.Bool("dc", false, "compute the DC operating point only")
-	tstop := flag.String("tstop", "2n", "transient stop time (with engineering suffix)")
-	dt := flag.String("dt", "1p", "transient step (with engineering suffix)")
-	probe := flag.String("probe", "", "comma-separated node names to print (default: all)")
-	flag.Parse()
-
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: spicesim [flags] netlist.sp")
-		os.Exit(2)
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err == errUsage {
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "spicesim: %v\n", err)
+		os.Exit(1)
 	}
-	f, err := os.Open(flag.Arg(0))
+}
+
+var errUsage = fmt.Errorf("usage")
+
+// run parses flags and executes the requested analysis, writing results to
+// stdout. It is the testable core of the command.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("spicesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dc := fs.Bool("dc", false, "compute the DC operating point only")
+	tstop := fs.String("tstop", "2n", "transient stop time (with engineering suffix)")
+	dt := fs.String("dt", "1p", "transient step (with engineering suffix)")
+	probe := fs.String("probe", "", "comma-separated node names to print (default: all)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: spicesim [flags] netlist.sp")
+		return errUsage
+	}
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
-		fail(err)
+		return err
 	}
 	defer f.Close()
 	ckt, err := circuit.Parse(f)
 	if err != nil {
-		fail(err)
+		return err
+	}
+
+	// Validate probes before spending any solve time.
+	nodes, err := probeList(ckt, *probe)
+	if err != nil {
+		return err
 	}
 
 	if *dc {
 		res, err := sim.DC(ckt, sim.Options{})
 		if err != nil {
-			fail(err)
+			return err
 		}
-		for _, n := range probeList(ckt, *probe) {
-			fmt.Printf("v(%s) = %.6g\n", n, res.NodeV(n))
+		for _, n := range nodes {
+			fmt.Fprintf(stdout, "v(%s) = %.6g\n", n, res.NodeV(n))
 		}
-		return
+		return nil
 	}
 
 	stop, err := parseEng(*tstop)
 	if err != nil {
-		fail(fmt.Errorf("bad -tstop: %w", err))
+		return fmt.Errorf("bad -tstop: %w", err)
 	}
 	step, err := parseEng(*dt)
 	if err != nil {
-		fail(fmt.Errorf("bad -dt: %w", err))
+		return fmt.Errorf("bad -dt: %w", err)
 	}
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer cancel()
 	res, err := sim.Transient(ctx, ckt, sim.Options{Dt: step, TStop: stop})
 	if err != nil {
-		fail(err)
+		return err
 	}
-	nodes := probeList(ckt, *probe)
-	fmt.Printf("t,%s\n", strings.Join(nodes, ","))
+	fmt.Fprintf(stdout, "t,%s\n", strings.Join(nodes, ","))
 	for i, t := range res.Times {
-		fmt.Printf("%.6g", t)
+		fmt.Fprintf(stdout, "%.6g", t)
 		for _, n := range nodes {
-			fmt.Printf(",%.6g", res.At(n, i))
+			fmt.Fprintf(stdout, ",%.6g", res.At(n, i))
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return nil
 }
 
-func probeList(ckt *circuit.Circuit, probe string) []string {
+func probeList(ckt *circuit.Circuit, probe string) ([]string, error) {
 	if probe == "" {
-		return ckt.NodeNames()
+		return ckt.NodeNames(), nil
 	}
 	var out []string
 	for _, n := range strings.Split(probe, ",") {
 		n = strings.TrimSpace(n)
 		if _, ok := ckt.LookupNode(n); !ok {
-			fail(fmt.Errorf("unknown probe node %q", n))
+			return nil, fmt.Errorf("unknown probe node %q", n)
 		}
 		out = append(out, n)
 	}
-	return out
+	return out, nil
 }
 
 // parseEng parses a time value with engineering suffix via a one-line
@@ -98,9 +127,4 @@ func parseEng(s string) (float64, error) {
 		return 0, fmt.Errorf("invalid value %q", s)
 	}
 	return ckt.VSources[0].W.At(0), nil
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "spicesim: %v\n", err)
-	os.Exit(1)
 }

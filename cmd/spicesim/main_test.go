@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRunDC smoke-tests the -dc path on the committed RC netlist: with the
+// step source at its t=0 value (0 V) the whole divider sits at 0 V.
+func TestRunDC(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run(context.Background(), []string{"-dc", "testdata/rc.sp"}, &out, &errb); err != nil {
+		t.Fatalf("run -dc: %v (stderr: %s)", err, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"v(in) = ", "v(out) = "} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunTransientCSV runs the transient path and checks the CSV output
+// physically: the RC output must settle to ~1 V within 5 tau.
+func TestRunTransientCSV(t *testing.T) {
+	var out, errb strings.Builder
+	err := run(context.Background(),
+		[]string{"-tstop", "5n", "-dt", "5p", "-probe", "out", "testdata/rc.sp"}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run transient: %v (stderr: %s)", err, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if lines[0] != "t,out" {
+		t.Fatalf("header = %q, want \"t,out\"", lines[0])
+	}
+	if len(lines) < 100 {
+		t.Fatalf("only %d CSV rows", len(lines))
+	}
+	last := strings.Split(lines[len(lines)-1], ",")
+	v, perr := strconv.ParseFloat(last[1], 64)
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if math.Abs(v-1) > 0.01 {
+		t.Errorf("settled v(out) = %v, want ~1", v)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run(context.Background(), []string{}, &out, &errb); err != errUsage {
+		t.Errorf("no args: err = %v, want errUsage", err)
+	}
+	if err := run(context.Background(), []string{"testdata/missing.sp"}, &out, &errb); err == nil {
+		t.Error("missing netlist should fail")
+	}
+	if err := run(context.Background(), []string{"-probe", "nope", "testdata/rc.sp"}, &out, &errb); err == nil {
+		t.Error("unknown probe node should fail")
+	}
+	if err := run(context.Background(), []string{"-tstop", "zzz", "testdata/rc.sp"}, &out, &errb); err == nil {
+		t.Error("bad -tstop should fail")
+	}
+}
+
+func TestRunHelpExitsClean(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run(context.Background(), []string{"-h"}, &out, &errb); err != nil {
+		t.Errorf("-h should succeed (exit 0), got %v", err)
+	}
+	if !strings.Contains(errb.String(), "-probe") {
+		t.Errorf("help output missing flag docs:\n%s", errb.String())
+	}
+}

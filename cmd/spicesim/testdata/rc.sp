@@ -1,0 +1,6 @@
+.title RC low-pass smoke netlist
+* 1 kOhm into 1 pF: tau = 1 ns. The input steps 0 -> 1 V in 1 ps.
+V1 in 0 PWL(0 0 1p 1)
+R1 in out 1k
+C1 out 0 1p
+.end

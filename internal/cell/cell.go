@@ -207,6 +207,16 @@ func (c *Cell) Name() string { return fmt.Sprintf("%s_X%d", c.Kind, c.Drive) }
 // Inputs returns the input pin names.
 func (c *Cell) Inputs() []string { return append([]string(nil), c.sp.inputs...) }
 
+// HasInput reports whether pin names one of the cell's inputs.
+func (c *Cell) HasInput(pin string) bool {
+	for _, in := range c.sp.inputs {
+		if in == pin {
+			return true
+		}
+	}
+	return false
+}
+
 // Logic evaluates the cell's boolean function.
 func (c *Cell) Logic(in State) bool { return c.sp.logic(in) }
 

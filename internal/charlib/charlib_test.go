@@ -3,6 +3,7 @@ package charlib
 import (
 	"context"
 	"math"
+	"strings"
 	"testing"
 
 	"stanoise/internal/cell"
@@ -254,5 +255,15 @@ func TestBracket(t *testing.T) {
 	}
 	if i, f := bracket([]float64{7}, 3); i != 0 || f != 0 {
 		t.Errorf("single: %d %v", i, f)
+	}
+}
+
+func TestCharacterizePropagationUnknownPin(t *testing.T) {
+	cl := cell.MustNew(tech.Tech130(), "INV", 1)
+	_, err := CharacterizePropagation(context.Background(), cl, cell.State{"A": false}, "Z", PropOptions{
+		Heights: []float64{0.4}, Widths: []float64{100e-12}, Loads: []float64{10e-15}, Dt: 2e-12,
+	})
+	if err == nil || !strings.Contains(err.Error(), `no pin "Z"`) {
+		t.Fatalf("unknown pin: err = %v, want 'no pin' error", err)
 	}
 }

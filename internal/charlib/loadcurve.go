@@ -136,6 +136,11 @@ func (o LoadCurveOptions) normalize() LoadCurveOptions {
 // pre-characterisation step described in §2 of the paper. The sweep checks
 // ctx between grid points, so a cancelled analysis abandons the table
 // mid-characterisation.
+//
+// The cell netlist is compiled once (sim.Compile) and every grid point
+// re-runs the same sim.Session with only the noisy-pin and output-forcing
+// source values mutated, so the NVin×NVout sweep pays circuit assembly,
+// node resolution and matrix allocation exactly once.
 func CharacterizeLoadCurve(ctx context.Context, cl *cell.Cell, st cell.State, noisyPin string, opts LoadCurveOptions) (*LoadCurve, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -152,15 +157,30 @@ func CharacterizeLoadCurve(ctx context.Context, cl *cell.Cell, st cell.State, no
 		NVin: opts.NVin, NVout: opts.NVout,
 		I: make([]float64, opts.NVin*opts.NVout),
 	}
-	found := false
-	for _, in := range cl.Inputs() {
-		if in == noisyPin {
-			found = true
-		}
-	}
-	if !found {
+	if !cl.HasInput(noisyPin) {
 		return nil, fmt.Errorf("charlib: %s has no pin %q", cl.Name(), noisyPin)
 	}
+
+	// Compile-once: the sweep topology is fixed, only source values change.
+	ckt := circuit.New()
+	ckt.AddVDC("vdd", "vdd", "0", vdd)
+	pins := map[string]string{}
+	for _, in := range cl.Inputs() {
+		node := "in_" + in
+		pins[in] = node
+		ckt.AddVDC("v_"+in, node, "0", cl.PinVoltage(st[in]))
+	}
+	if err := cl.Build(ckt, "dut", pins, "out", "vdd"); err != nil {
+		return nil, err
+	}
+	ckt.AddVDC("vforce", "out", "0", 0)
+	prog := sim.Compile(ckt)
+	sess, err := sim.NewSession(prog, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	hNoisy := prog.MustSource("v_" + noisyPin)
+	hForce := prog.MustSource("vforce")
 
 	dvin, dvout := lc.dvin(), lc.dvout()
 	quietOut := cl.PinVoltage(cl.Logic(st))
@@ -169,28 +189,16 @@ func CharacterizeLoadCurve(ctx context.Context, cl *cell.Cell, st cell.State, no
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		sess.SetSourceDC(hNoisy, vin)
 		for io := 0; io < lc.NVout; io++ {
 			vout := lc.VoutMin + float64(io)*dvout
-			ckt := circuit.New()
-			ckt.AddVDC("vdd", "vdd", "0", vdd)
-			pins := map[string]string{}
-			for _, in := range cl.Inputs() {
-				node := "in_" + in
-				pins[in] = node
-				v := cl.PinVoltage(st[in])
-				if in == noisyPin {
-					v = vin
-				}
-				ckt.AddVDC("v_"+in, node, "0", v)
-			}
-			if err := cl.Build(ckt, "dut", pins, "out", "vdd"); err != nil {
-				return nil, err
-			}
-			ckt.AddVDC("vforce", "out", "0", vout)
-			dc, err := sim.DC(ckt, sim.Options{InitialGuess: map[string]float64{
-				"dut.n1": internalGuess(vout, quietOut),
-				"dut.n2": internalGuess(vout, quietOut),
-			}})
+			sess.SetSourceDC(hForce, vout)
+			// Seed stacked-transistor internal nodes between the forced
+			// output and its quiet level (see internalGuess).
+			g := internalGuess(vout, quietOut)
+			sess.SetGuess("dut.n1", g)
+			sess.SetGuess("dut.n2", g)
+			dc, err := sess.RunDC()
 			if err != nil {
 				return nil, fmt.Errorf("charlib: DC at vin=%.3f vout=%.3f: %w", vin, vout, err)
 			}

@@ -66,6 +66,10 @@ func (o PropOptions) normalize(vdd float64) PropOptions {
 // (height, width, load) combination: a triangular glitch is applied to the
 // noisy pin from its quiet rail towards the opposite rail, and the output
 // deviation is measured.
+//
+// The receiver netlist is compiled once; every (height, width, load) probe
+// reuses the same sim.Session with only the glitch waveform and the lumped
+// load value mutated (sim.Session.SetSource / SetLoad).
 func CharacterizePropagation(ctx context.Context, cl *cell.Cell, st cell.State, noisyPin string, opts PropOptions) (*PropTable, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -80,10 +84,17 @@ func CharacterizePropagation(ctx context.Context, cl *cell.Cell, st cell.State, 
 		Loads:    opts.Loads,
 		QuietOut: cl.PinVoltage(cl.Logic(st)),
 	}
+	if !cl.HasInput(noisyPin) {
+		return nil, fmt.Errorf("charlib: %s has no pin %q", cl.Name(), noisyPin)
+	}
 	quietIn := cl.PinVoltage(st[noisyPin])
 	glitchSign := 1.0
 	if st[noisyPin] {
 		glitchSign = -1
+	}
+	rig, err := newPropRig(cl, st, noisyPin, quietIn, opts.Dt)
+	if err != nil {
+		return nil, err
 	}
 	pt.Peak = make([][][]float64, len(pt.Heights))
 	pt.Area = make([][][]float64, len(pt.Heights))
@@ -101,7 +112,7 @@ func CharacterizePropagation(ctx context.Context, cl *cell.Cell, st cell.State, 
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
-				m, err := propagateOnce(ctx, cl, st, noisyPin, quietIn+0, glitchSign*h, w, load, opts.Dt)
+				m, err := rig.propagate(ctx, glitchSign*h, w, load, pt.QuietOut)
 				if err != nil {
 					return nil, fmt.Errorf("charlib: propagation h=%.2f w=%.0fps: %w", h, w*1e12, err)
 				}
@@ -120,8 +131,19 @@ func CharacterizePropagation(ctx context.Context, cl *cell.Cell, st cell.State, 
 	return pt, nil
 }
 
-func propagateOnce(ctx context.Context, cl *cell.Cell, st cell.State, noisyPin string, quietIn, height, width, load, dt float64) (wave.NoiseMetrics, error) {
-	const t0 = 100e-12
+// propT0 is the glitch start time of every propagation probe.
+const propT0 = 100e-12
+
+// propRig is a compiled propagation test bench: the cell driven by a
+// mutable glitch source into a mutable lumped load.
+type propRig struct {
+	sess    *sim.Session
+	hGlitch sim.SourceHandle
+	hLoad   sim.CapHandle
+	quietIn float64
+}
+
+func newPropRig(cl *cell.Cell, st cell.State, noisyPin string, quietIn, dt float64) (*propRig, error) {
 	ckt := circuit.New()
 	ckt.AddVDC("vdd", "vdd", "0", cl.Tech.VDD)
 	pins := map[string]string{}
@@ -129,21 +151,37 @@ func propagateOnce(ctx context.Context, cl *cell.Cell, st cell.State, noisyPin s
 		node := "in_" + in
 		pins[in] = node
 		if in == noisyPin {
-			ckt.AddV("v_"+in, node, "0", wave.Triangle(quietIn, height, t0, width))
+			// Placeholder glitch; replaced per probe via SetSource.
+			ckt.AddV("v_"+in, node, "0", wave.Constant(quietIn))
 		} else {
 			ckt.AddVDC("v_"+in, node, "0", cl.PinVoltage(st[in]))
 		}
 	}
 	if err := cl.Build(ckt, "dut", pins, "out", "vdd"); err != nil {
-		return wave.NoiseMetrics{}, err
+		return nil, err
 	}
-	ckt.AddC("cload", "out", "0", load)
-	tstop := t0 + width + 1.2e-9
-	res, err := sim.Transient(ctx, ckt, sim.Options{Dt: dt, TStop: tstop})
+	// Placeholder load; replaced per probe via SetLoad.
+	ckt.AddC("cload", "out", "0", 1e-15)
+	prog := sim.Compile(ckt)
+	sess, err := sim.NewSession(prog, sim.Options{Dt: dt})
+	if err != nil {
+		return nil, err
+	}
+	return &propRig{
+		sess:    sess,
+		hGlitch: prog.MustSource("v_" + noisyPin),
+		hLoad:   prog.MustCap("cload"),
+		quietIn: quietIn,
+	}, nil
+}
+
+func (r *propRig) propagate(ctx context.Context, height, width, load, quietOut float64) (wave.NoiseMetrics, error) {
+	r.sess.SetSource(r.hGlitch, wave.Triangle(r.quietIn, height, propT0, width))
+	r.sess.SetLoad(r.hLoad, load)
+	res, err := r.sess.RunTransient(ctx, propT0+width+1.2e-9)
 	if err != nil {
 		return wave.NoiseMetrics{}, err
 	}
-	quietOut := cl.PinVoltage(cl.Logic(st))
 	return wave.MeasureNoise(res.Waveform("out"), quietOut), nil
 }
 

@@ -1,0 +1,127 @@
+package charlib
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"stanoise/internal/cell"
+	"stanoise/internal/circuit"
+	"stanoise/internal/sim"
+	"stanoise/internal/tech"
+)
+
+// BenchmarkINVLoadCurveSweep times the full INV load-curve sweep at the
+// production grid (61×61 DC points) with allocation tracking — the
+// cold-characterisation benchmark of the compile-once/run-many refactor.
+// Before/after numbers live in EXPERIMENTS.md.
+func BenchmarkINVLoadCurveSweep(b *testing.B) {
+	t := tech.Tech130()
+	inv := cell.MustNew(t, "INV", 1)
+	st, err := inv.SensitizedState("A", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CharacterizeLoadCurve(context.Background(), inv, st, "A",
+			LoadCurveOptions{NVin: 61, NVout: 61}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoadCurveSweepParallel characterises the same cell from many
+// goroutines at once, each compiling its own rig from the shared cell and
+// tech card. It exists for the CI -race smoke: cross-goroutine state
+// leaking through the shared inputs (or through sim.Program internals)
+// would surface here.
+func BenchmarkLoadCurveSweepParallel(b *testing.B) {
+	t := tech.Tech130()
+	inv := cell.MustNew(t, "INV", 1)
+	st, err := inv.SensitizedState("A", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := CharacterizeLoadCurve(context.Background(), inv, st, "A",
+				LoadCurveOptions{NVin: 9, NVout: 9}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// legacyLoadCurvePoint replicates the pre-refactor per-point flow: build a
+// fresh circuit and run a one-shot DC for a single (vin, vout) grid point.
+func legacyLoadCurvePoint(cl *cell.Cell, st cell.State, noisyPin string, vin, vout, quietOut float64) (float64, error) {
+	ckt := circuit.New()
+	ckt.AddVDC("vdd", "vdd", "0", cl.Tech.VDD)
+	pins := map[string]string{}
+	for _, in := range cl.Inputs() {
+		node := "in_" + in
+		pins[in] = node
+		v := cl.PinVoltage(st[in])
+		if in == noisyPin {
+			v = vin
+		}
+		ckt.AddVDC("v_"+in, node, "0", v)
+	}
+	if err := cl.Build(ckt, "dut", pins, "out", "vdd"); err != nil {
+		return 0, err
+	}
+	ckt.AddVDC("vforce", "out", "0", vout)
+	g := internalGuess(vout, quietOut)
+	dc, err := sim.DC(ckt, sim.Options{InitialGuess: map[string]float64{
+		"dut.n1": g, "dut.n2": g,
+	}})
+	if err != nil {
+		return 0, err
+	}
+	return dc.BranchI("vforce"), nil
+}
+
+// TestLoadCurveSweepMatchesLegacyBitForBit compares the compiled
+// session-backed sweep against fresh per-point circuits (the pre-refactor
+// flow) on a small grid, for INV and NAND2 on both technology cards. The
+// currents must agree bit-for-bit — the compiled path performs identical
+// arithmetic, it only skips redundant assembly.
+func TestLoadCurveSweepMatchesLegacyBitForBit(t *testing.T) {
+	for _, tc := range []*tech.Tech{tech.Tech130(), tech.Tech90()} {
+		for _, kind := range []string{"INV", "NAND2"} {
+			cl := cell.MustNew(tc, kind, 1)
+			noisy := cl.Inputs()[len(cl.Inputs())-1]
+			t.Run(fmt.Sprintf("%s_vdd%.1f", cl.Name(), tc.VDD), func(t *testing.T) {
+				st, err := cl.SensitizedState(noisy, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := LoadCurveOptions{NVin: 7, NVout: 7}
+				lc, err := CharacterizeLoadCurve(context.Background(), cl, st, noisy, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				quietOut := cl.PinVoltage(cl.Logic(st))
+				dvin := (lc.VinMax - lc.VinMin) / float64(lc.NVin-1)
+				dvout := (lc.VoutMax - lc.VoutMin) / float64(lc.NVout-1)
+				for iv := 0; iv < lc.NVin; iv++ {
+					for io := 0; io < lc.NVout; io++ {
+						vin := lc.VinMin + float64(iv)*dvin
+						vout := lc.VoutMin + float64(io)*dvout
+						want, err := legacyLoadCurvePoint(cl, st, noisy, vin, vout, quietOut)
+						if err != nil {
+							t.Fatalf("legacy point vin=%g vout=%g: %v", vin, vout, err)
+						}
+						if got := lc.I[iv*lc.NVout+io]; got != want {
+							t.Fatalf("vin=%g vout=%g: I = %v (compiled) vs %v (legacy)",
+								vin, vout, got, want)
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -3,12 +3,16 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 
 	"stanoise/internal/cell"
 	"stanoise/internal/charlib"
 	"stanoise/internal/circuit"
 	"stanoise/internal/interconnect"
 	"stanoise/internal/mor"
+	"stanoise/internal/sim"
 	"stanoise/internal/tech"
 	"stanoise/internal/thevenin"
 	"stanoise/internal/wave"
@@ -54,11 +58,89 @@ type AggressorSpec struct {
 
 // Cluster is a victim net and its coupled aggressors — the unit of noise
 // analysis ("noise cluster" in the paper's terminology).
+//
+// A Cluster must not be copied by value after its first evaluation: it
+// lazily caches compiled simulator benches behind a mutex, and two copies
+// would share the single-goroutine sessions while locking independent
+// mutexes. Pass *Cluster around, as every constructor in this repository
+// does.
 type Cluster struct {
 	Tech       *tech.Tech
 	Bus        *interconnect.Bus
 	Victim     VictimSpec
 	Aggressors []AggressorSpec
+
+	// rigMu guards the lazily compiled transistor-level test benches
+	// below. The golden netlist and the driver-alone bench have a fixed
+	// topology per cluster — only source waveforms and the lumped load
+	// change between evaluations — so they compile once (sim.Compile) and
+	// re-run through a reusable sim.Session. Holding the mutex across the
+	// run serialises golden evaluations of the same Cluster value;
+	// distinct clusters (the unit of parallelism in internal/sna) are
+	// unaffected.
+	rigMu     sync.Mutex
+	goldenRig *simRig
+	driverRig *simRig
+}
+
+// simRig is a compiled simulator test bench cached on the cluster: the
+// program/session pair plus the fingerprint of the sim options it was
+// opened with (a session fixes Dt, tolerances and initial guesses; the
+// stop time is per-run).
+type simRig struct {
+	key  string
+	prog *sim.Program
+	sess *sim.Session
+}
+
+// optionsFingerprint renders every session-level field of o, so a rig is
+// recompiled whenever an evaluation asks for different solver settings.
+func optionsFingerprint(o sim.Options) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%.17g|%d|%d|%.17g|%.17g|%.17g|%.17g",
+		o.Dt, o.Method, o.MaxNewton, o.VTol, o.ITol, o.Gmin, o.MaxStep)
+	if len(o.InitialGuess) > 0 {
+		names := make([]string, 0, len(o.InitialGuess))
+		for n := range o.InitialGuess {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "|%s=%.17g", n, o.InitialGuess[n])
+		}
+	}
+	return b.String()
+}
+
+// structuralKey renders everything the compiled benches bake in besides
+// source waveforms — the cell instances, states, pins, lines, receivers
+// and the bus — so appending an aggressor or re-pointing a spec between
+// evaluations recompiles instead of reusing a stale netlist. Cells and
+// receivers are keyed by pointer *and* library name (kind + drive), so a
+// re-pointed spec is caught even if the allocator reuses an address.
+// Deep mutation of a shared *Bus or *Cell value is not detected
+// (documented as unsupported; see ROADMAP open items).
+func (c *Cluster) structuralKey() string {
+	cellID := func(cl *cell.Cell) string {
+		if cl == nil {
+			return "nil"
+		}
+		return fmt.Sprintf("%p:%s", cl, cl.Name())
+	}
+	var b strings.Builder
+	v := &c.Victim
+	fmt.Fprintf(&b, "tech=%p:%.17g|bus=%p:%s,%d", c.Tech, c.Tech.VDD, c.Bus, c.Bus.Layer, c.Bus.Segments)
+	for i := range c.Bus.Lines {
+		fmt.Fprintf(&b, ",%s:%.17g", c.Bus.Lines[i].Name, c.Bus.Lines[i].LengthUm)
+	}
+	fmt.Fprintf(&b, "|vic=%s,%s,%s,%d,%s,%s",
+		cellID(v.Cell), v.State.String(), v.NoisyPin, v.Line, cellID(v.Receiver), v.ReceiverPin)
+	for i := range c.Aggressors {
+		a := &c.Aggressors[i]
+		fmt.Fprintf(&b, "|agg=%s,%s,%s,%d,%s,%s",
+			cellID(a.Cell), a.FromState.String(), a.SwitchPin, a.Line, cellID(a.Receiver), a.ReceiverPin)
+	}
+	return b.String()
 }
 
 // Validate checks structural consistency.
@@ -66,6 +148,9 @@ func (c *Cluster) Validate() error {
 	nLines := len(c.Bus.Lines)
 	if c.Victim.Line < 0 || c.Victim.Line >= nLines {
 		return fmt.Errorf("core: victim line %d out of range (%d lines)", c.Victim.Line, nLines)
+	}
+	if !c.Victim.Cell.HasInput(c.Victim.NoisyPin) {
+		return fmt.Errorf("core: victim cell %s has no pin %q", c.Victim.Cell.Name(), c.Victim.NoisyPin)
 	}
 	used := map[int]bool{c.Victim.Line: true}
 	for i, a := range c.Aggressors {

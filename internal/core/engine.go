@@ -243,13 +243,18 @@ func RunEngine(ctx context.Context, red *mor.Reduced, sources []PortSource, v0 [
 	didv := make([]float64, p)
 	f := make([]float64, q)
 	hist := make([]float64, q)
+	dx := make([]float64, q)
 	jac := linalg.NewMatrix(q, q)
+	lu := linalg.NewLUWorkspace(q)
 
 	nsteps := int(math.Ceil(opts.TStop/h)) + 1
 	res := &EngineResult{
 		Times: make([]float64, 0, nsteps),
 		PortV: make([][]float64, p),
 		Ports: append([]string(nil), red.Ports...),
+	}
+	for k := range res.PortV {
+		res.PortV[k] = make([]float64, 0, nsteps)
 	}
 	record := func(t float64) {
 		res.Times = append(res.Times, t)
@@ -310,11 +315,10 @@ func RunEngine(ctx context.Context, red *mor.Reduced, sources []PortSource, v0 [
 					jac.Add(r, cc, -s)
 				}
 			}
-			lu, err := linalg.Factor(jac)
-			if err != nil {
+			if err := lu.Factor(jac); err != nil {
 				return nil, fmt.Errorf("core: singular macromodel Jacobian at t=%.3gps: %w", t*1e12, err)
 			}
-			dx := lu.Solve(f)
+			lu.SolveInto(dx, f)
 			maxd := 0.0
 			for r := 0; r < q; r++ {
 				x[r] -= dx[r]

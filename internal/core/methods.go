@@ -147,16 +147,28 @@ func (c *Cluster) Evaluate(ctx context.Context, m Method, models *Models, opts E
 }
 
 func (c *Cluster) evaluateGolden(ctx context.Context, opts EvalOptions) (*Evaluation, error) {
-	ckt, err := c.BuildGolden()
-	if err != nil {
-		return nil, err
-	}
-	start := time.Now()
 	simOpts := opts.GoldenSim
 	simOpts.Dt = opts.Dt
 	simOpts.TStop = opts.TStop
-	seedQuietLevels(c, ckt, &simOpts)
-	res, err := sim.Transient(ctx, ckt, simOpts)
+	seedQuietLevels(c, &simOpts)
+
+	c.rigMu.Lock()
+	defer c.rigMu.Unlock()
+	rig, err := c.goldenRigLocked(simOpts)
+	if err != nil {
+		return nil, err
+	}
+	// Only the source waveforms change between evaluations (the victim
+	// glitch spec and the aggressor alignment offsets); re-point them and
+	// re-run the compiled session.
+	rig.sess.SetSource(rig.prog.MustSource("vglitch"), c.victimInputWave())
+	for i := range c.Aggressors {
+		a := &c.Aggressors[i]
+		rig.sess.SetSource(rig.prog.MustSource(fmt.Sprintf("vagg%d_%s", i, a.SwitchPin)),
+			a.aggressorInputWave())
+	}
+	start := time.Now()
+	res, err := rig.sess.RunTransient(ctx, opts.TStop)
 	if err != nil {
 		return nil, fmt.Errorf("core: golden simulation: %w", err)
 	}
@@ -166,27 +178,48 @@ func (c *Cluster) evaluateGolden(ctx context.Context, opts EvalOptions) (*Evalua
 	return c.finish(Golden, dp, recv, elapsed), nil
 }
 
+// goldenRigLocked returns the compiled golden test bench for the given sim
+// options, compiling it on first use or when the options changed. The
+// caller must hold c.rigMu.
+func (c *Cluster) goldenRigLocked(simOpts sim.Options) (*simRig, error) {
+	key := optionsFingerprint(simOpts) + "#" + c.structuralKey()
+	if c.goldenRig != nil && c.goldenRig.key == key {
+		return c.goldenRig, nil
+	}
+	ckt, err := c.BuildGolden()
+	if err != nil {
+		return nil, err
+	}
+	prog := sim.Compile(ckt)
+	sess, err := sim.NewSession(prog, simOpts)
+	if err != nil {
+		return nil, err
+	}
+	c.goldenRig = &simRig{key: key, prog: prog, sess: sess}
+	return c.goldenRig, nil
+}
+
 // seedQuietLevels gives the golden DC solve the intended operating point:
 // victim nodes at the quiet rail, aggressor nodes at their start level.
-func seedQuietLevels(c *Cluster, ckt *circuit.Circuit, simOpts *sim.Options) {
-	guess := map[string]float64{}
+// The caller-supplied guess map is copied, never mutated, so one
+// EvalOptions value can seed evaluations of many clusters without their
+// line seeds leaking into each other.
+func seedQuietLevels(c *Cluster, simOpts *sim.Options) {
+	merged := make(map[string]float64, len(simOpts.InitialGuess)+(len(c.Aggressors)+1)*(c.Bus.Segments+1))
+	for k, v := range simOpts.InitialGuess {
+		merged[k] = v
+	}
 	quiet := c.QuietVictimLevel()
 	for j := 0; j <= c.Bus.Segments; j++ {
-		guess[fmt.Sprintf("%s.%d", c.Bus.Lines[c.Victim.Line].Name, j)] = quiet
+		merged[fmt.Sprintf("%s.%d", c.Bus.Lines[c.Victim.Line].Name, j)] = quiet
 	}
 	for i := range c.Aggressors {
 		lvl := c.AggStartLevel(i)
 		for j := 0; j <= c.Bus.Segments; j++ {
-			guess[fmt.Sprintf("%s.%d", c.Bus.Lines[c.Aggressors[i].Line].Name, j)] = lvl
+			merged[fmt.Sprintf("%s.%d", c.Bus.Lines[c.Aggressors[i].Line].Name, j)] = lvl
 		}
 	}
-	if simOpts.InitialGuess == nil {
-		simOpts.InitialGuess = guess
-		return
-	}
-	for k, v := range guess {
-		simOpts.InitialGuess[k] = v
-	}
+	simOpts.InitialGuess = merged
 }
 
 // aggressorSources builds the Thevenin port sources with current offsets.
@@ -267,12 +300,47 @@ func (c *Cluster) evaluateSuperposition(ctx context.Context, models *Models, opt
 // DriverAloneResponse simulates the victim driver transistor-level with its
 // input glitch into the lumped victim load — the waveform a pulsed-Thevenin
 // victim model uses as its source (and a useful diagnostic on its own).
+// The bench compiles once per cluster and is re-run with the glitch
+// waveform and lumped load mutated, like every other characterisation rig.
 func (c *Cluster) DriverAloneResponse(ctx context.Context, models *Models, opts EvalOptions) (*wave.Waveform, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	opts = opts.normalize(c)
 	v := &c.Victim
+
+	c.rigMu.Lock()
+	defer c.rigMu.Unlock()
+	rig, err := c.driverRigLocked(sim.Options{Dt: opts.Dt})
+	if err != nil {
+		return nil, err
+	}
+	rig.sess.SetSource(rig.prog.MustSource("v_"+v.NoisyPin), c.victimInputWave())
+	// The lumped load minus the driver's own diffusion (already inside the
+	// transistor netlist as junction caps).
+	clump := models.LumpedCL - v.Cell.OutputCap()
+	if clump < 0 {
+		clump = 0
+	}
+	rig.sess.SetLoad(rig.prog.MustCap("cl"), clump)
+	res, err := rig.sess.RunTransient(ctx, opts.TStop)
+	if err != nil {
+		return nil, fmt.Errorf("core: driver-alone simulation: %w", err)
+	}
+	return res.Waveform("out"), nil
+}
+
+// driverRigLocked returns the compiled driver-alone bench, compiling it on
+// first use or when the sim options changed. The caller must hold c.rigMu.
+func (c *Cluster) driverRigLocked(simOpts sim.Options) (*simRig, error) {
+	key := optionsFingerprint(simOpts) + "#" + c.structuralKey()
+	if c.driverRig != nil && c.driverRig.key == key {
+		return c.driverRig, nil
+	}
+	v := &c.Victim
+	if !v.Cell.HasInput(v.NoisyPin) {
+		return nil, fmt.Errorf("core: victim cell %s has no pin %q", v.Cell.Name(), v.NoisyPin)
+	}
 	ckt := circuit.New()
 	ckt.AddVDC("vdd", "vdd", "0", c.Tech.VDD)
 	pins := map[string]string{}
@@ -280,7 +348,8 @@ func (c *Cluster) DriverAloneResponse(ctx context.Context, models *Models, opts 
 		node := "in_" + in
 		pins[in] = node
 		if in == v.NoisyPin {
-			ckt.AddV("v_"+in, node, "0", c.victimInputWave())
+			// Placeholder; replaced per run via SetSource.
+			ckt.AddV("v_"+in, node, "0", wave.Constant(v.Cell.PinVoltage(v.State[in])))
 		} else {
 			ckt.AddVDC("v_"+in, node, "0", v.Cell.PinVoltage(v.State[in]))
 		}
@@ -288,17 +357,15 @@ func (c *Cluster) DriverAloneResponse(ctx context.Context, models *Models, opts 
 	if err := v.Cell.Build(ckt, "vic", pins, "out", "vdd"); err != nil {
 		return nil, err
 	}
-	// The lumped load minus the driver's own diffusion (already inside the
-	// transistor netlist as junction caps).
-	clump := models.LumpedCL - v.Cell.OutputCap()
-	if clump > 0 {
-		ckt.AddC("cl", "out", "0", clump)
-	}
-	res, err := sim.Transient(ctx, ckt, sim.Options{Dt: opts.Dt, TStop: opts.TStop})
+	// Placeholder lumped load; replaced per run via SetLoad.
+	ckt.AddC("cl", "out", "0", 1e-15)
+	prog := sim.Compile(ckt)
+	sess, err := sim.NewSession(prog, simOpts)
 	if err != nil {
-		return nil, fmt.Errorf("core: driver-alone simulation: %w", err)
+		return nil, err
 	}
-	return res.Waveform("out"), nil
+	c.driverRig = &simRig{key: key, prog: prog, sess: sess}
+	return c.driverRig, nil
 }
 
 func (c *Cluster) evaluateZolotov(ctx context.Context, models *Models, opts EvalOptions) (*Evaluation, error) {

@@ -92,6 +92,11 @@ func TestClusterValidate(t *testing.T) {
 	if err := bad.Validate(); err == nil {
 		t.Error("non-toggling aggressor accepted")
 	}
+	bad = fastCluster(t, 1)
+	bad.Victim.NoisyPin = "Z" // not an input of the victim cell
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown victim noisy pin accepted")
+	}
 }
 
 func TestVictimInputWavePolarity(t *testing.T) {
@@ -216,12 +221,16 @@ func TestMethodsReproducePaperShape(t *testing.T) {
 	if math.Abs(macAreaErr) > 6 {
 		t.Errorf("macromodel area error %+.1f%%", macAreaErr)
 	}
-	// The dedicated engine must be much faster than the golden sim even on
-	// this small cluster. Wall-clock on a loaded single-core runner is
+	// The dedicated engine must be clearly faster than the golden sim even
+	// on this small cluster. Wall-clock on a loaded single-core runner is
 	// noisy (a compile or GC burst can inflate one measurement), so the
-	// ratio gets a few attempts before the test judges it.
+	// ratio gets a few attempts before the test judges it. The threshold
+	// is 2X, not the paper's ~20X: this cluster is deliberately tiny, and
+	// the compile-once session engine (DESIGN.md §7) made the golden
+	// reference itself ~1.7X faster, which narrows the gap here without
+	// touching the paper-scale clusters (see BenchmarkSpeedupTable1/2).
 	speedup := float64(golden.Elapsed) / float64(mac.Elapsed)
-	for retry := 0; speedup < 3 && retry < 3; retry++ {
+	for retry := 0; speedup < 2 && retry < 3; retry++ {
 		g2, err := c.Evaluate(context.Background(), Golden, models, opts)
 		if err != nil {
 			t.Fatal(err)
@@ -232,7 +241,7 @@ func TestMethodsReproducePaperShape(t *testing.T) {
 		}
 		speedup = float64(g2.Elapsed) / float64(m2.Elapsed)
 	}
-	if speedup < 3 {
+	if speedup < 2 {
 		t.Errorf("speed-up only %.1fX on the fast cluster", speedup)
 	}
 }

@@ -277,3 +277,93 @@ func BenchmarkLUFactor64(b *testing.B) {
 		}
 	}
 }
+
+// --- LUWorkspace -----------------------------------------------------------
+
+func TestLUWorkspaceMatchesFactorBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 12
+	ws := NewLUWorkspace(n)
+	if ws.Size() != n {
+		t.Fatalf("Size = %d, want %d", ws.Size(), n)
+	}
+	b := make([]float64, n)
+	dst := make([]float64, n)
+	for trial := 0; trial < 20; trial++ {
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Diagonal dominance keeps the system well away from singular.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, 10)
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		f, err := Factor(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f.Solve(b)
+		if err := ws.Factor(a); err != nil {
+			t.Fatal(err)
+		}
+		ws.SolveInto(dst, b)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("trial %d: x[%d] = %v (workspace) vs %v (Factor)", trial, i, dst[i], want[i])
+			}
+		}
+		if d, w := f.Det(), ws.Det(); d != w {
+			t.Fatalf("trial %d: det %v vs %v", trial, d, w)
+		}
+	}
+}
+
+func TestLUWorkspaceSingular(t *testing.T) {
+	ws := NewLUWorkspace(3)
+	a := NewMatrix(3, 3)
+	a.Set(0, 0, 1) // rank 1
+	if err := ws.Factor(a); err != ErrSingular {
+		t.Fatalf("Factor of singular matrix: err = %v, want ErrSingular", err)
+	}
+	// The workspace must recover on the next successful Factor.
+	if err := ws.Factor(Identity(3)); err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, 2, 3}
+	dst := make([]float64, 3)
+	ws.SolveInto(dst, b)
+	for i := range b {
+		if dst[i] != b[i] {
+			t.Fatalf("identity solve: x[%d] = %v", i, dst[i])
+		}
+	}
+}
+
+func TestLUWorkspaceAllocFree(t *testing.T) {
+	const n = 10
+	ws := NewLUWorkspace(n)
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, float64(i+2))
+		if i > 0 {
+			a.Set(i, i-1, 1)
+		}
+	}
+	b := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := ws.Factor(a); err != nil {
+			t.Fatal(err)
+		}
+		ws.SolveInto(dst, b)
+	})
+	if allocs != 0 {
+		t.Fatalf("workspace factor+solve allocates %.1f objects, want 0", allocs)
+	}
+}

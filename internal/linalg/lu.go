@@ -22,15 +22,34 @@ type LU struct {
 // Factor computes the LU factorisation of a. The input matrix is not
 // modified. Factor returns ErrSingular when a pivot smaller than a tiny
 // absolute threshold is found.
+//
+// Factor allocates a fresh copy of a on every call; hot loops that factor
+// the same-sized system repeatedly should use an LUWorkspace instead.
 func Factor(a *Matrix) (*LU, error) {
 	if a.Rows != a.Cols {
 		panic("linalg: Factor requires a square matrix")
 	}
 	n := a.Rows
-	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1}
-	lu := f.lu.Data
-	for i := range f.piv {
-		f.piv[i] = i
+	f := &LU{lu: a.Clone(), piv: make([]int, n)}
+	var err error
+	f.sign, err = factorInPlace(f.lu, f.piv)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// factorInPlace performs the Doolittle LU factorisation with partial
+// pivoting directly on m, recording the row permutation in piv (which must
+// have length m.Rows). It returns the permutation sign, or ErrSingular when
+// a pivot is numerically zero, in which case m and piv hold a partial,
+// unusable factorisation.
+func factorInPlace(m *Matrix, piv []int) (int, error) {
+	n := m.Rows
+	lu := m.Data
+	sign := 1
+	for i := range piv {
+		piv[i] = i
 	}
 	for k := 0; k < n; k++ {
 		// Partial pivoting: find the largest magnitude in column k.
@@ -42,14 +61,14 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 		if max < 1e-300 {
-			return nil, ErrSingular
+			return sign, ErrSingular
 		}
 		if p != k {
 			for c := 0; c < n; c++ {
 				lu[k*n+c], lu[p*n+c] = lu[p*n+c], lu[k*n+c]
 			}
-			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
-			f.sign = -f.sign
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
 		}
 		pivot := lu[k*n+k]
 		for i := k + 1; i < n; i++ {
@@ -65,8 +84,49 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return f, nil
+	return sign, nil
 }
+
+// LUWorkspace is a reusable LU factorisation buffer for n×n systems: the
+// factor matrix and pivot vector are allocated once and every Factor call
+// overwrites them in place, so repeated factor/solve cycles — one per
+// Newton iteration in the simulator's inner loops — allocate nothing. The
+// arithmetic is identical to Factor/Solve, so results are bit-for-bit the
+// same.
+//
+// A workspace is not safe for concurrent use.
+type LUWorkspace struct {
+	f LU
+}
+
+// NewLUWorkspace returns a workspace for factoring n×n matrices.
+func NewLUWorkspace(n int) *LUWorkspace {
+	return &LUWorkspace{f: LU{lu: NewMatrix(n, n), piv: make([]int, n), sign: 1}}
+}
+
+// Size returns the system dimension n the workspace was built for.
+func (w *LUWorkspace) Size() int { return w.f.lu.Rows }
+
+// Factor copies a into the workspace buffer and factors it in place,
+// replacing any previous factorisation. It allocates nothing. On
+// ErrSingular the stored factorisation is unusable until the next
+// successful Factor.
+func (w *LUWorkspace) Factor(a *Matrix) error {
+	w.f.lu.CopyFrom(a) // panics on shape mismatch
+	var err error
+	w.f.sign, err = factorInPlace(w.f.lu, w.f.piv)
+	return err
+}
+
+// SolveInto solves A·x = b into dst without allocating. dst and b must not
+// alias and must have length Size.
+func (w *LUWorkspace) SolveInto(dst, b []float64) {
+	w.f.Permute(dst, b)
+	w.f.SolveInPlace(dst)
+}
+
+// Det returns the determinant of the currently factored matrix.
+func (w *LUWorkspace) Det() float64 { return w.f.Det() }
 
 // Solve solves A x = b for x using the stored factorisation. b is not
 // modified.

@@ -77,16 +77,9 @@ func Characterize(ctx context.Context, cl *cell.Cell, st cell.State, pin string,
 		ctx = context.Background()
 	}
 	opts = opts.normalize()
-	found := false
-	for _, in := range cl.Inputs() {
-		if in == pin {
-			found = true
-		}
-	}
-	if !found {
+	if !cl.HasInput(pin) {
 		return nil, fmt.Errorf("nrc: %s has no pin %q", cl.Name(), pin)
 	}
-	vdd := cl.Tech.VDD
 	c := &Curve{
 		CellName: cl.Name(),
 		State:    st.String(),
@@ -95,8 +88,15 @@ func Characterize(ctx context.Context, cl *cell.Cell, st cell.State, pin string,
 		Widths:   opts.Widths,
 		Heights:  make([]float64, len(opts.Widths)),
 	}
+	// Compile the receiver test bench once; every bisection probe across
+	// every width reuses the same sim.Session with only the glitch
+	// waveform swapped.
+	rig, err := newGlitchRig(cl, st, pin, opts)
+	if err != nil {
+		return nil, err
+	}
 	for i, w := range opts.Widths {
-		h, err := bisectFailingHeight(ctx, cl, st, pin, w, opts)
+		h, err := bisectFailingHeight(ctx, rig, w, opts)
 		if err != nil {
 			return nil, fmt.Errorf("nrc: width %.0f ps: %w", w*1e12, err)
 		}
@@ -110,16 +110,68 @@ func Characterize(ctx context.Context, cl *cell.Cell, st cell.State, pin string,
 				opts.Widths[i]*1e12, c.Heights[i], c.Heights[i-1])
 		}
 	}
-	_ = vdd
 	return c, nil
+}
+
+// glitchT0 is the glitch start time of every NRC probe.
+const glitchT0 = 100e-12
+
+// glitchRig is a compiled receiver test bench: the cell with a mutable
+// triangular glitch source on the probed pin and a fixed output load. One
+// rig serves every bisection probe of a curve.
+type glitchRig struct {
+	sess     *sim.Session
+	hGlitch  sim.SourceHandle
+	vdd      float64
+	quietIn  float64
+	quietOut float64
+	sign     float64
+}
+
+func newGlitchRig(cl *cell.Cell, st cell.State, pin string, opts Options) (*glitchRig, error) {
+	ckt := circuit.New()
+	ckt.AddVDC("vdd", "vdd", "0", cl.Tech.VDD)
+	quietIn := cl.PinVoltage(st[pin])
+	sign := 1.0
+	if st[pin] {
+		sign = -1
+	}
+	pins := map[string]string{}
+	for _, in := range cl.Inputs() {
+		node := "in_" + in
+		pins[in] = node
+		if in == pin {
+			// Placeholder glitch; replaced per probe via SetSource.
+			ckt.AddV("v_"+in, node, "0", wave.Constant(quietIn))
+		} else {
+			ckt.AddVDC("v_"+in, node, "0", cl.PinVoltage(st[in]))
+		}
+	}
+	if err := cl.Build(ckt, "rcv", pins, "out", "vdd"); err != nil {
+		return nil, err
+	}
+	ckt.AddC("cl", "out", "0", opts.LoadCap)
+	prog := sim.Compile(ckt)
+	sess, err := sim.NewSession(prog, sim.Options{Dt: opts.Dt})
+	if err != nil {
+		return nil, err
+	}
+	return &glitchRig{
+		sess:     sess,
+		hGlitch:  prog.MustSource("v_" + pin),
+		vdd:      cl.Tech.VDD,
+		quietIn:  quietIn,
+		quietOut: cl.PinVoltage(cl.Logic(st)),
+		sign:     sign,
+	}, nil
 }
 
 // bisectFailingHeight finds the smallest glitch height that fails, or +Inf
 // when even a rail-to-rail-plus-margin glitch passes.
-func bisectFailingHeight(ctx context.Context, cl *cell.Cell, st cell.State, pin string, width float64, opts Options) (float64, error) {
-	vdd := cl.Tech.VDD
+func bisectFailingHeight(ctx context.Context, rig *glitchRig, width float64, opts Options) (float64, error) {
+	vdd := rig.vdd
 	hi := 1.2 * vdd
-	fails, err := glitchFails(ctx, cl, st, pin, hi, width, opts)
+	fails, err := rig.glitchFails(ctx, hi, width, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -127,7 +179,7 @@ func bisectFailingHeight(ctx context.Context, cl *cell.Cell, st cell.State, pin 
 		return math.Inf(1), nil
 	}
 	lo := 0.05 * vdd
-	fails, err = glitchFails(ctx, cl, st, pin, lo, width, opts)
+	fails, err = rig.glitchFails(ctx, lo, width, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -136,7 +188,7 @@ func bisectFailingHeight(ctx context.Context, cl *cell.Cell, st cell.State, pin 
 	}
 	for hi-lo > opts.Tol {
 		mid := 0.5 * (lo + hi)
-		fails, err = glitchFails(ctx, cl, st, pin, mid, width, opts)
+		fails, err = rig.glitchFails(ctx, mid, width, opts)
 		if err != nil {
 			return 0, err
 		}
@@ -151,36 +203,14 @@ func bisectFailingHeight(ctx context.Context, cl *cell.Cell, st cell.State, pin 
 
 // glitchFails simulates the receiver with a triangular glitch on the pin
 // and reports whether the output deviation exceeds the failure threshold.
-func glitchFails(ctx context.Context, cl *cell.Cell, st cell.State, pin string, height, width float64, opts Options) (bool, error) {
-	const t0 = 100e-12
-	ckt := circuit.New()
-	ckt.AddVDC("vdd", "vdd", "0", cl.Tech.VDD)
-	quietIn := cl.PinVoltage(st[pin])
-	sign := 1.0
-	if st[pin] {
-		sign = -1
-	}
-	pins := map[string]string{}
-	for _, in := range cl.Inputs() {
-		node := "in_" + in
-		pins[in] = node
-		if in == pin {
-			ckt.AddV("v_"+in, node, "0", wave.Triangle(quietIn, sign*height, t0, width))
-		} else {
-			ckt.AddVDC("v_"+in, node, "0", cl.PinVoltage(st[in]))
-		}
-	}
-	if err := cl.Build(ckt, "rcv", pins, "out", "vdd"); err != nil {
-		return false, err
-	}
-	ckt.AddC("cl", "out", "0", opts.LoadCap)
-	res, err := sim.Transient(ctx, ckt, sim.Options{Dt: opts.Dt, TStop: t0 + width + 1e-9})
+func (r *glitchRig) glitchFails(ctx context.Context, height, width float64, opts Options) (bool, error) {
+	r.sess.SetSource(r.hGlitch, wave.Triangle(r.quietIn, r.sign*height, glitchT0, width))
+	res, err := r.sess.RunTransient(ctx, glitchT0+width+1e-9)
 	if err != nil {
 		return false, err
 	}
-	quietOut := cl.PinVoltage(cl.Logic(st))
-	m := wave.MeasureNoise(res.Waveform("out"), quietOut)
-	return m.Peak >= opts.FailFrac*cl.Tech.VDD, nil
+	m := wave.MeasureNoise(res.Waveform("out"), r.quietOut)
+	return m.Peak >= opts.FailFrac*r.vdd, nil
 }
 
 // FailingHeight interpolates the curve at the given width (clamped to the

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"stanoise/internal/cell"
+	"stanoise/internal/circuit"
+	"stanoise/internal/tech"
+	"stanoise/internal/wave"
+)
+
+// Allocation-tracking benchmarks for the two-phase engine: the one-shot
+// wrappers pay Compile + NewSession on every call, the session variants
+// pay them once and only mutate parameters — the shape of every
+// characterisation sweep. Before/after numbers live in EXPERIMENTS.md.
+
+func benchDCCircuit(b *testing.B) (*circuit.Circuit, float64) {
+	b.Helper()
+	t := tech.Tech130()
+	inv := cell.MustNew(t, "INV", 1)
+	ckt := circuit.New()
+	ckt.AddVDC("vdd", "vdd", "0", t.VDD)
+	ckt.AddVDC("v_A", "in_A", "0", 0)
+	if err := inv.Build(ckt, "dut", map[string]string{"A": "in_A"}, "out", "vdd"); err != nil {
+		b.Fatal(err)
+	}
+	ckt.AddVDC("vforce", "out", "0", t.VDD)
+	return ckt, t.VDD
+}
+
+func BenchmarkDCOneShot(b *testing.B) {
+	ckt, _ := benchDCCircuit(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DC(ckt, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDCSession(b *testing.B) {
+	ckt, vdd := benchDCCircuit(b)
+	prog := Compile(ckt)
+	sess, err := NewSession(prog, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hForce := prog.MustSource("vforce")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Mutate the forced voltage like a sweep point would.
+		sess.SetSourceDC(hForce, vdd*float64(i%7)/6)
+		if _, err := sess.RunDC(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionParallel exercises the documented concurrency model —
+// one immutable Program shared across goroutines, one Session per
+// goroutine — and is run under -race in CI, where unsynchronised state
+// leaking between sessions through the Program would surface.
+func BenchmarkSessionParallel(b *testing.B) {
+	ckt, vdd := benchDCCircuit(b)
+	prog := Compile(ckt)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		sess, err := NewSession(prog, Options{})
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		hForce := prog.MustSource("vforce")
+		i := 0
+		for pb.Next() {
+			sess.SetSourceDC(hForce, vdd*float64(i%7)/6)
+			if _, err := sess.RunDC(); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+func benchTransientCircuit(b *testing.B) *circuit.Circuit {
+	b.Helper()
+	t := tech.Tech130()
+	inv := cell.MustNew(t, "INV", 1)
+	ckt := circuit.New()
+	ckt.AddVDC("vdd", "vdd", "0", t.VDD)
+	ckt.AddV("v_A", "in_A", "0", wave.Triangle(0, 0.8, 100e-12, 300e-12))
+	if err := inv.Build(ckt, "dut", map[string]string{"A": "in_A"}, "out", "vdd"); err != nil {
+		b.Fatal(err)
+	}
+	ckt.AddC("cl", "out", "0", 30e-15)
+	return ckt
+}
+
+func BenchmarkTransientOneShot(b *testing.B) {
+	ckt := benchTransientCircuit(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Transient(context.Background(), ckt, Options{Dt: 1e-12, TStop: 1e-9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransientSession(b *testing.B) {
+	ckt := benchTransientCircuit(b)
+	prog := Compile(ckt)
+	sess, err := NewSession(prog, Options{Dt: 1e-12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hGlitch := prog.MustSource("v_A")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Mutate the glitch like a characterisation probe would.
+		sess.SetSource(hGlitch, wave.Triangle(0, 0.7+0.01*float64(i%10), 100e-12, 300e-12))
+		if _, err := sess.RunTransient(context.Background(), 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,283 +8,31 @@
 // or backward-Euler companion models, and DC operating points with gmin
 // stepping as a fallback. Matrices are dense; noise clusters are small
 // (tens of nodes), where dense LU beats sparse bookkeeping.
+//
+// The engine is split into two phases (DESIGN.md §7). Compile resolves a
+// circuit into an immutable Program — index-resolved node table and
+// per-device stamp plans — and a Session against that Program owns the
+// preallocated matrices, vectors and LU workspace, re-running with mutated
+// parameters (SetSource/SetLoad/SetGuess) at zero rebuild cost. The
+// one-shot DC and Transient entry points below are thin wrappers that
+// compile, open a session, and run once; characterisation sweeps use the
+// two-phase API directly.
 package sim
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 
 	"stanoise/internal/circuit"
-	"stanoise/internal/linalg"
 	"stanoise/internal/wave"
 )
-
-// Method selects the integration rule for capacitors.
-type Method int
-
-const (
-	// Trapezoidal is second-order accurate and the default.
-	Trapezoidal Method = iota
-	// BackwardEuler is first-order and strongly damped; useful to start
-	// transients or to suppress trapezoidal ringing.
-	BackwardEuler
-)
-
-// Options configures a simulation run. The zero value is completed with
-// sensible defaults by normalize.
-type Options struct {
-	Dt     float64 // transient timestep (s); default 1 ps
-	TStop  float64 // transient end time (s)
-	Method Method  // integration rule; default Trapezoidal
-
-	MaxNewton int     // Newton iteration cap per solve; default 100
-	VTol      float64 // voltage convergence tolerance (V); default 1e-9
-	ITol      float64 // residual current tolerance (A); default 1e-12
-	Gmin      float64 // minimum conductance to ground (S); default 1e-12
-	MaxStep   float64 // Newton per-iteration voltage damping limit (V); default 0.5
-
-	// InitialGuess seeds DC node voltages by node name. Seeding nodes near
-	// their quiet logic values both speeds convergence and selects the
-	// intended operating point.
-	InitialGuess map[string]float64
-}
-
-func (o Options) normalize() Options {
-	if o.Dt <= 0 {
-		o.Dt = 1e-12
-	}
-	if o.MaxNewton <= 0 {
-		o.MaxNewton = 100
-	}
-	if o.VTol <= 0 {
-		o.VTol = 1e-9
-	}
-	if o.ITol <= 0 {
-		o.ITol = 1e-12
-	}
-	if o.Gmin <= 0 {
-		o.Gmin = 1e-12
-	}
-	if o.MaxStep <= 0 {
-		o.MaxStep = 0.5
-	}
-	return o
-}
 
 // ErrNoConvergence is returned when Newton iteration fails to converge.
 var ErrNoConvergence = errors.New("sim: Newton iteration did not converge")
 
-// solver holds the assembled MNA structure for one circuit.
-type solver struct {
-	c    *circuit.Circuit
-	opts Options
-	n    int // node unknowns
-	m    int // voltage-source branch unknowns
-	size int
-
-	// base holds all voltage-independent, time-independent conductance
-	// stamps: resistors, gmin, and the voltage-source incidence pattern.
-	base *linalg.Matrix
-
-	// Scratch buffers reused across Newton iterations.
-	jac *linalg.Matrix
-	f   []float64
-	rhs []float64
-}
-
-func newSolver(c *circuit.Circuit, opts Options) *solver {
-	s := &solver{
-		c:    c,
-		opts: opts.normalize(),
-		n:    c.NumNodes(),
-		m:    len(c.VSources),
-	}
-	s.size = s.n + s.m
-	s.base = linalg.NewMatrix(s.size, s.size)
-	s.jac = linalg.NewMatrix(s.size, s.size)
-	s.f = make([]float64, s.size)
-	s.rhs = make([]float64, s.size)
-	s.stampBase(s.opts.Gmin)
-	return s
-}
-
 // idx maps a node to its unknown index, or -1 for ground.
 func idx(n circuit.NodeID) int { return int(n) }
-
-// stampBase fills the linear, time-invariant part of the Jacobian.
-func (s *solver) stampBase(gmin float64) {
-	s.base.Zero()
-	for i := 0; i < s.n; i++ {
-		s.base.Add(i, i, gmin)
-	}
-	for _, r := range s.c.Resistors {
-		g := 1 / r.R
-		s.stampConductance(s.base, r.A, r.B, g)
-	}
-	for k, v := range s.c.VSources {
-		row := s.n + k
-		if a := idx(v.Pos); a >= 0 {
-			s.base.Add(a, row, 1)
-			s.base.Add(row, a, 1)
-		}
-		if b := idx(v.Neg); b >= 0 {
-			s.base.Add(b, row, -1)
-			s.base.Add(row, b, -1)
-		}
-	}
-}
-
-func (s *solver) stampConductance(m *linalg.Matrix, na, nb circuit.NodeID, g float64) {
-	a, b := idx(na), idx(nb)
-	if a >= 0 {
-		m.Add(a, a, g)
-	}
-	if b >= 0 {
-		m.Add(b, b, g)
-	}
-	if a >= 0 && b >= 0 {
-		m.Add(a, b, -g)
-		m.Add(b, a, -g)
-	}
-}
-
-// vAt returns the voltage of node n under the unknown vector x.
-func vAt(x []float64, n circuit.NodeID) float64 {
-	if n == circuit.Ground {
-		return 0
-	}
-	return x[n]
-}
-
-// assemble builds the Jacobian and residual F(x) at the given Newton
-// iterate. lin is the linear system matrix to start from (base for DC,
-// base+cap companions for transients); b carries the time-dependent source
-// and capacitor-history terms as "current injected" (so F = lin·x - b + nl).
-func (s *solver) assemble(lin *linalg.Matrix, x, b []float64) {
-	s.jac.CopyFrom(lin)
-	// F = lin·x - b
-	lin.MulVecInto(s.f, x)
-	for i := range s.f {
-		s.f[i] -= b[i]
-	}
-	// MOSFETs.
-	for i := range s.c.Mosfets {
-		m := &s.c.Mosfets[i]
-		vd, vg, vs := vAt(x, m.D), vAt(x, m.G), vAt(x, m.S)
-		id, gd, gg, gs := m.P.Eval(vd, vg, vs)
-		d, g, src := idx(m.D), idx(m.G), idx(m.S)
-		// id is the current into the drain terminal, i.e. leaving node D.
-		if d >= 0 {
-			s.f[d] += id
-			s.jac.Add(d, d, gd)
-			if g >= 0 {
-				s.jac.Add(d, g, gg)
-			}
-			if src >= 0 {
-				s.jac.Add(d, src, gs)
-			}
-		}
-		if src >= 0 {
-			s.f[src] -= id
-			s.jac.Add(src, src, -gs)
-			if d >= 0 {
-				s.jac.Add(src, d, -gd)
-			}
-			if g >= 0 {
-				s.jac.Add(src, g, -gg)
-			}
-		}
-	}
-	// Table VCCSs: current i injected into Out.
-	for i := range s.c.VCCSs {
-		e := &s.c.VCCSs[i]
-		vc, vo := vAt(x, e.Ctrl), vAt(x, e.Out)
-		cur, gc, gout := e.F.Eval(vc, vo)
-		o, cn := idx(e.Out), idx(e.Ctrl)
-		if o >= 0 {
-			s.f[o] -= cur
-			s.jac.Add(o, o, -gout)
-			if cn >= 0 {
-				s.jac.Add(o, cn, -gc)
-			}
-		}
-	}
-}
-
-// newton solves F(x) = 0 starting from x, modifying it in place.
-func (s *solver) newton(lin *linalg.Matrix, x, b []float64) error {
-	opts := s.opts
-	for it := 0; it < opts.MaxNewton; it++ {
-		s.assemble(lin, x, b)
-		lu, err := linalg.Factor(s.jac)
-		if err != nil {
-			return fmt.Errorf("sim: singular Jacobian at Newton iteration %d: %w", it, err)
-		}
-		dx := lu.Solve(s.f)
-		// Damping: bound the voltage update.
-		maxdv := 0.0
-		for i := 0; i < s.n; i++ {
-			if a := math.Abs(dx[i]); a > maxdv {
-				maxdv = a
-			}
-		}
-		scale := 1.0
-		if maxdv > opts.MaxStep {
-			scale = opts.MaxStep / maxdv
-		}
-		for i := range x {
-			x[i] -= scale * dx[i]
-		}
-		maxf := 0.0
-		for i := 0; i < s.n; i++ {
-			if a := math.Abs(s.f[i]); a > maxf {
-				maxf = a
-			}
-		}
-		if maxdv*scale < opts.VTol && maxf < opts.ITol*math.Max(1, float64(s.n)) {
-			return nil
-		}
-	}
-	return ErrNoConvergence
-}
-
-// sourceRHS fills b with the independent-source terms at time t.
-func (s *solver) sourceRHS(b []float64, t float64) {
-	for i := range b {
-		b[i] = 0
-	}
-	for k, v := range s.c.VSources {
-		b[s.n+k] = v.W.At(t)
-	}
-	for _, is := range s.c.ISources {
-		if a := idx(is.Pos); a >= 0 {
-			b[a] += is.W.At(t)
-		}
-		if bn := idx(is.Neg); bn >= 0 {
-			b[bn] -= is.W.At(t)
-		}
-	}
-}
-
-// initialGuess builds the DC starting point.
-func (s *solver) initialGuess() []float64 {
-	x := make([]float64, s.size)
-	// Ground-referenced DC sources pin their node directly; this lands the
-	// first iterate close to the operating point for rail-connected nets.
-	for _, v := range s.c.VSources {
-		if v.Neg == circuit.Ground && v.Pos != circuit.Ground {
-			x[v.Pos] = v.W.At(0)
-		}
-	}
-	for name, val := range s.opts.InitialGuess {
-		if id, ok := s.c.LookupNode(name); ok && id != circuit.Ground {
-			x[id] = val
-		}
-	}
-	return x
-}
 
 // DCResult holds an operating point.
 type DCResult struct {
@@ -315,30 +63,15 @@ func (r *DCResult) BranchI(vsrc string) float64 {
 	return r.X[r.n+k]
 }
 
-// DC computes the operating point at t = 0. When plain Newton fails it
-// falls back to gmin stepping: solving a sequence of progressively less
-// regularised systems, warm-starting each from the last.
+// DC computes the operating point at t = 0. It is a one-shot wrapper over
+// the two-phase API: Compile + NewSession + RunDC. Sweeps that solve the
+// same topology repeatedly should compile once and reuse a Session.
 func DC(c *circuit.Circuit, opts Options) (*DCResult, error) {
-	dcCount.Add(1)
-	s := newSolver(c, opts)
-	x := s.initialGuess()
-	s.sourceRHS(s.rhs, 0)
-	if err := s.newton(s.base, x, s.rhs); err == nil {
-		return &DCResult{c: c, X: x, n: s.n}, nil
+	s, err := NewSession(Compile(c), opts)
+	if err != nil {
+		return nil, err
 	}
-	// gmin stepping.
-	x = s.initialGuess()
-	for gmin := 1e-3; gmin >= s.opts.Gmin; gmin /= 10 {
-		s.stampBase(gmin)
-		if err := s.newton(s.base, x, s.rhs); err != nil {
-			return nil, fmt.Errorf("sim: DC gmin stepping failed at gmin=%g: %w", gmin, err)
-		}
-	}
-	s.stampBase(s.opts.Gmin)
-	if err := s.newton(s.base, x, s.rhs); err != nil {
-		return nil, fmt.Errorf("sim: DC failed after gmin stepping: %w", err)
-	}
-	return &DCResult{c: c, X: x, n: s.n}, nil
+	return s.RunDC()
 }
 
 // Result holds a transient simulation: node voltages and voltage-source
@@ -387,97 +120,12 @@ func (r *Result) Steps() int { return len(r.Times) }
 // opts.TStop with a fixed step opts.Dt. The context is checked periodically
 // between timesteps, so a cancelled characterisation or analysis run stops
 // mid-transient instead of completing the solve; a nil context disables
-// cancellation.
+// cancellation. It is a one-shot wrapper over Compile + NewSession +
+// RunTransient.
 func Transient(ctx context.Context, c *circuit.Circuit, opts Options) (*Result, error) {
-	transientCount.Add(1)
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	opts = opts.normalize()
-	if opts.TStop <= 0 {
-		return nil, errors.New("sim: Transient requires positive TStop")
-	}
-	s := newSolver(c, opts)
-
-	dc, err := DC(c, opts)
+	s, err := NewSession(Compile(c), opts)
 	if err != nil {
-		return nil, fmt.Errorf("sim: transient operating point: %w", err)
+		return nil, err
 	}
-	x := append([]float64(nil), dc.X...)
-
-	nsteps := int(math.Ceil(opts.TStop/opts.Dt)) + 1
-	res := &Result{
-		c:       c,
-		Times:   make([]float64, 0, nsteps),
-		nodeV:   make([][]float64, s.n),
-		branchI: make([][]float64, s.m),
-	}
-	record := func(t float64, x []float64) {
-		res.Times = append(res.Times, t)
-		for i := 0; i < s.n; i++ {
-			res.nodeV[i] = append(res.nodeV[i], x[i])
-		}
-		for k := 0; k < s.m; k++ {
-			res.branchI[k] = append(res.branchI[k], x[s.n+k])
-		}
-	}
-	record(0, x)
-
-	// Transient system matrix: base + capacitor companion conductances.
-	h := opts.Dt
-	geqFactor := 1.0 / h // BE
-	if opts.Method == Trapezoidal {
-		geqFactor = 2.0 / h
-	}
-	lin := s.base.Clone()
-	for _, cp := range c.Capacitors {
-		s.stampConductance(lin, cp.A, cp.B, cp.C*geqFactor)
-	}
-
-	// Capacitor history: branch voltage and (for trapezoidal) current.
-	vPrev := make([]float64, len(c.Capacitors))
-	iPrev := make([]float64, len(c.Capacitors))
-	for i, cp := range c.Capacitors {
-		vPrev[i] = vAt(x, cp.A) - vAt(x, cp.B)
-		iPrev[i] = 0 // steady state at the operating point
-	}
-
-	b := make([]float64, s.size)
-	step := 0
-	for t := h; t <= opts.TStop+h/2; t += h {
-		if step++; step&15 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		s.sourceRHS(b, t)
-		for i, cp := range c.Capacitors {
-			var hist float64
-			if opts.Method == Trapezoidal {
-				hist = cp.C*geqFactor*vPrev[i] + iPrev[i]
-			} else {
-				hist = cp.C * geqFactor * vPrev[i]
-			}
-			if a := idx(cp.A); a >= 0 {
-				b[a] += hist
-			}
-			if bb := idx(cp.B); bb >= 0 {
-				b[bb] -= hist
-			}
-		}
-		if err := s.newton(lin, x, b); err != nil {
-			return nil, fmt.Errorf("sim: transient at t=%.3gps: %w", t*1e12, err)
-		}
-		for i, cp := range c.Capacitors {
-			v := vAt(x, cp.A) - vAt(x, cp.B)
-			if opts.Method == Trapezoidal {
-				iPrev[i] = cp.C*geqFactor*(v-vPrev[i]) - iPrev[i]
-			} else {
-				iPrev[i] = cp.C * geqFactor * (v - vPrev[i])
-			}
-			vPrev[i] = v
-		}
-		record(t, x)
-	}
-	return res, nil
+	return s.RunTransient(ctx, opts.TStop)
 }

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"fmt"
+
+	"stanoise/internal/circuit"
+	"stanoise/internal/device"
+	"stanoise/internal/wave"
+)
+
+// Program is an immutable compiled form of a circuit: node names resolved
+// to matrix indices, one stamp plan per device, and handles for the
+// parameters a characterisation sweep mutates between runs (voltage-source
+// waveforms, capacitor values, initial-guess seeds).
+//
+// Compile once per topology, then open any number of Sessions against the
+// Program; each Session owns the mutable solver state (matrices, vectors,
+// LU workspace) and can be re-run with different parameters without paying
+// netlist assembly or index resolution again. The source circuit must not
+// be modified after Compile — the Program aliases its node table and
+// element metadata.
+type Program struct {
+	ckt *circuit.Circuit
+
+	n    int // node unknowns
+	m    int // voltage-source branch unknowns
+	size int
+
+	// Index-resolved stamp plans. Ground is -1, matching circuit.Ground.
+	res  []resPlan
+	caps []capPlan
+	mos  []mosPlan
+	vccs []vccsPlan
+	vsrc []twoTerm // branch row for source k is n+k
+	isrc []twoTerm
+
+	// Compile-time parameter values, copied into each new Session.
+	srcW0  []*wave.Waveform // voltage-source waveforms
+	isrcW0 []*wave.Waveform // current-source waveforms
+	capC0  []float64        // capacitances (F)
+
+	srcIdx map[string]int // voltage-source name -> handle
+	capIdx map[string]int // capacitor name -> handle
+}
+
+type resPlan struct {
+	a, b int
+	g    float64
+}
+
+type capPlan struct{ a, b int }
+
+type mosPlan struct {
+	d, g, s int
+	p       device.Params
+}
+
+type vccsPlan struct {
+	out, ctrl int
+	f         circuit.VCCSFunc
+}
+
+type twoTerm struct{ pos, neg int }
+
+// SourceHandle identifies a voltage source of a compiled Program for
+// parameter mutation between Session runs.
+type SourceHandle int
+
+// CapHandle identifies a capacitor of a compiled Program for load mutation
+// between Session runs.
+type CapHandle int
+
+// Compile resolves a circuit into an immutable Program. The circuit must
+// not be modified afterwards.
+func Compile(c *circuit.Circuit) *Program {
+	p := &Program{
+		ckt:    c,
+		n:      c.NumNodes(),
+		m:      len(c.VSources),
+		srcIdx: make(map[string]int, len(c.VSources)),
+		capIdx: make(map[string]int, len(c.Capacitors)),
+	}
+	p.size = p.n + p.m
+	for _, r := range c.Resistors {
+		p.res = append(p.res, resPlan{a: idx(r.A), b: idx(r.B), g: 1 / r.R})
+	}
+	for _, cp := range c.Capacitors {
+		p.caps = append(p.caps, capPlan{a: idx(cp.A), b: idx(cp.B)})
+		p.capC0 = append(p.capC0, cp.C)
+	}
+	for i := range c.Capacitors {
+		p.capIdx[c.Capacitors[i].Name] = i
+	}
+	for i := range c.Mosfets {
+		mf := &c.Mosfets[i]
+		p.mos = append(p.mos, mosPlan{d: idx(mf.D), g: idx(mf.G), s: idx(mf.S), p: mf.P})
+	}
+	for i := range c.VCCSs {
+		e := &c.VCCSs[i]
+		p.vccs = append(p.vccs, vccsPlan{out: idx(e.Out), ctrl: idx(e.Ctrl), f: e.F})
+	}
+	for k, v := range c.VSources {
+		p.vsrc = append(p.vsrc, twoTerm{pos: idx(v.Pos), neg: idx(v.Neg)})
+		p.srcW0 = append(p.srcW0, v.W)
+		p.srcIdx[v.Name] = k
+	}
+	for _, is := range c.ISources {
+		p.isrc = append(p.isrc, twoTerm{pos: idx(is.Pos), neg: idx(is.Neg)})
+		p.isrcW0 = append(p.isrcW0, is.W)
+	}
+	return p
+}
+
+// Circuit returns the source circuit, for node and probe name lookups.
+func (p *Program) Circuit() *circuit.Circuit { return p.ckt }
+
+// Size returns the number of MNA unknowns (nodes plus source branches).
+func (p *Program) Size() int { return p.size }
+
+// Source returns the handle of the named voltage source.
+func (p *Program) Source(name string) (SourceHandle, bool) {
+	k, ok := p.srcIdx[name]
+	return SourceHandle(k), ok
+}
+
+// MustSource is Source for names known to exist; it panics otherwise.
+func (p *Program) MustSource(name string) SourceHandle {
+	h, ok := p.Source(name)
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown voltage source %q", name))
+	}
+	return h
+}
+
+// Cap returns the handle of the named capacitor.
+func (p *Program) Cap(name string) (CapHandle, bool) {
+	k, ok := p.capIdx[name]
+	return CapHandle(k), ok
+}
+
+// MustCap is Cap for names known to exist; it panics otherwise.
+func (p *Program) MustCap(name string) CapHandle {
+	h, ok := p.Cap(name)
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown capacitor %q", name))
+	}
+	return h
+}

@@ -1,0 +1,488 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"stanoise/internal/circuit"
+	"stanoise/internal/linalg"
+	"stanoise/internal/wave"
+)
+
+// Session is the mutable run state for one compiled Program: preallocated
+// MNA matrices, right-hand-side/solution vectors and an in-place LU
+// workspace, plus the per-run parameters (source waveforms, capacitor
+// values, initial-guess seeds). A characterisation sweep compiles its
+// topology once, opens one Session, and then only mutates parameters
+// between RunDC/RunTransient calls — no per-point circuit assembly, node
+// resolution or matrix allocation.
+//
+// The Newton inner loop is allocation-free: the Jacobian is copied into
+// reused buffers, factored in place, and solved into a preallocated
+// update vector (asserted by TestNewtonLoopAllocFree). Results returned by
+// RunDC/RunTransient are fresh allocations and remain valid after further
+// runs.
+//
+// A Session is not safe for concurrent use; open one Session per
+// goroutine (Programs are immutable and may be shared).
+type Session struct {
+	prog *Program
+	opts Options
+
+	n, m, size int
+
+	// base holds all voltage-independent, time-independent conductance
+	// stamps: resistors, gmin, and the voltage-source incidence pattern.
+	base *linalg.Matrix
+	// stampedGmin is the gmin currently stamped into base; DC gmin
+	// stepping temporarily restamps it.
+	stampedGmin float64
+
+	// Scratch buffers reused across runs and Newton iterations. lin is
+	// allocated lazily on the first transient run; DC-only sessions (the
+	// load-curve sweeps) never pay for it.
+	lin *linalg.Matrix // transient system matrix: base + cap companions
+	jac *linalg.Matrix
+	lu  *linalg.LUWorkspace
+	f   []float64
+	rhs []float64
+	b   []float64
+	x   []float64
+	dx  []float64
+
+	// Mutable per-run parameters, seeded from the Program at creation.
+	srcW []*wave.Waveform
+	capC []float64
+
+	// ownConst holds session-owned constant waveforms, one per source,
+	// lazily created by SetSourceDC and mutated in place on later calls so
+	// a DC sweep point allocates nothing for its source values.
+	ownConst []*wave.Waveform
+
+	// Capacitor companion history (branch voltage and current).
+	vPrev []float64
+	iPrev []float64
+
+	// Initial-guess seeds resolved to node indices.
+	guesses []guessEntry
+}
+
+type guessEntry struct {
+	node int
+	v    float64
+}
+
+// NewSession opens a Session against a compiled Program. Options are
+// validated (see Options.Validate) and normalized once here; TStop is
+// ignored — RunTransient takes the stop time per run.
+func NewSession(p *Program, opts Options) (*Session, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Session{
+		prog: p,
+		opts: opts.normalize(),
+		n:    p.n,
+		m:    p.m,
+		size: p.size,
+	}
+	s.base = linalg.NewMatrix(s.size, s.size)
+	s.jac = linalg.NewMatrix(s.size, s.size)
+	s.lu = linalg.NewLUWorkspace(s.size)
+	s.f = make([]float64, s.size)
+	s.rhs = make([]float64, s.size)
+	s.b = make([]float64, s.size)
+	s.x = make([]float64, s.size)
+	s.dx = make([]float64, s.size)
+	s.srcW = append([]*wave.Waveform(nil), p.srcW0...)
+	s.capC = append([]float64(nil), p.capC0...)
+	s.vPrev = make([]float64, len(p.caps))
+	s.iPrev = make([]float64, len(p.caps))
+	for name, v := range s.opts.InitialGuess {
+		s.setGuess(name, v)
+	}
+	s.stampBase(s.opts.Gmin)
+	return s, nil
+}
+
+// SetSource replaces the waveform of a voltage source for subsequent runs.
+func (s *Session) SetSource(h SourceHandle, w *wave.Waveform) {
+	if w == nil {
+		panic("sim: SetSource with nil waveform")
+	}
+	s.srcW[h] = w
+}
+
+// SetSourceDC sets a voltage source to a constant value for subsequent
+// runs — the per-point mutation of a DC characterisation sweep. The
+// constant waveform is session-owned and reused across calls, so a sweep
+// point allocates nothing here.
+func (s *Session) SetSourceDC(h SourceHandle, v float64) {
+	if s.ownConst == nil {
+		s.ownConst = make([]*wave.Waveform, len(s.srcW))
+	}
+	if s.ownConst[h] == nil {
+		s.ownConst[h] = wave.Constant(v)
+	} else {
+		s.ownConst[h].V[0] = v
+	}
+	s.srcW[h] = s.ownConst[h]
+}
+
+// SetLoad replaces the value of a capacitor for subsequent runs — the
+// per-point mutation of a load sweep. A zero value is legal and stamps
+// nothing; negative or non-finite values are programming errors.
+func (s *Session) SetLoad(h CapHandle, c float64) {
+	if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+		panic(fmt.Sprintf("sim: SetLoad with invalid capacitance %g", c))
+	}
+	s.capC[h] = c
+}
+
+// SetGuess overrides the initial-guess voltage of a named node for
+// subsequent runs, replacing any value the Options carried for it.
+// Unknown node names and ground are silently ignored, matching how
+// Options.InitialGuess treats them; the value must be finite.
+func (s *Session) SetGuess(name string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		panic(fmt.Sprintf("sim: SetGuess(%q) with non-finite value %g", name, v))
+	}
+	s.setGuess(name, v)
+}
+
+func (s *Session) setGuess(name string, v float64) {
+	id, ok := s.prog.ckt.LookupNode(name)
+	if !ok || id == circuit.Ground {
+		return
+	}
+	for i := range s.guesses {
+		if s.guesses[i].node == int(id) {
+			s.guesses[i].v = v
+			return
+		}
+	}
+	s.guesses = append(s.guesses, guessEntry{node: int(id), v: v})
+}
+
+// stampBase fills the linear, time-invariant part of the Jacobian.
+func (s *Session) stampBase(gmin float64) {
+	s.base.Zero()
+	for i := 0; i < s.n; i++ {
+		s.base.Add(i, i, gmin)
+	}
+	for _, r := range s.prog.res {
+		s.stampConductance(s.base, r.a, r.b, r.g)
+	}
+	for k, v := range s.prog.vsrc {
+		row := s.n + k
+		if v.pos >= 0 {
+			s.base.Add(v.pos, row, 1)
+			s.base.Add(row, v.pos, 1)
+		}
+		if v.neg >= 0 {
+			s.base.Add(v.neg, row, -1)
+			s.base.Add(row, v.neg, -1)
+		}
+	}
+	s.stampedGmin = gmin
+}
+
+func (s *Session) stampConductance(m *linalg.Matrix, a, b int, g float64) {
+	if a >= 0 {
+		m.Add(a, a, g)
+	}
+	if b >= 0 {
+		m.Add(b, b, g)
+	}
+	if a >= 0 && b >= 0 {
+		m.Add(a, b, -g)
+		m.Add(b, a, -g)
+	}
+}
+
+// vIdx returns the voltage at unknown index i (ground is -1).
+func vIdx(x []float64, i int) float64 {
+	if i < 0 {
+		return 0
+	}
+	return x[i]
+}
+
+// assemble builds the Jacobian and residual F(x) at the given Newton
+// iterate. lin is the linear system matrix to start from (base for DC,
+// base+cap companions for transients); b carries the time-dependent source
+// and capacitor-history terms as "current injected" (so F = lin·x - b + nl).
+func (s *Session) assemble(lin *linalg.Matrix, x, b []float64) {
+	s.jac.CopyFrom(lin)
+	// F = lin·x - b
+	lin.MulVecInto(s.f, x)
+	for i := range s.f {
+		s.f[i] -= b[i]
+	}
+	// MOSFETs.
+	for i := range s.prog.mos {
+		m := &s.prog.mos[i]
+		vd, vg, vs := vIdx(x, m.d), vIdx(x, m.g), vIdx(x, m.s)
+		id, gd, gg, gs := m.p.Eval(vd, vg, vs)
+		d, g, src := m.d, m.g, m.s
+		// id is the current into the drain terminal, i.e. leaving node D.
+		if d >= 0 {
+			s.f[d] += id
+			s.jac.Add(d, d, gd)
+			if g >= 0 {
+				s.jac.Add(d, g, gg)
+			}
+			if src >= 0 {
+				s.jac.Add(d, src, gs)
+			}
+		}
+		if src >= 0 {
+			s.f[src] -= id
+			s.jac.Add(src, src, -gs)
+			if d >= 0 {
+				s.jac.Add(src, d, -gd)
+			}
+			if g >= 0 {
+				s.jac.Add(src, g, -gg)
+			}
+		}
+	}
+	// Table VCCSs: current i injected into Out.
+	for i := range s.prog.vccs {
+		e := &s.prog.vccs[i]
+		vc, vo := vIdx(x, e.ctrl), vIdx(x, e.out)
+		cur, gc, gout := e.f.Eval(vc, vo)
+		o, cn := e.out, e.ctrl
+		if o >= 0 {
+			s.f[o] -= cur
+			s.jac.Add(o, o, -gout)
+			if cn >= 0 {
+				s.jac.Add(o, cn, -gc)
+			}
+		}
+	}
+}
+
+// newton solves F(x) = 0 starting from x, modifying it in place. The loop
+// body allocates nothing: the Jacobian factors into the session's LU
+// workspace and the update solves into the preallocated dx buffer.
+func (s *Session) newton(lin *linalg.Matrix, x, b []float64) error {
+	opts := s.opts
+	for it := 0; it < opts.MaxNewton; it++ {
+		s.assemble(lin, x, b)
+		if err := s.lu.Factor(s.jac); err != nil {
+			return fmt.Errorf("sim: singular Jacobian at Newton iteration %d: %w", it, err)
+		}
+		s.lu.SolveInto(s.dx, s.f)
+		dx := s.dx
+		// Damping: bound the voltage update.
+		maxdv := 0.0
+		for i := 0; i < s.n; i++ {
+			if a := math.Abs(dx[i]); a > maxdv {
+				maxdv = a
+			}
+		}
+		scale := 1.0
+		if maxdv > opts.MaxStep {
+			scale = opts.MaxStep / maxdv
+		}
+		for i := range x {
+			x[i] -= scale * dx[i]
+		}
+		maxf := 0.0
+		for i := 0; i < s.n; i++ {
+			if a := math.Abs(s.f[i]); a > maxf {
+				maxf = a
+			}
+		}
+		if maxdv*scale < opts.VTol && maxf < opts.ITol*math.Max(1, float64(s.n)) {
+			return nil
+		}
+	}
+	return ErrNoConvergence
+}
+
+// sourceRHS fills b with the independent-source terms at time t.
+func (s *Session) sourceRHS(b []float64, t float64) {
+	for i := range b {
+		b[i] = 0
+	}
+	for k := range s.prog.vsrc {
+		b[s.n+k] = s.srcW[k].At(t)
+	}
+	for k, is := range s.prog.isrc {
+		if is.pos >= 0 {
+			b[is.pos] += s.prog.isrcW0[k].At(t)
+		}
+		if is.neg >= 0 {
+			b[is.neg] -= s.prog.isrcW0[k].At(t)
+		}
+	}
+}
+
+// initialGuess fills x with the DC starting point.
+func (s *Session) initialGuess(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+	// Ground-referenced DC sources pin their node directly; this lands the
+	// first iterate close to the operating point for rail-connected nets.
+	for k, v := range s.prog.vsrc {
+		if v.neg < 0 && v.pos >= 0 {
+			x[v.pos] = s.srcW[k].At(0)
+		}
+	}
+	for _, g := range s.guesses {
+		x[g.node] = g.v
+	}
+}
+
+// RunDC computes the operating point at t = 0 with the session's current
+// parameters. When plain Newton fails it falls back to gmin stepping:
+// solving a sequence of progressively less regularised systems,
+// warm-starting each from the last. The returned result does not alias
+// session buffers.
+func (s *Session) RunDC() (*DCResult, error) {
+	if err := s.solveDC(); err != nil {
+		return nil, err
+	}
+	return s.dcResult(), nil
+}
+
+// solveDC runs the DC solve, leaving the operating point in s.x.
+func (s *Session) solveDC() error {
+	dcCount.Add(1)
+	if s.stampedGmin != s.opts.Gmin {
+		s.stampBase(s.opts.Gmin)
+	}
+	s.initialGuess(s.x)
+	s.sourceRHS(s.rhs, 0)
+	if err := s.newton(s.base, s.x, s.rhs); err == nil {
+		return nil
+	}
+	// gmin stepping.
+	s.initialGuess(s.x)
+	for gmin := 1e-3; gmin >= s.opts.Gmin; gmin /= 10 {
+		s.stampBase(gmin)
+		if err := s.newton(s.base, s.x, s.rhs); err != nil {
+			return fmt.Errorf("sim: DC gmin stepping failed at gmin=%g: %w", gmin, err)
+		}
+	}
+	s.stampBase(s.opts.Gmin)
+	if err := s.newton(s.base, s.x, s.rhs); err != nil {
+		return fmt.Errorf("sim: DC failed after gmin stepping: %w", err)
+	}
+	return nil
+}
+
+func (s *Session) dcResult() *DCResult {
+	return &DCResult{c: s.prog.ckt, X: append([]float64(nil), s.x...), n: s.n}
+}
+
+// RunTransient runs a transient analysis from a DC operating point at
+// t = 0 to tstop with the session's fixed step (Options.Dt). The context
+// is checked periodically between timesteps; a nil context disables
+// cancellation. The returned result does not alias session buffers.
+func (s *Session) RunTransient(ctx context.Context, tstop float64) (*Result, error) {
+	transientCount.Add(1)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if math.IsNaN(tstop) || math.IsInf(tstop, 0) {
+		return nil, &OptionsError{Field: "TStop", Value: tstop}
+	}
+	if tstop <= 0 {
+		return nil, errors.New("sim: Transient requires positive TStop")
+	}
+
+	if err := s.solveDC(); err != nil {
+		return nil, fmt.Errorf("sim: transient operating point: %w", err)
+	}
+	x := s.x // holds the operating point
+
+	opts := s.opts
+	nsteps := int(math.Ceil(tstop/opts.Dt)) + 1
+	res := &Result{
+		c:       s.prog.ckt,
+		Times:   make([]float64, 0, nsteps),
+		nodeV:   make([][]float64, s.n),
+		branchI: make([][]float64, s.m),
+	}
+	for i := range res.nodeV {
+		res.nodeV[i] = make([]float64, 0, nsteps)
+	}
+	for k := range res.branchI {
+		res.branchI[k] = make([]float64, 0, nsteps)
+	}
+	record := func(t float64, x []float64) {
+		res.Times = append(res.Times, t)
+		for i := 0; i < s.n; i++ {
+			res.nodeV[i] = append(res.nodeV[i], x[i])
+		}
+		for k := 0; k < s.m; k++ {
+			res.branchI[k] = append(res.branchI[k], x[s.n+k])
+		}
+	}
+	record(0, x)
+
+	// Transient system matrix: base + capacitor companion conductances.
+	h := opts.Dt
+	geqFactor := 1.0 / h // BE
+	if opts.Method == Trapezoidal {
+		geqFactor = 2.0 / h
+	}
+	if s.lin == nil {
+		s.lin = linalg.NewMatrix(s.size, s.size)
+	}
+	s.lin.CopyFrom(s.base)
+	for i, cp := range s.prog.caps {
+		s.stampConductance(s.lin, cp.a, cp.b, s.capC[i]*geqFactor)
+	}
+
+	// Capacitor history: branch voltage and (for trapezoidal) current.
+	for i, cp := range s.prog.caps {
+		s.vPrev[i] = vIdx(x, cp.a) - vIdx(x, cp.b)
+		s.iPrev[i] = 0 // steady state at the operating point
+	}
+
+	b := s.b
+	step := 0
+	for t := h; t <= tstop+h/2; t += h {
+		if step++; step&15 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		s.sourceRHS(b, t)
+		for i, cp := range s.prog.caps {
+			var hist float64
+			if opts.Method == Trapezoidal {
+				hist = s.capC[i]*geqFactor*s.vPrev[i] + s.iPrev[i]
+			} else {
+				hist = s.capC[i] * geqFactor * s.vPrev[i]
+			}
+			if cp.a >= 0 {
+				b[cp.a] += hist
+			}
+			if cp.b >= 0 {
+				b[cp.b] -= hist
+			}
+		}
+		if err := s.newton(s.lin, x, b); err != nil {
+			return nil, fmt.Errorf("sim: transient at t=%.3gps: %w", t*1e12, err)
+		}
+		for i, cp := range s.prog.caps {
+			v := vIdx(x, cp.a) - vIdx(x, cp.b)
+			if opts.Method == Trapezoidal {
+				s.iPrev[i] = s.capC[i]*geqFactor*(v-s.vPrev[i]) - s.iPrev[i]
+			} else {
+				s.iPrev[i] = s.capC[i] * geqFactor * (v - s.vPrev[i])
+			}
+			s.vPrev[i] = v
+		}
+		record(t, x)
+	}
+	return res, nil
+}

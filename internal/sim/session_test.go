@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"stanoise/internal/cell"
+	"stanoise/internal/circuit"
+	"stanoise/internal/tech"
+	"stanoise/internal/wave"
+)
+
+// The compiled two-phase path must be numerically indistinguishable from
+// building a fresh circuit per run: every matrix stamp, Newton update and
+// LU operation performs the identical arithmetic, so the comparison here
+// is bit-for-bit (==), not tolerance-based. The cells and technology cards
+// mirror the golden fixtures (INV and NAND2 on both tech cards).
+
+func equivCells(t *testing.T) []*cell.Cell {
+	t.Helper()
+	var out []*cell.Cell
+	for _, tc := range []*tech.Tech{tech.Tech130(), tech.Tech90()} {
+		for _, kind := range []string{"INV", "NAND2"} {
+			out = append(out, cell.MustNew(tc, kind, 1))
+		}
+	}
+	return out
+}
+
+// buildForceBench builds the load-curve characterisation bench: cell with
+// all inputs sourced and the output forced.
+func buildForceBench(t *testing.T, cl *cell.Cell, st cell.State, noisyPin string, vin, vout float64) *circuit.Circuit {
+	t.Helper()
+	ckt := circuit.New()
+	ckt.AddVDC("vdd", "vdd", "0", cl.Tech.VDD)
+	pins := map[string]string{}
+	for _, in := range cl.Inputs() {
+		node := "in_" + in
+		pins[in] = node
+		v := cl.PinVoltage(st[in])
+		if in == noisyPin {
+			v = vin
+		}
+		ckt.AddVDC("v_"+in, node, "0", v)
+	}
+	if err := cl.Build(ckt, "dut", pins, "out", "vdd"); err != nil {
+		t.Fatal(err)
+	}
+	ckt.AddVDC("vforce", "out", "0", vout)
+	return ckt
+}
+
+// TestSessionDCMatchesOneShotBitForBit sweeps a DC grid through one reused
+// Session and through fresh one-shot sim.DC calls on per-point circuits,
+// and requires the full unknown vectors to agree exactly.
+func TestSessionDCMatchesOneShotBitForBit(t *testing.T) {
+	for _, cl := range equivCells(t) {
+		cl := cl
+		t.Run(fmt.Sprintf("%s_vdd%.1f", cl.Name(), cl.Tech.VDD), func(t *testing.T) {
+			noisy := cl.Inputs()[len(cl.Inputs())-1]
+			st, err := cl.SensitizedState(noisy, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vdd := cl.Tech.VDD
+			quietOut := cl.PinVoltage(cl.Logic(st))
+
+			// Compiled path: one session, parameters mutated per point.
+			base := buildForceBench(t, cl, st, noisy, cl.PinVoltage(st[noisy]), 0)
+			prog := Compile(base)
+			sess, err := NewSession(prog, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hNoisy := prog.MustSource("v_" + noisy)
+			hForce := prog.MustSource("vforce")
+
+			grid := []float64{-0.2 * vdd, 0, 0.35 * vdd, 0.7 * vdd, vdd, 1.2 * vdd}
+			for _, vin := range grid {
+				for _, vout := range grid {
+					sess.SetSourceDC(hNoisy, vin)
+					sess.SetSourceDC(hForce, vout)
+					g := 0.5 * (vout + quietOut)
+					sess.SetGuess("dut.n1", g)
+					sess.SetGuess("dut.n2", g)
+					got, err := sess.RunDC()
+					if err != nil {
+						t.Fatalf("session DC vin=%g vout=%g: %v", vin, vout, err)
+					}
+
+					ckt := buildForceBench(t, cl, st, noisy, vin, vout)
+					want, err := DC(ckt, Options{InitialGuess: map[string]float64{
+						"dut.n1": g, "dut.n2": g,
+					}})
+					if err != nil {
+						t.Fatalf("one-shot DC vin=%g vout=%g: %v", vin, vout, err)
+					}
+					if len(got.X) != len(want.X) {
+						t.Fatalf("unknown count mismatch: %d vs %d", len(got.X), len(want.X))
+					}
+					for i := range got.X {
+						if got.X[i] != want.X[i] {
+							t.Fatalf("vin=%g vout=%g: X[%d] = %v (session) vs %v (one-shot)",
+								vin, vout, i, got.X[i], want.X[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// buildGlitchBench builds the transient glitch bench: cell with a
+// triangular glitch on the noisy pin into a lumped load.
+func buildGlitchBench(t *testing.T, cl *cell.Cell, st cell.State, noisyPin string, w *wave.Waveform, load float64) *circuit.Circuit {
+	t.Helper()
+	ckt := circuit.New()
+	ckt.AddVDC("vdd", "vdd", "0", cl.Tech.VDD)
+	pins := map[string]string{}
+	for _, in := range cl.Inputs() {
+		node := "in_" + in
+		pins[in] = node
+		if in == noisyPin {
+			ckt.AddV("v_"+in, node, "0", w)
+		} else {
+			ckt.AddVDC("v_"+in, node, "0", cl.PinVoltage(st[in]))
+		}
+	}
+	if err := cl.Build(ckt, "dut", pins, "out", "vdd"); err != nil {
+		t.Fatal(err)
+	}
+	ckt.AddC("cload", "out", "0", load)
+	return ckt
+}
+
+// TestSessionTransientMatchesOneShotBitForBit sweeps glitch heights,
+// widths and loads through one reused Session and through fresh one-shot
+// sim.Transient calls, and requires the recorded waveforms to agree
+// exactly at every node and every timestep.
+func TestSessionTransientMatchesOneShotBitForBit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient sweep is slow")
+	}
+	const t0 = 100e-12
+	for _, cl := range equivCells(t) {
+		cl := cl
+		t.Run(fmt.Sprintf("%s_vdd%.1f", cl.Name(), cl.Tech.VDD), func(t *testing.T) {
+			noisy := cl.Inputs()[0]
+			st, err := cl.SensitizedState(noisy, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			quietIn := cl.PinVoltage(st[noisy])
+			vdd := cl.Tech.VDD
+
+			base := buildGlitchBench(t, cl, st, noisy, wave.Constant(quietIn), 1e-15)
+			prog := Compile(base)
+			sess, err := NewSession(prog, Options{Dt: 2e-12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hNoisy := prog.MustSource("v_" + noisy)
+			hLoad := prog.MustCap("cload")
+
+			nodes := base.NodeNames()
+			for _, h := range []float64{0.4 * vdd, 0.9 * vdd} {
+				for _, width := range []float64{150e-12, 400e-12} {
+					for _, load := range []float64{10e-15, 60e-15} {
+						glitch := wave.Triangle(quietIn, h, t0, width)
+						tstop := t0 + width + 400e-12
+						sess.SetSource(hNoisy, glitch)
+						sess.SetLoad(hLoad, load)
+						got, err := sess.RunTransient(context.Background(), tstop)
+						if err != nil {
+							t.Fatalf("session transient h=%g w=%g: %v", h, width, err)
+						}
+
+						ckt := buildGlitchBench(t, cl, st, noisy, glitch, load)
+						want, err := Transient(context.Background(), ckt, Options{Dt: 2e-12, TStop: tstop})
+						if err != nil {
+							t.Fatalf("one-shot transient h=%g w=%g: %v", h, width, err)
+						}
+						if got.Steps() != want.Steps() {
+							t.Fatalf("step count mismatch: %d vs %d", got.Steps(), want.Steps())
+						}
+						for _, n := range nodes {
+							gw, ww := got.Waveform(n), want.Waveform(n)
+							for i := range gw.V {
+								if gw.V[i] != ww.V[i] {
+									t.Fatalf("h=%g w=%g load=%g node %s step %d: %v vs %v",
+										h, width, load, n, i, gw.V[i], ww.V[i])
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNewtonLoopAllocFree asserts the warm steady-state Newton loop —
+// guess, source RHS, assemble, factor, solve, damp — allocates zero bytes
+// once a session is open. This is the invariant that keeps long
+// characterisation sweeps out of the allocator and the GC.
+func TestNewtonLoopAllocFree(t *testing.T) {
+	cl := cell.MustNew(tech.Tech130(), "NAND2", 1)
+	st, err := cl.SensitizedState("B", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt := buildForceBench(t, cl, st, "B", 0.5, 0.8)
+	prog := Compile(ckt)
+	sess, err := NewSession(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up once (first run may fault in lazy state).
+	if _, err := sess.RunDC(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		sess.initialGuess(sess.x)
+		sess.sourceRHS(sess.rhs, 0)
+		if err := sess.newton(sess.base, sess.x, sess.rhs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Newton loop allocates %.1f objects per solve, want 0", allocs)
+	}
+}
+
+// TestSessionTransientInnerLoopAllocs bounds the per-run transient
+// allocation count: everything left is result recording (preallocated
+// slices) and the waveform swap — the Newton loop itself contributes
+// nothing (see TestNewtonLoopAllocFree).
+func TestSessionTransientReusesWorkspaces(t *testing.T) {
+	cl := cell.MustNew(tech.Tech130(), "INV", 1)
+	st := cell.State{"A": false}
+	ckt := buildGlitchBench(t, cl, st, "A", wave.Constant(0), 20e-15)
+	prog := Compile(ckt)
+	sess, err := NewSession(prog, Options{Dt: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hNoisy := prog.MustSource("v_A")
+	glitch := wave.Triangle(0, 0.8, 100e-12, 200e-12)
+	run := func() *Result {
+		sess.SetSource(hNoisy, glitch)
+		res, err := sess.RunTransient(context.Background(), 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := run()
+	second := run()
+	// Results are independent allocations: re-running must not corrupt a
+	// previously returned result.
+	for i := range first.Times {
+		if first.Times[i] != second.Times[i] {
+			t.Fatalf("time grid differs at %d", i)
+		}
+	}
+	fw, sw := first.Waveform("out"), second.Waveform("out")
+	for i := range fw.V {
+		if fw.V[i] != sw.V[i] {
+			t.Fatalf("re-run diverged at step %d: %v vs %v", i, fw.V[i], sw.V[i])
+		}
+	}
+}
+
+// TestSessionCountersMatchOneShot verifies the invocation counters advance
+// identically through the session path: a RunTransient performs exactly
+// one DC (operating point) and one transient, like the one-shot wrapper.
+func TestSessionCountersMatchOneShot(t *testing.T) {
+	c := circuit.New()
+	c.AddV("vs", "in", "0", wave.SaturatedRamp(0, 1, 0, 1e-12))
+	c.AddR("r", "in", "out", 1000)
+	c.AddC("c", "out", "0", 1e-12)
+	sess, err := NewSession(Compile(c), Options{Dt: 10e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Snapshot()
+	if _, err := sess.RunTransient(context.Background(), 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	d := Snapshot().Sub(before)
+	if d.DC != 1 || d.Transient != 1 {
+		t.Fatalf("counters after RunTransient = %+v, want DC=1 Transient=1", d)
+	}
+	before = Snapshot()
+	if _, err := sess.RunDC(); err != nil {
+		t.Fatal(err)
+	}
+	d = Snapshot().Sub(before)
+	if d.DC != 1 || d.Transient != 0 {
+		t.Fatalf("counters after RunDC = %+v, want DC=1 Transient=0", d)
+	}
+}

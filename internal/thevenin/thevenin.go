@@ -148,6 +148,8 @@ func midSwingResistance(cl *cell.Cell, toState cell.State, v0, v1 float64) (floa
 	}
 	mid := 0.5 * (v0 + v1)
 	ckt.AddVDC("vforce", "out", "0", mid)
+	// A fit solves this bench exactly once, so the one-shot wrapper (which
+	// compiles and opens a session internally) is the right interface.
 	dc, err := sim.DC(ckt, sim.Options{})
 	if err != nil {
 		return 0, fmt.Errorf("thevenin: mid-swing DC: %w", err)
