@@ -1,0 +1,42 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); `make docs` is the documentation gate — godoc
+# must render every package and every exported identifier must carry a doc
+# comment (cmd/doccheck).
+
+GO ?= go
+
+.PHONY: build test race vet fmt docs golden bench warmstart
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "unformatted:" $$out; exit 1; fi
+
+# docs renders the full godoc of every package (catching broken doc
+# syntax) and lints exported identifiers for missing comments.
+docs: vet
+	@for pkg in $$($(GO) list ./...); do $(GO) doc -all $$pkg > /dev/null || exit 1; done
+	$(GO) run ./cmd/doccheck ./...
+	@echo "docs: all packages render; every exported identifier is documented"
+
+golden:
+	$(GO) test -run Golden -v .
+
+# bench regenerates the benchmark numbers recorded in EXPERIMENTS.md.
+bench:
+	$(GO) test -run xxx -bench 'DesignAnalyze|LoadCurveCharacterization|Speedup' -benchtime=1x -benchmem .
+	$(GO) test -run xxx -bench 'INVLoadCurveSweep|NAND2LoadCurveSweepWarmFine' -benchmem ./internal/charlib
+
+# warmstart prints the cold-vs-warm iteration/speedup table.
+warmstart:
+	$(GO) run ./examples/warmstart

@@ -1,0 +1,214 @@
+// Command doccheck is the repository's exported-comment linter: it fails
+// when any exported package-level identifier — function, method, type,
+// constant or variable — lacks a godoc comment, or when a package has no
+// package comment at all. It is the `revive`/`golint` exported-comment
+// rule as a zero-dependency tool, run by `make docs` and CI so the public
+// surface (and the internal architecture) stays learnable from godoc
+// alone.
+//
+//	doccheck ./...          # lint every package under the module
+//	doccheck ./internal/sim # lint specific packages
+//
+// Test files are skipped (test helpers document themselves by their
+// assertions). For grouped const/var declarations a single doc comment on
+// the group documents every name in it, matching godoc's rendering. Exit
+// status is 1 when any finding is reported, 2 on usage or parse errors.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck ./... | doccheck <pkg-dir> ...")
+		os.Exit(2)
+	}
+	var dirs []string
+	for _, a := range args {
+		if strings.HasSuffix(a, "...") {
+			root := strings.TrimSuffix(strings.TrimSuffix(a, "..."), "/")
+			if root == "" {
+				root = "."
+			}
+			walked, err := walkDirs(root)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+				os.Exit(2)
+			}
+			dirs = append(dirs, walked...)
+		} else {
+			dirs = append(dirs, a)
+		}
+	}
+	sort.Strings(dirs)
+	findings := 0
+	for _, dir := range dirs {
+		fs, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, f := range fs {
+			fmt.Println(f)
+		}
+		findings += len(fs)
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifier(s) without doc comments\n", findings)
+		os.Exit(1)
+	}
+}
+
+// walkDirs lists every directory under root that contains at least one
+// non-test .go file, skipping hidden directories and testdata.
+func walkDirs(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				out = append(out, path)
+				break
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+// lintDir parses one package directory and returns a finding line per
+// undocumented exported identifier.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, name))
+	}
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, file := range pkg.Files {
+			if file.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc && pkg.Name != "main" {
+			// Commands document themselves via their own package comment
+			// too, but the convention is enforced only for libraries here;
+			// main packages are still linted for their identifiers.
+			findings = append(findings, fmt.Sprintf("%s: package %s has no package comment (add a doc.go)", dir, pkg.Name))
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil && exportedRecv(d) {
+						report(d.Pos(), "function", funcName(d))
+					}
+				case *ast.GenDecl:
+					lintGenDecl(d, report)
+				}
+			}
+		}
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// exportedRecv reports whether a method's receiver type is itself exported
+// (methods on unexported types are internal detail, like golint treats
+// them).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// funcName renders "Recv.Name" for methods and "Name" for functions.
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	var recv string
+	t := d.Recv.List[0].Type
+	if s, ok := t.(*ast.StarExpr); ok {
+		t = s.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		recv = id.Name + "."
+	}
+	return recv + d.Name.Name
+}
+
+// lintGenDecl checks type, const and var declarations. A doc comment on a
+// parenthesised group covers the whole group; otherwise each exported spec
+// needs its own doc (or trailing line comment, godoc renders both).
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return
+	}
+	groupDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			documented := groupDoc || s.Doc != nil || s.Comment != nil
+			if documented {
+				continue
+			}
+			kind := "const"
+			if d.Tok == token.VAR {
+				kind = "var"
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(n.Pos(), kind, n.Name)
+				}
+			}
+		}
+	}
+}

@@ -19,6 +19,12 @@
 // Bundles carry the model version they were built under; importing a
 // bundle from a different model generation is refused (recharacterise
 // instead), and individual damaged entries are skipped, never fatal.
+//
+// With -warm-start each sweep point's Newton solve is seeded from the
+// previous point's converged solution (continuation), cutting total
+// iterations substantially on fine grids. Warm artefacts differ from cold
+// ones at solver-tolerance level and are stored under distinct cache
+// keys.
 package main
 
 import (
@@ -43,6 +49,7 @@ func main() {
 	all := flag.Bool("all", false, "characterise every cell kind and input pin")
 	withProp := flag.Bool("prop", false, "also build propagation tables (slow)")
 	grid := flag.Int("grid", 61, "load-curve grid points per axis")
+	warmStart := flag.Bool("warm-start", false, "seed each sweep point's Newton solve from the previous point (faster on fine grids; solver-tolerance differences vs the cold flow)")
 	out := flag.String("out", "", "output JSON path (default stdout)")
 	cacheDir := flag.String("cache-dir", "", "persist characterised artefacts to a content-addressed store at this directory")
 	exportStore := flag.String("export-store", "", "write the whole -cache-dir store as a portable bundle to this path and exit")
@@ -145,7 +152,7 @@ func main() {
 			continue
 		}
 		lc, err := cache.LoadCurve(ctx, c, st, j.pin,
-			charlib.LoadCurveOptions{NVin: *grid, NVout: *grid})
+			charlib.LoadCurveOptions{NVin: *grid, NVout: *grid, WarmStart: *warmStart})
 		if err != nil {
 			fail(fmt.Errorf("%s/%s: %w", j.kind, j.pin, err))
 		}
@@ -154,7 +161,7 @@ func main() {
 			c.Name(), j.pin, st, lc.NVin, lc.NVout,
 			lc.HoldingResistance(c.PinVoltage(st[j.pin]), c.PinVoltage(c.Logic(st))))
 		if *withProp {
-			pt, err := cache.PropTable(ctx, c, st, j.pin, charlib.PropOptions{})
+			pt, err := cache.PropTable(ctx, c, st, j.pin, charlib.PropOptions{WarmStart: *warmStart})
 			if err != nil {
 				fail(fmt.Errorf("%s/%s propagation: %w", j.kind, j.pin, err))
 			}

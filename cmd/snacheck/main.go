@@ -4,7 +4,7 @@
 //
 //	snacheck -design design.json [-method macromodel|superposition|zolotov|golden]
 //	         [-align] [-workers N] [-policy fail-fast|continue] [-json]
-//	         [-cache-dir DIR] [-deterministic]
+//	         [-cache-dir DIR] [-deterministic] [-warm-start]
 //	snacheck -sample > design.json     # emit a starter design
 //
 // Clusters are analysed concurrently on a bounded worker pool (-workers,
@@ -19,6 +19,16 @@
 // them from disk instead of re-running the transistor-level sweeps. A
 // damaged or unwritable store degrades to memory-only caching with a
 // warning on stderr — it never changes results or blocks sign-off.
+//
+// With -warm-start every characterisation sweep seeds its Newton solves
+// from the previous grid point's converged solution (continuation), which
+// cuts characterisation time on fine grids. Each solve differs from the
+// cold flow only at solver tolerance, but a flipped branch decision in
+// the NRC bisection can move a curve height — and therefore a reported
+// noise margin — by up to the bisection tolerance (10 mV by default).
+// Warm artefacts are cached under distinct keys and never mix with cold
+// ones; leave the flag off when reproducibility against earlier cold
+// runs matters.
 //
 // With -json the report is emitted as a single machine-readable JSON
 // document whose reports and summary use the stable schema of the public
@@ -64,6 +74,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report on stdout")
 	cacheDir := flag.String("cache-dir", "", "persistent characterisation store directory (warm runs skip all transistor-level sweeps)")
 	deterministic := flag.Bool("deterministic", false, "omit run-varying fields (timings, cache counters) from -json output")
+	warmStart := flag.Bool("warm-start", false, "seed characterisation Newton solves from the previous grid point (faster; solver-tolerance differences vs the cold flow, NRC heights within their bisection tolerance)")
 	sample := flag.Bool("sample", false, "print a sample design JSON and exit")
 	flag.Parse()
 
@@ -104,12 +115,13 @@ func main() {
 	defer cancel()
 
 	an := stanoise.NewAnalyzer(design, stanoise.Options{
-		Method:   m,
-		Align:    *align,
-		Dt:       *dt * 1e-12,
-		Workers:  *workers,
-		OnError:  pol,
-		CacheDir: *cacheDir,
+		Method:    m,
+		Align:     *align,
+		Dt:        *dt * 1e-12,
+		Workers:   *workers,
+		OnError:   pol,
+		CacheDir:  *cacheDir,
+		WarmStart: *warmStart,
 	})
 	if err := an.StoreError(); err != nil {
 		fmt.Fprintf(os.Stderr, "snacheck: warning: %v (continuing without a persistent cache)\n", err)

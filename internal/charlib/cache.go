@@ -241,6 +241,18 @@ func (c *Cache) Artefact(ctx context.Context, kind string, cl *cell.Cell, st cel
 	})
 }
 
+// warmFP is the fingerprint suffix of the warm-start continuation mode.
+// Warm-started artefacts legitimately differ from cold ones in the last
+// bits, so they must never alias in the cache or the persistent store; the
+// suffix is empty when warm start is off so every pre-existing cold store
+// entry keeps its key.
+func warmFP(warm bool) string {
+	if warm {
+		return ",warm"
+	}
+	return ""
+}
+
 // LoadCurve returns the memoized VCCS load-curve table for the cell
 // configuration, characterising it on first use.
 func (c *Cache) LoadCurve(ctx context.Context, cl *cell.Cell, st cell.State, pin string, opts LoadCurveOptions) (*LoadCurve, error) {
@@ -249,6 +261,7 @@ func (c *Cache) LoadCurve(ctx context.Context, cl *cell.Cell, st cell.State, pin
 	}
 	opts = opts.normalize()
 	fp := fmt.Sprintf("%d,%d,%g", opts.NVin, opts.NVout, opts.MarginFrac)
+	fp += warmFP(opts.WarmStart)
 	v, err := c.Artefact(ctx, "lc", cl, st, pin, fp, func() (any, error) {
 		return CharacterizeLoadCurve(ctx, cl, st, pin, opts)
 	})
@@ -266,6 +279,7 @@ func (c *Cache) PropTable(ctx context.Context, cl *cell.Cell, st cell.State, pin
 	}
 	opts = opts.normalize(cl.Tech.VDD)
 	fp := fmt.Sprintf("%v,%v,%v,%g", opts.Heights, opts.Widths, opts.Loads, opts.Dt)
+	fp += warmFP(opts.WarmStart)
 	v, err := c.Artefact(ctx, "prop", cl, st, pin, fp, func() (any, error) {
 		return CharacterizePropagation(ctx, cl, st, pin, opts)
 	})
@@ -283,6 +297,7 @@ func (c *Cache) NRCCurve(ctx context.Context, recv *cell.Cell, st cell.State, pi
 	}
 	opts = opts.Normalized()
 	fp := fmt.Sprintf("%v,%g,%g,%g,%g", opts.Widths, opts.LoadCap, opts.FailFrac, opts.Tol, opts.Dt)
+	fp += warmFP(opts.WarmStart)
 	v, err := c.Artefact(ctx, "nrc", recv, st, pin, fp, func() (any, error) {
 		return nrc.Characterize(ctx, recv, st, pin, opts)
 	})

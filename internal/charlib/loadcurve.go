@@ -114,6 +114,15 @@ func (lc *LoadCurve) HoldingResistance(vinQuiet, voutQuiet float64) float64 {
 type LoadCurveOptions struct {
 	NVin, NVout int     // grid points per axis; default 61
 	MarginFrac  float64 // sweep margin beyond the rails as a fraction of VDD; default 0.2
+
+	// WarmStart seeds each grid point's Newton solve from the previous
+	// point's converged solution (sim.Session.WarmStart) — the continuation
+	// mode that cuts total Newton iterations substantially on fine grids.
+	// Off by default: warm-started currents can differ from the cold sweep
+	// in the last bits, so bit-identical reproducibility requires the cold
+	// path. Warm and cold results agree within solver tolerance (asserted
+	// by TestWarmStartLoadCurveMatchesCold).
+	WarmStart bool
 }
 
 func (o LoadCurveOptions) normalize() LoadCurveOptions {
@@ -181,7 +190,13 @@ func CharacterizeLoadCurve(ctx context.Context, cl *cell.Cell, st cell.State, no
 	}
 	hNoisy := prog.MustSource("v_" + noisyPin)
 	hForce := prog.MustSource("vforce")
+	sess.WarmStart(opts.WarmStart)
 
+	// The sweep loop itself is allocation-free (asserted by
+	// TestLoadCurvePointAllocFree): source values mutate session-owned
+	// constants, the solve runs into one reused DCResult, and the injected
+	// current is read back through the compiled source handle.
+	var dc sim.DCResult
 	dvin, dvout := lc.dvin(), lc.dvout()
 	quietOut := cl.PinVoltage(cl.Logic(st))
 	for iv := 0; iv < lc.NVin; iv++ {
@@ -194,17 +209,19 @@ func CharacterizeLoadCurve(ctx context.Context, cl *cell.Cell, st cell.State, no
 			vout := lc.VoutMin + float64(io)*dvout
 			sess.SetSourceDC(hForce, vout)
 			// Seed stacked-transistor internal nodes between the forced
-			// output and its quiet level (see internalGuess).
+			// output and its quiet level (see internalGuess). The seeds
+			// only shape cold starts; in warm-start mode the previous grid
+			// point's solution takes over (and the seeds still back the
+			// cold fallback if that seed fails).
 			g := internalGuess(vout, quietOut)
 			sess.SetGuess("dut.n1", g)
 			sess.SetGuess("dut.n2", g)
-			dc, err := sess.RunDC()
-			if err != nil {
+			if err := sess.RunDCInto(&dc); err != nil {
 				return nil, fmt.Errorf("charlib: DC at vin=%.3f vout=%.3f: %w", vin, vout, err)
 			}
 			// Branch current into the forcing source equals the current the
 			// cell injects into the net.
-			lc.I[iv*lc.NVout+io] = dc.BranchI("vforce")
+			lc.I[iv*lc.NVout+io] = dc.SourceCurrent(hForce)
 		}
 	}
 	return lc, nil

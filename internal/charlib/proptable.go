@@ -42,6 +42,13 @@ type PropOptions struct {
 	Widths  []float64 // default {60,120,240,480,900} ps
 	Loads   []float64 // default {10,40,120,300} fF
 	Dt      float64   // transient step; default 1 ps
+
+	// WarmStart seeds each probe's DC operating-point solve from the
+	// previous probe's converged solution (sim.Session.WarmStart). The
+	// quiet operating point barely moves between (height, width, load)
+	// probes, so the warm solve typically converges in one or two
+	// iterations. Off by default to preserve bit-identical results.
+	WarmStart bool
 }
 
 func (o PropOptions) normalize(vdd float64) PropOptions {
@@ -92,7 +99,7 @@ func CharacterizePropagation(ctx context.Context, cl *cell.Cell, st cell.State, 
 	if st[noisyPin] {
 		glitchSign = -1
 	}
-	rig, err := newPropRig(cl, st, noisyPin, quietIn, opts.Dt)
+	rig, err := newPropRig(cl, st, noisyPin, quietIn, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +150,7 @@ type propRig struct {
 	quietIn float64
 }
 
-func newPropRig(cl *cell.Cell, st cell.State, noisyPin string, quietIn, dt float64) (*propRig, error) {
+func newPropRig(cl *cell.Cell, st cell.State, noisyPin string, quietIn float64, opts PropOptions) (*propRig, error) {
 	ckt := circuit.New()
 	ckt.AddVDC("vdd", "vdd", "0", cl.Tech.VDD)
 	pins := map[string]string{}
@@ -163,10 +170,11 @@ func newPropRig(cl *cell.Cell, st cell.State, noisyPin string, quietIn, dt float
 	// Placeholder load; replaced per probe via SetLoad.
 	ckt.AddC("cload", "out", "0", 1e-15)
 	prog := sim.Compile(ckt)
-	sess, err := sim.NewSession(prog, sim.Options{Dt: dt})
+	sess, err := sim.NewSession(prog, sim.Options{Dt: opts.Dt})
 	if err != nil {
 		return nil, err
 	}
+	sess.WarmStart(opts.WarmStart)
 	return &propRig{
 		sess:    sess,
 		hGlitch: prog.MustSource("v_" + noisyPin),

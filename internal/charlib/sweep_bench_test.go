@@ -31,6 +31,53 @@ func BenchmarkINVLoadCurveSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkINVLoadCurveSweepWarm is BenchmarkINVLoadCurveSweep with the
+// Newton continuation mode on: each grid point seeds from its neighbour
+// and terminates on the small-update criterion. The delta against the cold
+// bench is the warm-start payoff on the production grid (EXPERIMENTS.md).
+func BenchmarkINVLoadCurveSweepWarm(b *testing.B) {
+	t := tech.Tech130()
+	inv := cell.MustNew(t, "INV", 1)
+	st, err := inv.SensitizedState("A", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CharacterizeLoadCurve(context.Background(), inv, st, "A",
+			LoadCurveOptions{NVin: 61, NVout: 61, WarmStart: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNAND2LoadCurveSweepWarmFine runs the continuation mode on the
+// fine 121×121 NAND2 grid — the workload class (stacked devices, internal
+// nodes) where warm starting pays beyond the INV iteration floor.
+func BenchmarkNAND2LoadCurveSweepWarmFine(b *testing.B) {
+	t := tech.Tech130()
+	nand := cell.MustNew(t, "NAND2", 1)
+	st, err := nand.SensitizedState("B", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, warm := range []bool{false, true} {
+		name := "cold"
+		if warm {
+			name = "warm"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := CharacterizeLoadCurve(context.Background(), nand, st, "B",
+					LoadCurveOptions{NVin: 121, NVout: 121, WarmStart: warm}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkLoadCurveSweepParallel characterises the same cell from many
 // goroutines at once, each compiling its own rig from the shared cell and
 // tech card. It exists for the CI -race smoke: cross-goroutine state

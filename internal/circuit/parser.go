@@ -18,6 +18,7 @@ type ParseError struct {
 	Msg  string
 }
 
+// Error implements error.
 func (e *ParseError) Error() string {
 	return fmt.Sprintf("netlist line %d: %s", e.Line, e.Msg)
 }

@@ -78,7 +78,13 @@ type Cluster struct {
 	// run serialises golden evaluations of the same Cluster value;
 	// distinct clusters (the unit of parallelism in internal/sna) are
 	// unaffected.
+	//
+	// When a RigPool is attached (UseRigPool), benches are cached in the
+	// pool under topology-class keys instead, so clusters sharing a
+	// topology — in particular, victims sharing a driver cell
+	// configuration — reuse each other's compiled benches.
 	rigMu     sync.Mutex
+	rigPool   *RigPool
 	goldenRig *simRig
 	driverRig *simRig
 }
@@ -112,27 +118,17 @@ func optionsFingerprint(o sim.Options) string {
 	return b.String()
 }
 
-// structuralKey renders everything the compiled benches bake in besides
-// source waveforms — the cell instances, states, pins, lines, receivers
-// and the bus — so appending an aggressor or re-pointing a spec between
-// evaluations recompiles instead of reusing a stale netlist. Cells and
-// receivers are keyed by pointer *and* library name (kind + drive), so a
-// re-pointed spec is caught even if the allocator reuses an address.
-// Deep mutation of a shared *Bus or *Cell value is not detected
-// (documented as unsupported; see ROADMAP open items).
-func (c *Cluster) structuralKey() string {
-	cellID := func(cl *cell.Cell) string {
-		if cl == nil {
-			return "nil"
-		}
-		return fmt.Sprintf("%p:%s", cl, cl.Name())
-	}
+// renderSpecKey renders the victim and aggressor spec fields every
+// compiled bench bakes in — states, pins, lines, receivers — under the
+// given technology/bus identity prefixes and cell-identity function. It
+// is the single source of truth shared by structuralKey (pointer-keyed,
+// per-cluster cache) and topologyKey (name-keyed, RigPool sharing), so a
+// netlist-affecting spec field added later is added in exactly one place
+// and can never silently drift between the two cache layers.
+func (c *Cluster) renderSpecKey(techID, busID string, cellID func(*cell.Cell) string) string {
 	var b strings.Builder
 	v := &c.Victim
-	fmt.Fprintf(&b, "tech=%p:%.17g|bus=%p:%s,%d", c.Tech, c.Tech.VDD, c.Bus, c.Bus.Layer, c.Bus.Segments)
-	for i := range c.Bus.Lines {
-		fmt.Fprintf(&b, ",%s:%.17g", c.Bus.Lines[i].Name, c.Bus.Lines[i].LengthUm)
-	}
+	fmt.Fprintf(&b, "tech=%s|bus=%s", techID, busID)
 	fmt.Fprintf(&b, "|vic=%s,%s,%s,%d,%s,%s",
 		cellID(v.Cell), v.State.String(), v.NoisyPin, v.Line, cellID(v.Receiver), v.ReceiverPin)
 	for i := range c.Aggressors {
@@ -141,6 +137,31 @@ func (c *Cluster) structuralKey() string {
 			cellID(a.Cell), a.FromState.String(), a.SwitchPin, a.Line, cellID(a.Receiver), a.ReceiverPin)
 	}
 	return b.String()
+}
+
+// structuralKey renders everything the compiled benches bake in besides
+// source waveforms — the cell instances, states, pins, lines, receivers
+// and the bus — so appending an aggressor or re-pointing a spec between
+// evaluations recompiles instead of reusing a stale netlist. Cells and
+// receivers are keyed by pointer *and* library name (kind + drive), so a
+// re-pointed spec is caught even if the allocator reuses an address; the
+// bus is keyed by pointer, which covers its geometry (SpacingFactor
+// included) as long as it is not deep-mutated. Deep mutation of a shared
+// *Bus or *Cell value is not detected (documented as unsupported; see
+// ROADMAP open items).
+func (c *Cluster) structuralKey() string {
+	cellID := func(cl *cell.Cell) string {
+		if cl == nil {
+			return "nil"
+		}
+		return fmt.Sprintf("%p:%s", cl, cl.Name())
+	}
+	var bus strings.Builder
+	fmt.Fprintf(&bus, "%p:%s,%d", c.Bus, c.Bus.Layer, c.Bus.Segments)
+	for i := range c.Bus.Lines {
+		fmt.Fprintf(&bus, ",%s:%.17g", c.Bus.Lines[i].Name, c.Bus.Lines[i].LengthUm)
+	}
+	return c.renderSpecKey(fmt.Sprintf("%p:%.17g", c.Tech, c.Tech.VDD), bus.String(), cellID)
 }
 
 // Validate checks structural consistency.

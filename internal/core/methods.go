@@ -28,6 +28,8 @@ const (
 	Macromodel
 )
 
+// String returns the stable lower-case method name used in reports, JSON
+// and the -method CLI flags.
 func (m Method) String() string {
 	switch m {
 	case Golden:
@@ -179,24 +181,44 @@ func (c *Cluster) evaluateGolden(ctx context.Context, opts EvalOptions) (*Evalua
 }
 
 // goldenRigLocked returns the compiled golden test bench for the given sim
-// options, compiling it on first use or when the options changed. The
-// caller must hold c.rigMu.
+// options, compiling it on first use or when the options changed. With a
+// RigPool attached the bench is cached there under its topology class; the
+// cluster-local cache (pointer-keyed) is used otherwise. The caller must
+// hold c.rigMu.
 func (c *Cluster) goldenRigLocked(simOpts sim.Options) (*simRig, error) {
+	build := func() (*simRig, error) {
+		ckt, err := c.BuildGolden()
+		if err != nil {
+			return nil, err
+		}
+		prog := sim.Compile(ckt)
+		sess, err := sim.NewSession(prog, simOpts)
+		if err != nil {
+			return nil, err
+		}
+		return &simRig{prog: prog, sess: sess}, nil
+	}
+	if c.rigPool != nil {
+		return c.pooledRig("golden", c.topologyKey(), simOpts, build)
+	}
+	return c.localRig(&c.goldenRig, simOpts, build)
+}
+
+// localRig is the cluster-local (pool-less) rig memoization shared by the
+// golden and driver benches: one cached rig per slot, invalidated when
+// the sim options or the pointer-keyed cluster structure change.
+func (c *Cluster) localRig(slot **simRig, simOpts sim.Options, build func() (*simRig, error)) (*simRig, error) {
 	key := optionsFingerprint(simOpts) + "#" + c.structuralKey()
-	if c.goldenRig != nil && c.goldenRig.key == key {
-		return c.goldenRig, nil
+	if *slot != nil && (*slot).key == key {
+		return *slot, nil
 	}
-	ckt, err := c.BuildGolden()
+	rig, err := build()
 	if err != nil {
 		return nil, err
 	}
-	prog := sim.Compile(ckt)
-	sess, err := sim.NewSession(prog, simOpts)
-	if err != nil {
-		return nil, err
-	}
-	c.goldenRig = &simRig{key: key, prog: prog, sess: sess}
-	return c.goldenRig, nil
+	rig.key = key
+	*slot = rig
+	return rig, nil
 }
 
 // seedQuietLevels gives the golden DC solve the intended operating point:
@@ -331,12 +353,22 @@ func (c *Cluster) DriverAloneResponse(ctx context.Context, models *Models, opts 
 }
 
 // driverRigLocked returns the compiled driver-alone bench, compiling it on
-// first use or when the sim options changed. The caller must hold c.rigMu.
+// first use or when the sim options changed. The bench depends only on the
+// victim cell configuration, so with a RigPool attached it is shared by
+// every cluster whose victim matches (see Cluster.driverClassKey). The
+// caller must hold c.rigMu.
 func (c *Cluster) driverRigLocked(simOpts sim.Options) (*simRig, error) {
-	key := optionsFingerprint(simOpts) + "#" + c.structuralKey()
-	if c.driverRig != nil && c.driverRig.key == key {
-		return c.driverRig, nil
+	build := func() (*simRig, error) { return c.compileDriverRig(simOpts) }
+	if c.rigPool != nil {
+		return c.pooledRig("driver", c.driverClassKey(), simOpts, build)
 	}
+	return c.localRig(&c.driverRig, simOpts, build)
+}
+
+// compileDriverRig assembles and compiles the driver-alone bench: the
+// victim cell with a mutable source on its noisy pin driving a mutable
+// lumped load.
+func (c *Cluster) compileDriverRig(simOpts sim.Options) (*simRig, error) {
 	v := &c.Victim
 	if !v.Cell.HasInput(v.NoisyPin) {
 		return nil, fmt.Errorf("core: victim cell %s has no pin %q", v.Cell.Name(), v.NoisyPin)
@@ -364,8 +396,7 @@ func (c *Cluster) driverRigLocked(simOpts sim.Options) (*simRig, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.driverRig = &simRig{key: key, prog: prog, sess: sess}
-	return c.driverRig, nil
+	return &simRig{prog: prog, sess: sess}, nil
 }
 
 func (c *Cluster) evaluateZolotov(ctx context.Context, models *Models, opts EvalOptions) (*Evaluation, error) {

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestRigPoolSharesDriverBenches asserts the cross-cluster payoff of the
+// worker rig pool: two distinct clusters whose victims share a cell
+// configuration (the common case in a real design) compile the
+// driver-alone bench once, and the pooled response is bit-identical to an
+// unpooled cluster's.
+func TestRigPoolSharesDriverBenches(t *testing.T) {
+	ctx := context.Background()
+	models := &Models{LumpedCL: 60e-15}
+	opts := fastEvalOptions()
+
+	ref, err := fastCluster(t, 1).DriverAloneResponse(ctx, models, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := NewRigPool()
+	a, b := fastCluster(t, 1), fastCluster(t, 2) // same victim config, different clusters
+	a.UseRigPool(pool)
+	b.UseRigPool(pool)
+	wa, err := a.DriverAloneResponse(ctx, models, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := b.DriverAloneResponse(ctx, models, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := pool.Stats()
+	if misses != 1 || hits != 1 {
+		t.Fatalf("pool stats hits=%d misses=%d, want 1 hit (shared bench) and 1 miss", hits, misses)
+	}
+	if pool.Len() != 1 {
+		t.Fatalf("pool holds %d rigs, want 1", pool.Len())
+	}
+	for i := range ref.V {
+		if wa.V[i] != ref.V[i] || wb.V[i] != ref.V[i] {
+			t.Fatalf("pooled response diverged from unpooled at step %d: %v / %v vs %v",
+				i, wa.V[i], wb.V[i], ref.V[i])
+		}
+	}
+}
+
+// TestRigPoolGoldenMatchesUnpooled asserts that routing the golden bench
+// through a pool changes nothing about the result: the compiled netlist is
+// keyed by the full topology class, only waveforms are re-pointed per
+// evaluation, and a re-evaluation through the pool reuses the bench.
+func TestRigPoolGoldenMatchesUnpooled(t *testing.T) {
+	ctx := context.Background()
+	opts := fastEvalOptions()
+
+	ref, err := fastCluster(t, 1).Evaluate(ctx, Golden, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := NewRigPool()
+	a, b := fastCluster(t, 1), fastCluster(t, 1) // identical topology
+	a.UseRigPool(pool)
+	b.UseRigPool(pool)
+	ea, err := a.Evaluate(ctx, Golden, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := b.Evaluate(ctx, Golden, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := pool.Stats()
+	if misses != 1 || hits != 1 {
+		t.Fatalf("pool stats hits=%d misses=%d, want 1 hit and 1 miss", hits, misses)
+	}
+	if ea.Metrics.Peak != ref.Metrics.Peak || eb.Metrics.Peak != ref.Metrics.Peak {
+		t.Fatalf("pooled golden peaks %v / %v diverged from unpooled %v",
+			ea.Metrics.Peak, eb.Metrics.Peak, ref.Metrics.Peak)
+	}
+	for i := range ref.DP.V {
+		if ea.DP.V[i] != ref.DP.V[i] || eb.DP.V[i] != ref.DP.V[i] {
+			t.Fatalf("pooled golden waveform diverged at step %d", i)
+		}
+	}
+}
+
+// TestRigPoolEvictsLeastRecentlyUsed asserts the pool bound: filling it
+// past maxPoolRigs evicts the least recently used bench (so design-sized
+// runs cannot accumulate unbounded dense-matrix sessions), while a
+// recently touched bench survives.
+func TestRigPoolEvictsLeastRecentlyUsed(t *testing.T) {
+	p := NewRigPool()
+	build := func() (*simRig, error) { return &simRig{}, nil }
+	for i := 0; i < maxPoolRigs; i++ {
+		if _, err := p.lookup(fmt.Sprintf("k%d", i), build); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Len() != maxPoolRigs {
+		t.Fatalf("pool holds %d, want %d", p.Len(), maxPoolRigs)
+	}
+	// Touch k0 so k1 becomes the LRU, then overflow.
+	if _, err := p.lookup("k0", build); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.lookup("overflow", build); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != maxPoolRigs {
+		t.Fatalf("pool grew past its bound: %d", p.Len())
+	}
+	hitsBefore, _ := p.Stats()
+	if _, err := p.lookup("k0", build); err != nil { // survived the eviction
+		t.Fatal(err)
+	}
+	if hits, _ := p.Stats(); hits != hitsBefore+1 {
+		t.Fatal("recently used bench was evicted")
+	}
+	if _, err := p.lookup("k1", build); err != nil { // the LRU: evicted, rebuilt
+		t.Fatal(err)
+	}
+	if _, misses := p.Stats(); misses != maxPoolRigs+2 {
+		t.Fatalf("misses = %d, want %d (k1 must have been evicted and rebuilt)", misses, maxPoolRigs+2)
+	}
+}
+
+// TestRigPoolDistinguishesTopologies asserts pooled benches never alias
+// across genuinely different topology classes: a cluster with a different
+// victim state (and so different quiet source levels baked into the
+// netlist) must compile its own bench.
+func TestRigPoolDistinguishesTopologies(t *testing.T) {
+	ctx := context.Background()
+	models := &Models{LumpedCL: 60e-15}
+	opts := fastEvalOptions()
+
+	pool := NewRigPool()
+	a := fastCluster(t, 1)
+	a.UseRigPool(pool)
+	if _, err := a.DriverAloneResponse(ctx, models, opts); err != nil {
+		t.Fatal(err)
+	}
+	b := fastCluster(t, 1)
+	st := b.Victim.State.Clone()
+	st["A"] = !st["A"] // different quiet state -> different DC sources
+	// Keep the state electrically valid for the bench: NAND2 with the
+	// other input low holds its output high either way.
+	b.Victim.State = st
+	b.UseRigPool(pool)
+	if _, err := b.DriverAloneResponse(ctx, models, opts); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := pool.Stats(); misses != 2 || hits != 0 {
+		t.Fatalf("pool stats hits=%d misses=%d, want 2 misses (distinct topologies)", hits, misses)
+	}
+}

@@ -13,11 +13,13 @@ package device
 // Kind selects the transistor polarity.
 type Kind int
 
+// The two transistor polarities of the Level-1 model.
 const (
 	NMOS Kind = iota
 	PMOS
 )
 
+// String returns "NMOS" or "PMOS".
 func (k Kind) String() string {
 	if k == PMOS {
 		return "PMOS"

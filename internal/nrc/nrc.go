@@ -41,6 +41,14 @@ type Options struct {
 	FailFrac float64   // default 0.5 (50 % of VDD at the receiver output)
 	Tol      float64   // bisection tolerance on height (V); default 10 mV
 	Dt       float64   // transient step; default 2 ps
+
+	// WarmStart seeds each bisection probe's DC operating-point solve from
+	// the previous probe's converged solution (sim.Session.WarmStart); the
+	// receiver's quiet operating point is identical across probes, so every
+	// probe after the first starts converged. Off by default to preserve
+	// bit-identical results (a bisection branch decision near the threshold
+	// could otherwise flip within its own tolerance).
+	WarmStart bool
 }
 
 // Normalized returns the options with every default filled in — the
@@ -156,6 +164,7 @@ func newGlitchRig(cl *cell.Cell, st cell.State, pin string, opts Options) (*glit
 	if err != nil {
 		return nil, err
 	}
+	sess.WarmStart(opts.WarmStart)
 	return &glitchRig{
 		sess:     sess,
 		hGlitch:  prog.MustSource("v_" + pin),

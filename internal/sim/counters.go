@@ -8,29 +8,42 @@ import "sync/atomic"
 // transient characterisation runs, and the cheapest airtight way to assert
 // that is to count every solve the engine actually starts.
 var (
-	dcCount        atomic.Int64
-	transientCount atomic.Int64
+	dcCount         atomic.Int64
+	transientCount  atomic.Int64
+	newtonIterCount atomic.Int64
 )
 
 // Counters is a snapshot of the cumulative engine invocation counts since
 // process start. Transient includes the internal DC operating-point solve
 // each transient performs, so a single Transient call advances both
-// counters by one.
+// counters by one. NewtonIters counts every Newton iteration across all
+// solves and sessions — the work metric the warm-start continuation mode
+// reduces (per-session breakdowns live in Session.Stats).
 type Counters struct {
-	DC        int64
-	Transient int64
+	DC          int64
+	Transient   int64
+	NewtonIters int64
 }
 
 // Snapshot returns the current cumulative counters. Subtract two snapshots
 // (see Sub) to measure the solves attributable to a region of code.
 func Snapshot() Counters {
-	return Counters{DC: dcCount.Load(), Transient: transientCount.Load()}
+	return Counters{
+		DC:          dcCount.Load(),
+		Transient:   transientCount.Load(),
+		NewtonIters: newtonIterCount.Load(),
+	}
 }
 
 // Sub returns the per-counter difference c − prev.
 func (c Counters) Sub(prev Counters) Counters {
-	return Counters{DC: c.DC - prev.DC, Transient: c.Transient - prev.Transient}
+	return Counters{
+		DC:          c.DC - prev.DC,
+		Transient:   c.Transient - prev.Transient,
+		NewtonIters: c.NewtonIters - prev.NewtonIters,
+	}
 }
 
-// Total is the sum of all engine invocations in the snapshot.
+// Total is the number of engine invocations (DC plus transient solves,
+// not Newton iterations) in the snapshot.
 func (c Counters) Total() int64 { return c.DC + c.Transient }

@@ -63,6 +63,14 @@ func (r *DCResult) BranchI(vsrc string) float64 {
 	return r.X[r.n+k]
 }
 
+// SourceCurrent is BranchI by compiled handle instead of name: a direct
+// index into the unknown vector, with no per-call name lookup. It is the
+// probe a RunDCInto sweep loop uses to stay allocation-free and O(1) per
+// grid point.
+func (r *DCResult) SourceCurrent(h SourceHandle) float64 {
+	return r.X[r.n+int(h)]
+}
+
 // DC computes the operating point at t = 0. It is a one-shot wrapper over
 // the two-phase API: Compile + NewSession + RunDC. Sweeps that solve the
 // same topology repeatedly should compile once and reuse a Session.

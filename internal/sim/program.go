@@ -39,8 +39,9 @@ type Program struct {
 	isrcW0 []*wave.Waveform // current-source waveforms
 	capC0  []float64        // capacitances (F)
 
-	srcIdx map[string]int // voltage-source name -> handle
-	capIdx map[string]int // capacitor name -> handle
+	srcIdx  map[string]int // voltage-source name -> handle
+	capIdx  map[string]int // capacitor name -> handle
+	isrcIdx map[string]int // current-source name -> handle
 }
 
 type resPlan struct {
@@ -70,15 +71,20 @@ type SourceHandle int
 // between Session runs.
 type CapHandle int
 
+// ISourceHandle identifies a current source of a compiled Program for
+// stimulus mutation between Session runs (see Session.SetISource).
+type ISourceHandle int
+
 // Compile resolves a circuit into an immutable Program. The circuit must
 // not be modified afterwards.
 func Compile(c *circuit.Circuit) *Program {
 	p := &Program{
-		ckt:    c,
-		n:      c.NumNodes(),
-		m:      len(c.VSources),
-		srcIdx: make(map[string]int, len(c.VSources)),
-		capIdx: make(map[string]int, len(c.Capacitors)),
+		ckt:     c,
+		n:       c.NumNodes(),
+		m:       len(c.VSources),
+		srcIdx:  make(map[string]int, len(c.VSources)),
+		capIdx:  make(map[string]int, len(c.Capacitors)),
+		isrcIdx: make(map[string]int, len(c.ISources)),
 	}
 	p.size = p.n + p.m
 	for _, r := range c.Resistors {
@@ -104,9 +110,10 @@ func Compile(c *circuit.Circuit) *Program {
 		p.srcW0 = append(p.srcW0, v.W)
 		p.srcIdx[v.Name] = k
 	}
-	for _, is := range c.ISources {
+	for k, is := range c.ISources {
 		p.isrc = append(p.isrc, twoTerm{pos: idx(is.Pos), neg: idx(is.Neg)})
 		p.isrcW0 = append(p.isrcW0, is.W)
+		p.isrcIdx[is.Name] = k
 	}
 	return p
 }
@@ -143,6 +150,21 @@ func (p *Program) MustCap(name string) CapHandle {
 	h, ok := p.Cap(name)
 	if !ok {
 		panic(fmt.Sprintf("sim: unknown capacitor %q", name))
+	}
+	return h
+}
+
+// ISource returns the handle of the named current source.
+func (p *Program) ISource(name string) (ISourceHandle, bool) {
+	k, ok := p.isrcIdx[name]
+	return ISourceHandle(k), ok
+}
+
+// MustISource is ISource for names known to exist; it panics otherwise.
+func (p *Program) MustISource(name string) ISourceHandle {
+	h, ok := p.ISource(name)
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown current source %q", name))
 	}
 	return h
 }

@@ -53,13 +53,16 @@ type Session struct {
 	dx  []float64
 
 	// Mutable per-run parameters, seeded from the Program at creation.
-	srcW []*wave.Waveform
-	capC []float64
+	srcW  []*wave.Waveform
+	isrcW []*wave.Waveform
+	capC  []float64
 
-	// ownConst holds session-owned constant waveforms, one per source,
-	// lazily created by SetSourceDC and mutated in place on later calls so
-	// a DC sweep point allocates nothing for its source values.
-	ownConst []*wave.Waveform
+	// ownConst and ownConstI hold session-owned constant waveforms, one
+	// per voltage/current source, lazily created by SetSourceDC and
+	// SetISourceDC and mutated in place on later calls so a DC sweep point
+	// allocates nothing for its source values.
+	ownConst  []*wave.Waveform
+	ownConstI []*wave.Waveform
 
 	// Capacitor companion history (branch voltage and current).
 	vPrev []float64
@@ -67,7 +70,32 @@ type Session struct {
 
 	// Initial-guess seeds resolved to node indices.
 	guesses []guessEntry
+
+	// Warm-start state (see WarmStart): the last converged DC solution,
+	// used as the Newton seed of the next solve when warm starting is on.
+	warmStart bool
+	haveWarm  bool
+	xWarm     []float64
+
+	stats SessionStats
 }
+
+// SessionStats counts the work a single Session has performed since it was
+// opened: solves started, Newton iterations spent, and how the warm-start
+// continuation behaved. Warm-start effectiveness is (cold NewtonIters −
+// warm NewtonIters) over identical sweeps; WarmFallbacks counts the solves
+// where the warm seed failed to converge and the session transparently
+// re-solved from the cold initial guess.
+type SessionStats struct {
+	DCSolves      int64 // DC solves started (RunDC, RunDCInto and transient operating points)
+	Transients    int64 // transient runs started
+	NewtonIters   int64 // Newton iterations across all solves (including gmin stepping)
+	WarmStarts    int64 // DC solves seeded from the previous converged solution
+	WarmFallbacks int64 // warm-started solves that had to fall back to a cold start
+}
+
+// Stats snapshots the session's work counters.
+func (s *Session) Stats() SessionStats { return s.stats }
 
 type guessEntry struct {
 	node int
@@ -97,9 +125,11 @@ func NewSession(p *Program, opts Options) (*Session, error) {
 	s.x = make([]float64, s.size)
 	s.dx = make([]float64, s.size)
 	s.srcW = append([]*wave.Waveform(nil), p.srcW0...)
+	s.isrcW = append([]*wave.Waveform(nil), p.isrcW0...)
 	s.capC = append([]float64(nil), p.capC0...)
 	s.vPrev = make([]float64, len(p.caps))
 	s.iPrev = make([]float64, len(p.caps))
+	s.xWarm = make([]float64, s.size)
 	for name, v := range s.opts.InitialGuess {
 		s.setGuess(name, v)
 	}
@@ -130,6 +160,64 @@ func (s *Session) SetSourceDC(h SourceHandle, v float64) {
 	}
 	s.srcW[h] = s.ownConst[h]
 }
+
+// SetISource replaces the waveform of a current source for subsequent
+// runs — the symmetric operation to SetSource for injected-noise
+// characterisation sweeps that drive a net with a current stimulus.
+func (s *Session) SetISource(h ISourceHandle, w *wave.Waveform) {
+	if w == nil {
+		panic("sim: SetISource with nil waveform")
+	}
+	s.isrcW[h] = w
+}
+
+// SetISourceDC sets a current source to a constant value for subsequent
+// runs. Like SetSourceDC, the constant waveform is session-owned and
+// mutated in place, so a DC sweep point allocates nothing here.
+func (s *Session) SetISourceDC(h ISourceHandle, v float64) {
+	if s.ownConstI == nil {
+		s.ownConstI = make([]*wave.Waveform, len(s.isrcW))
+	}
+	if s.ownConstI[h] == nil {
+		s.ownConstI[h] = wave.Constant(v)
+	} else {
+		s.ownConstI[h].V[0] = v
+	}
+	s.isrcW[h] = s.ownConstI[h]
+}
+
+// WarmStart switches the Newton continuation mode of subsequent DC solves
+// (including the operating-point solve at the start of every transient).
+//
+// When on, each solve seeds Newton from the previous converged DC solution
+// instead of the cold initial guess — the classic continuation trick for
+// characterisation sweeps, where neighbouring grid points have nearly
+// identical operating points. Ground-referenced source nodes are re-pinned
+// at their current values on top of the carried solution, so the seed
+// satisfies the new boundary conditions exactly, and warm solves terminate
+// on the standard small-undamped-update criterion (see newton), which
+// together reduce a fine sweep to about one iteration per grid point. A
+// warm-started solve that fails to converge transparently falls back to
+// the cold start (and then gmin stepping), so warm starting never costs
+// robustness; it is still opt-in because the converged result can
+// legitimately differ from a cold solve in the last bits, breaking
+// bit-identical reproducibility with the legacy flow.
+//
+// Initial-guess seeds (Options.InitialGuess, SetGuess) only apply to cold
+// starts; while a warm seed is available they are ignored by design.
+// Switching warm start off (or calling ResetWarmStart) discards the stored
+// solution, so the next solve is cold again.
+func (s *Session) WarmStart(on bool) {
+	s.warmStart = on
+	if !on {
+		s.haveWarm = false
+	}
+}
+
+// ResetWarmStart discards the stored warm-start seed, forcing the next DC
+// solve to start cold even in warm-start mode. Sweeps can call it at grid
+// discontinuities where the previous point is a bad predictor.
+func (s *Session) ResetWarmStart() { s.haveWarm = false }
 
 // SetLoad replaces the value of a capacitor for subsequent runs — the
 // per-point mutation of a load sweep. A zero value is legal and stamps
@@ -268,9 +356,15 @@ func (s *Session) assemble(lin *linalg.Matrix, x, b []float64) {
 // newton solves F(x) = 0 starting from x, modifying it in place. The loop
 // body allocates nothing: the Jacobian factors into the session's LU
 // workspace and the update solves into the preallocated dx buffer.
-func (s *Session) newton(lin *linalg.Matrix, x, b []float64) error {
+//
+// relaxed selects the warm-start termination criterion (small undamped
+// update, no residual verification); DC solves pass it in warm-start mode,
+// transient timestep solves always use the strict dual criterion.
+func (s *Session) newton(lin *linalg.Matrix, x, b []float64, relaxed bool) error {
 	opts := s.opts
 	for it := 0; it < opts.MaxNewton; it++ {
+		s.stats.NewtonIters++
+		newtonIterCount.Add(1)
 		s.assemble(lin, x, b)
 		if err := s.lu.Factor(s.jac); err != nil {
 			return fmt.Errorf("sim: singular Jacobian at Newton iteration %d: %w", it, err)
@@ -290,6 +384,23 @@ func (s *Session) newton(lin *linalg.Matrix, x, b []float64) error {
 		}
 		for i := range x {
 			x[i] -= scale * dx[i]
+		}
+		if relaxed {
+			// Warm-start termination: accept on a small undamped update.
+			// A full Newton step (scale == 1) below VTol bounds the
+			// remaining error quadratically — the linearised residual is
+			// solved exactly, so what is left is O(curvature·dv²) — which
+			// makes the cold path's extra residual-verification iteration
+			// redundant. This is what turns a continuation sweep into one
+			// iteration per grid point; it is confined to warm-mode DC
+			// solves (transient timesteps always verify the residual), so
+			// the cold path stays bit-identical to the legacy flow and
+			// warm transients differ from cold only through their
+			// operating point.
+			if maxdv*scale < opts.VTol && scale == 1 {
+				return nil
+			}
+			continue
 		}
 		maxf := 0.0
 		for i := 0; i < s.n; i++ {
@@ -314,10 +425,10 @@ func (s *Session) sourceRHS(b []float64, t float64) {
 	}
 	for k, is := range s.prog.isrc {
 		if is.pos >= 0 {
-			b[is.pos] += s.prog.isrcW0[k].At(t)
+			b[is.pos] += s.isrcW[k].At(t)
 		}
 		if is.neg >= 0 {
-			b[is.neg] -= s.prog.isrcW0[k].At(t)
+			b[is.neg] -= s.isrcW[k].At(t)
 		}
 	}
 }
@@ -343,7 +454,7 @@ func (s *Session) initialGuess(x []float64) {
 // parameters. When plain Newton fails it falls back to gmin stepping:
 // solving a sequence of progressively less regularised systems,
 // warm-starting each from the last. The returned result does not alias
-// session buffers.
+// session buffers; sweeps that want an allocation-free loop use RunDCInto.
 func (s *Session) RunDC() (*DCResult, error) {
 	if err := s.solveDC(); err != nil {
 		return nil, err
@@ -351,30 +462,98 @@ func (s *Session) RunDC() (*DCResult, error) {
 	return s.dcResult(), nil
 }
 
+// RunDCInto is RunDC writing the operating point into a caller-owned
+// result, reusing its backing storage: after the first call on a given
+// DCResult, a sweep loop of SetSourceDC + RunDCInto + SourceCurrent
+// performs zero allocations per grid point (asserted by
+// TestRunDCIntoAllocFree). On error the result is left untouched. The
+// filled result does not alias session buffers and stays valid across
+// further runs.
+func (s *Session) RunDCInto(res *DCResult) error {
+	if res == nil {
+		panic("sim: RunDCInto with nil result")
+	}
+	if err := s.solveDC(); err != nil {
+		return err
+	}
+	res.c = s.prog.ckt
+	res.n = s.n
+	if cap(res.X) < s.size {
+		res.X = make([]float64, s.size)
+	}
+	res.X = res.X[:s.size]
+	copy(res.X, s.x)
+	return nil
+}
+
 // solveDC runs the DC solve, leaving the operating point in s.x.
+//
+// In warm-start mode (see WarmStart) the solve is attempted first from the
+// previous converged solution; a cold start — the bit-identical legacy
+// path — runs when warm starting is off, no previous solution exists, or
+// the warm seed failed to converge.
 func (s *Session) solveDC() error {
 	dcCount.Add(1)
+	s.stats.DCSolves++
 	if s.stampedGmin != s.opts.Gmin {
 		s.stampBase(s.opts.Gmin)
 	}
-	s.initialGuess(s.x)
 	s.sourceRHS(s.rhs, 0)
-	if err := s.newton(s.base, s.x, s.rhs); err == nil {
+	if s.warmStart && s.haveWarm {
+		s.stats.WarmStarts++
+		// Hybrid continuation seed: carry the internal-node voltages and
+		// branch currents of the previous converged solution — the part a
+		// cold guess can only approximate — but re-pin every
+		// ground-referenced source node at its *new* value (the same
+		// pinning initialGuess performs). The sweep mutates exactly those
+		// sources between points, so the seed then satisfies the new
+		// boundary conditions exactly and Newton only has to track the
+		// interior.
+		copy(s.x, s.xWarm)
+		for k, v := range s.prog.vsrc {
+			if v.neg < 0 && v.pos >= 0 {
+				s.x[v.pos] = s.srcW[k].At(0)
+			}
+		}
+		if err := s.newton(s.base, s.x, s.rhs, true); err == nil {
+			copy(s.xWarm, s.x)
+			return nil
+		}
+		// The previous solution was a bad predictor (a sweep
+		// discontinuity, a basin change); fall through to the cold path.
+		s.stats.WarmFallbacks++
+	}
+	s.initialGuess(s.x)
+	if err := s.newton(s.base, s.x, s.rhs, false); err == nil {
+		s.saveWarm()
 		return nil
 	}
 	// gmin stepping.
 	s.initialGuess(s.x)
 	for gmin := 1e-3; gmin >= s.opts.Gmin; gmin /= 10 {
 		s.stampBase(gmin)
-		if err := s.newton(s.base, s.x, s.rhs); err != nil {
+		if err := s.newton(s.base, s.x, s.rhs, false); err != nil {
+			s.haveWarm = false
 			return fmt.Errorf("sim: DC gmin stepping failed at gmin=%g: %w", gmin, err)
 		}
 	}
 	s.stampBase(s.opts.Gmin)
-	if err := s.newton(s.base, s.x, s.rhs); err != nil {
+	if err := s.newton(s.base, s.x, s.rhs, false); err != nil {
+		s.haveWarm = false
 		return fmt.Errorf("sim: DC failed after gmin stepping: %w", err)
 	}
+	s.saveWarm()
 	return nil
+}
+
+// saveWarm records the converged DC solution as the next warm-start seed.
+// Skipped when warm starting is off so cold sessions pay nothing.
+func (s *Session) saveWarm() {
+	if !s.warmStart {
+		return
+	}
+	copy(s.xWarm, s.x)
+	s.haveWarm = true
 }
 
 func (s *Session) dcResult() *DCResult {
@@ -387,6 +566,7 @@ func (s *Session) dcResult() *DCResult {
 // cancellation. The returned result does not alias session buffers.
 func (s *Session) RunTransient(ctx context.Context, tstop float64) (*Result, error) {
 	transientCount.Add(1)
+	s.stats.Transients++
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -470,7 +650,7 @@ func (s *Session) RunTransient(ctx context.Context, tstop float64) (*Result, err
 				b[cp.b] -= hist
 			}
 		}
-		if err := s.newton(s.lin, x, b); err != nil {
+		if err := s.newton(s.lin, x, b, false); err != nil {
 			return nil, fmt.Errorf("sim: transient at t=%.3gps: %w", t*1e12, err)
 		}
 		for i, cp := range s.prog.caps {

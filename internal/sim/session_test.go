@@ -223,7 +223,7 @@ func TestNewtonLoopAllocFree(t *testing.T) {
 	allocs := testing.AllocsPerRun(50, func() {
 		sess.initialGuess(sess.x)
 		sess.sourceRHS(sess.rhs, 0)
-		if err := sess.newton(sess.base, sess.x, sess.rhs); err != nil {
+		if err := sess.newton(sess.base, sess.x, sess.rhs, false); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -21,8 +21,12 @@ import (
 
 // Options configures an analysis run.
 type Options struct {
-	Method core.Method // victim-driver model; default Macromodel
-	Dt     float64     // engine step; default 2 ps
+	// Method selects the victim-driver model. The zero value is Golden —
+	// the full transistor-level reference simulation; set Macromodel (what
+	// the snacheck CLI defaults to) for the paper's fast non-linear VCCS
+	// flow.
+	Method core.Method
+	Dt     float64 // engine step; default 2 ps
 	// Align enables the worst-case peak-alignment search per cluster.
 	Align bool
 	// FailFrac is the NRC failure threshold (fraction of VDD at the
@@ -54,6 +58,20 @@ type Options struct {
 	// private cache, taking precedence over CacheDir. Like CacheDir it is
 	// ignored when Cache is supplied.
 	Store charlib.PersistentStore
+	// WarmStart enables the Newton continuation mode of the run's
+	// load-curve, propagation-table and NRC characterisation sweeps —
+	// equivalent to setting the WarmStart field of LoadCurve, Prop and NRC
+	// individually: each solve is seeded from the previous grid point's
+	// converged solution (sim.Session.WarmStart), cutting total Newton
+	// iterations substantially on fine grids. Thevenin aggressor fits are
+	// not sweeps over one rig and always run cold. Per-solve results
+	// legitimately differ from the cold flow at solver-tolerance level —
+	// and an NRC bisection branch flipping near its threshold can move a
+	// curve height, and so a reported margin, by up to the bisection
+	// tolerance — so warm artefacts are cached and persisted under
+	// distinct keys and the mode stays opt-in; sweep order is
+	// deterministic, so warm results are still reproducible run-to-run.
+	WarmStart bool
 	// Model quality knobs.
 	LoadCurve charlib.LoadCurveOptions
 	Prop      charlib.PropOptions
@@ -74,6 +92,11 @@ func (o Options) normalize() Options {
 		// Clamp out-of-range policies to the default so Analyze and Stream
 		// can test against either constant and still agree.
 		o.OnError = FailFast
+	}
+	if o.WarmStart {
+		o.LoadCurve.WarmStart = true
+		o.Prop.WarmStart = true
+		o.NRC.WarmStart = true
 	}
 	return o
 }
@@ -196,6 +219,51 @@ type Analyzer struct {
 	opts     Options
 	cache    *charlib.Cache
 	storeErr error
+
+	// rigPools is a free list of compiled-bench pools (see core.RigPool).
+	// Each analysis worker checks one out for the clusters it processes and
+	// returns it afterwards, so pools are never shared between concurrent
+	// goroutines but persist across Analyze/Stream calls on the same
+	// analyzer — a re-analysis reuses every compiled bench whose cluster
+	// topology is unchanged, and clusters sharing a victim configuration
+	// reuse one driver-alone bench even within a single run.
+	poolMu   sync.Mutex
+	rigPools []*core.RigPool
+}
+
+// acquirePool checks a rig pool out of the free list, creating one when
+// the list is empty (first run, or more workers than any previous run).
+func (a *Analyzer) acquirePool() *core.RigPool {
+	a.poolMu.Lock()
+	defer a.poolMu.Unlock()
+	if n := len(a.rigPools); n > 0 {
+		p := a.rigPools[n-1]
+		a.rigPools = a.rigPools[:n-1]
+		return p
+	}
+	return core.NewRigPool()
+}
+
+// releasePool returns a pool to the free list for the next run or worker.
+func (a *Analyzer) releasePool(p *core.RigPool) {
+	a.poolMu.Lock()
+	a.rigPools = append(a.rigPools, p)
+	a.poolMu.Unlock()
+}
+
+// RigPoolStats sums compiled-bench pool effectiveness over all pools the
+// analyzer has created: hits counts bench compilations avoided by
+// topology-class reuse, misses counts benches actually compiled. Call it
+// between runs (pools checked out by in-flight workers are not counted).
+func (a *Analyzer) RigPoolStats() (hits, misses int) {
+	a.poolMu.Lock()
+	defer a.poolMu.Unlock()
+	for _, p := range a.rigPools {
+		h, m := p.Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
 }
 
 // NewAnalyzer builds an analyzer for a validated design.
@@ -279,11 +347,13 @@ func (a *Analyzer) runClusters(ctx context.Context, emit func(outcome) bool) err
 		// against — TestParallelMatchesSerial compares the pool's output
 		// to this path, which it couldn't do if both went through the same
 		// pool machinery.
+		pool := a.acquirePool()
+		defer a.releasePool(pool)
 		for i, cs := range clusters {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			rep, cerr := a.analyzeCluster(ctx, cs)
+			rep, cerr := a.analyzeCluster(ctx, cs, pool)
 			if cerr != nil {
 				if err := ctx.Err(); err != nil {
 					return err
@@ -315,12 +385,14 @@ func (a *Analyzer) runClusters(ctx context.Context, emit func(outcome) bool) err
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			pool := a.acquirePool()
+			defer a.releasePool(pool)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(clusters) || stop.Load() || ctx.Err() != nil {
 					return
 				}
-				rep, cerr := a.analyzeCluster(ctx, clusters[i])
+				rep, cerr := a.analyzeCluster(ctx, clusters[i], pool)
 				if cerr != nil {
 					if ctx.Err() != nil {
 						// Cut short by cancellation, not a real cluster
@@ -456,8 +528,9 @@ func (a *Analyzer) Stream(ctx context.Context) iter.Seq2[NetReport, error] {
 }
 
 // analyzeCluster runs the full pipeline on one cluster. The error, when
-// non-nil, is always a *ClusterError naming the failed stage.
-func (a *Analyzer) analyzeCluster(ctx context.Context, cs ClusterSpec) (*NetReport, *ClusterError) {
+// non-nil, is always a *ClusterError naming the failed stage. pool is the
+// calling worker's compiled-bench pool (nil disables pooling).
+func (a *Analyzer) analyzeCluster(ctx context.Context, cs ClusterSpec, pool *core.RigPool) (*NetReport, *ClusterError) {
 	fail := func(stage Stage, err error) (*NetReport, *ClusterError) {
 		return nil, &ClusterError{Cluster: cs.Name, Stage: stage, Err: err}
 	}
@@ -466,6 +539,9 @@ func (a *Analyzer) analyzeCluster(ctx context.Context, cs ClusterSpec) (*NetRepo
 	cl, err := a.design.BuildCluster(cs)
 	if err != nil {
 		return fail(StageBuild, err)
+	}
+	if pool != nil {
+		cl.UseRigPool(pool)
 	}
 	timing.Build = time.Since(t0)
 

@@ -62,6 +62,8 @@ const (
 	ContinueOnError
 )
 
+// String returns the stable policy name accepted by ParseErrorPolicy
+// ("fail-fast" or "continue").
 func (p ErrorPolicy) String() string {
 	switch p {
 	case FailFast:

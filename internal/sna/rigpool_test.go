@@ -1,0 +1,90 @@
+package sna
+
+import (
+	"context"
+	"testing"
+
+	"stanoise/internal/core"
+)
+
+// TestAnalyzerRigPoolReuse asserts the per-worker compiled-bench pools
+// engage and persist: a serial run of the sample design (whose victim
+// configurations involve driver-alone benches via the alignment search)
+// populates a pool, and a second Analyze on the same analyzer reuses the
+// pooled benches instead of recompiling — while reporting exactly the same
+// analysis results.
+func TestAnalyzerRigPoolReuse(t *testing.T) {
+	ctx := context.Background()
+	opts := fastOpts(core.Macromodel)
+	opts.Workers = 1
+	an := NewAnalyzer(sampleDesign(), opts)
+
+	first, err := an.Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfterFirst := an.RigPoolStats()
+	if missesAfterFirst == 0 {
+		t.Fatal("no benches were compiled into the pool on the first run")
+	}
+
+	second, err := an.Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := an.RigPoolStats()
+	if misses != missesAfterFirst {
+		t.Fatalf("second run compiled %d new benches, want 0 (pool reuse)", misses-missesAfterFirst)
+	}
+	if hits == 0 {
+		t.Fatal("second run never hit the rig pool")
+	}
+
+	if len(first) != len(second) {
+		t.Fatalf("report counts differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		a, b := first[i], second[i]
+		a.ClearTiming()
+		b.ClearTiming()
+		if a != b {
+			t.Fatalf("report %d differs across pooled re-analysis:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+// TestAnalyzeWarmStartMatchesCold runs the same design cold and with
+// Options.WarmStart and requires the sign-off outcome to agree: warm-start
+// characterisation differs from cold only at solver-tolerance level, far
+// below anything that could move a pass/fail decision or a margin by a
+// reportable amount.
+func TestAnalyzeWarmStartMatchesCold(t *testing.T) {
+	ctx := context.Background()
+	cold, err := NewAnalyzer(sampleDesign(), fastOpts(core.Macromodel)).Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wopts := fastOpts(core.Macromodel)
+	wopts.WarmStart = true
+	warm, err := NewAnalyzer(sampleDesign(), wopts).Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold) != len(warm) {
+		t.Fatalf("report counts differ: %d vs %d", len(cold), len(warm))
+	}
+	for i := range cold {
+		c, w := cold[i], warm[i]
+		if c.Cluster != w.Cluster || c.Fails != w.Fails {
+			t.Fatalf("cluster %s: outcome differs cold vs warm (%+v vs %+v)", c.Cluster, c, w)
+		}
+		if d := c.PeakV - w.PeakV; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("cluster %s: peak differs by %.3g V", c.Cluster, d)
+		}
+		if d := c.MarginV - w.MarginV; d > 0.05 || d < -0.05 {
+			// Margins come from bisected NRC heights; warm bisection can
+			// move a height by at most one bracket (the bisection Tol).
+			t.Fatalf("cluster %s: margin differs by %.3g V", c.Cluster, d)
+		}
+	}
+}

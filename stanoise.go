@@ -43,7 +43,10 @@ type (
 	// Analyze(ctx) returns reports in design order; Stream(ctx) yields
 	// them in completion order.
 	Analyzer = sna.Analyzer
-	// Options configures an analysis run.
+	// Options configures an analysis run: victim model, worker count,
+	// error policy, characterisation cache/store wiring, model-quality
+	// grids, and the opt-in WarmStart Newton-continuation mode for the
+	// characterisation sweeps.
 	Options = sna.Options
 	// NetReport is the per-victim outcome of an analysis; its JSON form is
 	// the stable schema emitted by snacheck -json.
@@ -125,7 +128,8 @@ type (
 	// PersistentStore is the interface a Cache's disk tier satisfies
 	// (implemented by *Store); see Options.Store.
 	PersistentStore = charlib.PersistentStore
-	// LoadCurveOptions tunes VCCS load-curve characterisation.
+	// LoadCurveOptions tunes VCCS load-curve characterisation, including
+	// the opt-in WarmStart continuation mode.
 	LoadCurveOptions = charlib.LoadCurveOptions
 	// PropOptions tunes propagation-table characterisation.
 	PropOptions = charlib.PropOptions
