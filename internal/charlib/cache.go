@@ -53,6 +53,23 @@ type PersistentStore interface {
 	Put(kind string, cl *cell.Cell, st cell.State, pin, optsFP string, v any) error
 }
 
+// LeaseStore is the optional cross-process extension of PersistentStore,
+// implemented by charstore.Store. When the attached store also provides
+// build leases, Artefact single-flights characterisation *between
+// processes* sharing the store directory, not just between goroutines: on
+// a disk miss it acquires the configuration's build lease, re-checks the
+// store (the usual reason the lease became free is that its previous
+// holder finished the build), and only then characterises.
+//
+// AcquireBuildLease blocks until the caller holds the lease or ctx is
+// done; the returned release function must be called exactly once.
+// Lease failures must degrade to building without the lease — duplicated
+// work, never a lost result.
+type LeaseStore interface {
+	PersistentStore
+	AcquireBuildLease(ctx context.Context, kind string, cl *cell.Cell, st cell.State, pin, optsFP string) (func(), error)
+}
+
 // flight is one memoized build: done closes when val/err are final.
 type flight struct {
 	done chan struct{}
@@ -221,21 +238,39 @@ func (c *Cache) Artefact(ctx context.Context, kind string, cl *cell.Cell, st cel
 		return build()
 	}
 	return c.Do(ctx, CellKey(kind, cl, st, pin, optsFP), func() (any, error) {
-		if s := c.getStore(); s != nil {
+		s := c.getStore()
+		if s != nil {
 			if v, ok := s.Get(kind, cl, st, pin, optsFP); ok {
 				c.mu.Lock()
 				c.diskHits++
 				c.mu.Unlock()
 				return v, nil
 			}
+			if ls, ok := s.(LeaseStore); ok {
+				// Disk miss on a lease-capable store: single-flight the build
+				// across processes. Lease errors (unwritable lease dir, ctx
+				// cancellation mid-wait with ctx still live overall) degrade
+				// to building leaseless — duplicated work, never a failure.
+				if release, lerr := ls.AcquireBuildLease(ctx, kind, cl, st, pin, optsFP); lerr == nil {
+					defer release()
+					// Re-check: the usual reason the lease became free is
+					// that its previous holder finished this very build.
+					if v, ok := s.Get(kind, cl, st, pin, optsFP); ok {
+						c.mu.Lock()
+						c.diskHits++
+						c.mu.Unlock()
+						return v, nil
+					}
+				} else if isCtxErr(lerr) {
+					return nil, lerr
+				}
+			}
 		}
 		v, err := build()
-		if err == nil {
-			if s := c.getStore(); s != nil {
-				// Best-effort write-behind: a full disk or unwritable store
-				// directory costs persistence, never the analysis.
-				_ = s.Put(kind, cl, st, pin, optsFP, v)
-			}
+		if err == nil && s != nil {
+			// Best-effort write-behind: a full disk or unwritable store
+			// directory costs persistence, never the analysis.
+			_ = s.Put(kind, cl, st, pin, optsFP, v)
 		}
 		return v, err
 	})

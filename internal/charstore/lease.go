@@ -1,0 +1,285 @@
+package charstore
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"stanoise/internal/cell"
+)
+
+// Build leases single-flight characterisation *across processes*: N
+// server processes sharing one cache directory agree, per content address,
+// on which of them builds the artefact while the others wait and then read
+// the finished entry from disk. Goroutine-level single-flighting
+// (charlib.Cache) cannot see other processes; without leases, two servers
+// started against a cold shared store would each run every
+// transistor-level sweep.
+//
+// A lease is a lock file under <dir>/leases/ holding the owner's identity
+// and an expiry deadline. It is created by writing the payload to a
+// private temp file and hard-linking it to the lock path — link(2) fails
+// with EEXIST when a lock exists and is atomic on every filesystem worth
+// sharing a store on, and unlike create-exclusive-then-write it makes the
+// payload appear in one step, so a waiter can never read a half-written
+// lock and mistake its live holder for a dead one. Waiters poll; a file
+// whose deadline has passed (or that holds garbage — impossible mid-write
+// under the link protocol, so it is a crash leftover) is *stale* and is
+// taken over: the stale file is renamed aside, which exactly one contender
+// can win, and acquisition then proceeds through the normal link path.
+//
+// Leases are a work-avoidance protocol, not a correctness gate: entries
+// are content-addressed and land via temp-file+rename, so even two
+// processes building the same artefact concurrently (possible in the
+// pathological case of a takeover racing a wedged-but-alive holder) write
+// identical bytes and the store stays consistent. Every failure mode
+// therefore degrades to duplicated work, never to wrong numbers.
+
+// DefaultLeaseTTL is how long a build lease lives before waiters may
+// treat its holder as dead. It bounds the extra latency a crashed holder
+// costs other processes and must comfortably exceed the slowest single
+// artefact build (full propagation tables take seconds; the default
+// leaves two orders of magnitude of headroom).
+const DefaultLeaseTTL = 2 * time.Minute
+
+// defaultLeasePoll is the waiters' polling cadence. Builds take tens of
+// milliseconds to seconds, so 25 ms keeps takeover latency negligible
+// against build cost without hammering the shared directory.
+const defaultLeasePoll = 25 * time.Millisecond
+
+// LeaseStats counts the store's build-lease activity since Open, for the
+// server's /statsz surface and for cross-process tests.
+type LeaseStats struct {
+	// Acquired counts leases this process obtained (including takeovers).
+	Acquired int64 `json:"acquired"`
+	// Contended counts acquisitions that found another holder's live lock
+	// and had to wait at least one poll.
+	Contended int64 `json:"contended"`
+	// Takeovers counts stale leases this process renamed aside after their
+	// holder died without releasing.
+	Takeovers int64 `json:"takeovers"`
+}
+
+// leaseOwner is the lock-file payload: enough identity to debug a wedged
+// store by hand, plus the expiry deadline the staleness test reads.
+type leaseOwner struct {
+	Token    string    `json:"token"`
+	PID      int       `json:"pid"`
+	Host     string    `json:"host,omitempty"`
+	Acquired time.Time `json:"acquired"`
+	Expires  time.Time `json:"expires"`
+}
+
+// SetLeaseTTL overrides the build-lease time-to-live (see
+// DefaultLeaseTTL). Call it before sharing the store; values <= 0 restore
+// the default. Shorter TTLs recover faster from killed holders at the
+// price of a tighter bound on how long one artefact build may take.
+func (s *Store) SetLeaseTTL(d time.Duration) {
+	if d <= 0 {
+		d = DefaultLeaseTTL
+	}
+	s.leaseTTL.Store(int64(d))
+}
+
+// leaseTTLValue returns the configured TTL, defaulting when unset.
+func (s *Store) leaseTTLValue() time.Duration {
+	if v := s.leaseTTL.Load(); v > 0 {
+		return time.Duration(v)
+	}
+	return DefaultLeaseTTL
+}
+
+// leasePollValue returns the waiters' poll interval, defaulting when
+// unset (tests shorten it via leasePoll to keep takeover cases fast).
+func (s *Store) leasePollValue() time.Duration {
+	if v := s.leasePoll.Load(); v > 0 {
+		return time.Duration(v)
+	}
+	return defaultLeasePoll
+}
+
+// LeaseStats snapshots the store's lease counters.
+func (s *Store) LeaseStats() LeaseStats {
+	return LeaseStats{
+		Acquired:  s.leaseAcquired.Load(),
+		Contended: s.leaseContended.Load(),
+		Takeovers: s.leaseTakeovers.Load(),
+	}
+}
+
+func (s *Store) leasesDir() string { return filepath.Join(s.dir, "leases") }
+
+func (s *Store) leasePath(key string) string {
+	return filepath.Join(s.leasesDir(), key+".lock")
+}
+
+// AcquireBuildLease implements the charlib.LeaseStore extension of
+// PersistentStore: it blocks until this process holds the build lease for
+// the artefact configuration, ctx is done, or the lease directory proves
+// unusable. On success the returned release function must be called
+// exactly once, after the built artefact has been persisted (or the build
+// abandoned). Waiters re-check the store after acquiring — the usual
+// reason a wait ends is that the previous holder finished the build.
+func (s *Store) AcquireBuildLease(ctx context.Context, kind string, cl *cell.Cell, st cell.State, pin, optsFP string) (func(), error) {
+	if s == nil {
+		return nil, errors.New("charstore: no store")
+	}
+	key, err := Key(kind, cl, st, pin, optsFP)
+	if err != nil {
+		return nil, err
+	}
+	return s.acquireLeaseKey(ctx, key)
+}
+
+// acquireLeaseKey is the key-level lease loop; see the package comment on
+// build leases for the protocol.
+func (s *Store) acquireLeaseKey(ctx context.Context, key string) (func(), error) {
+	if !validKey(key) {
+		return nil, fmt.Errorf("charstore: invalid lease key %q", key)
+	}
+	if err := os.MkdirAll(s.leasesDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("charstore: lease dir: %w", err)
+	}
+	path := s.leasePath(key)
+	token := leaseToken()
+	host, _ := os.Hostname()
+	contended := false
+	for {
+		now := time.Now()
+		payload, merr := json.Marshal(leaseOwner{
+			Token: token, PID: os.Getpid(), Host: host,
+			Acquired: now, Expires: now.Add(s.leaseTTLValue()),
+		})
+		if merr != nil {
+			return nil, fmt.Errorf("charstore: lease payload: %w", merr)
+		}
+		// Atomic create-with-content: the payload is materialised in a
+		// private temp file and linked into place, so the lock file either
+		// does not exist or is complete — never half-written (see the
+		// package comment on why that matters).
+		tmp := path + ".next-" + token[:8]
+		if werr := os.WriteFile(tmp, payload, 0o644); werr != nil {
+			return nil, fmt.Errorf("charstore: writing lease: %w", werr)
+		}
+		err := os.Link(tmp, path)
+		os.Remove(tmp)
+		if err == nil {
+			s.leaseAcquired.Add(1)
+			return func() { s.releaseLease(path, token) }, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("charstore: lease: %w", err)
+		}
+		// Contended: someone else holds (or held) the lease.
+		if !contended {
+			contended = true
+			s.leaseContended.Add(1)
+		}
+		raw, rerr := os.ReadFile(path)
+		if rerr != nil {
+			if os.IsNotExist(rerr) {
+				continue // released between create and read — retry now
+			}
+			return nil, fmt.Errorf("charstore: reading lease: %w", rerr)
+		}
+		var owner leaseOwner
+		stale := json.Unmarshal(raw, &owner) != nil || // garbage == dead holder
+			!owner.Expires.After(time.Now())
+		if stale {
+			// Exactly one contender wins the rename of this specific file;
+			// everyone then competes fairly on the atomic-link path.
+			aside := path + ".stale-" + token[:8]
+			if os.Rename(path, aside) == nil {
+				os.Remove(aside)
+				s.leaseTakeovers.Add(1)
+			}
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(s.leasePollValue()):
+		}
+	}
+}
+
+// releaseLease removes the lock file if this process still owns it. After
+// a stale takeover the file belongs to someone else; verifying the token
+// before removing keeps a resurrected slow holder from releasing the new
+// owner's lease.
+func (s *Store) releaseLease(path, token string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return // already taken over and released, or dir gone
+	}
+	var owner leaseOwner
+	if json.Unmarshal(raw, &owner) == nil && owner.Token != token {
+		return
+	}
+	os.Remove(path)
+}
+
+// leaseToken returns a process-unique random token identifying one
+// acquisition attempt.
+func leaseToken() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to pid+time — tokens only need to be distinct between
+		// live contenders on one store, not cryptographically strong.
+		return fmt.Sprintf("%d-%d", os.Getpid(), time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// cleanStaleLeases removes expired or undecodable lock files (crash
+// leftovers); called from GC so an abandoned store heals completely.
+func (s *Store) cleanStaleLeases() (removed int) {
+	entries, err := os.ReadDir(s.leasesDir())
+	if err != nil {
+		return 0
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		path := filepath.Join(s.leasesDir(), e.Name())
+		if !strings.HasSuffix(e.Name(), ".lock") {
+			// Renamed-aside stale files that missed their Remove.
+			if os.Remove(path) == nil {
+				removed++
+			}
+			continue
+		}
+		raw, rerr := os.ReadFile(path)
+		if rerr != nil {
+			continue
+		}
+		var owner leaseOwner
+		if json.Unmarshal(raw, &owner) == nil && owner.Expires.After(time.Now()) {
+			continue
+		}
+		if os.Remove(path) == nil {
+			removed++
+		}
+	}
+	return removed
+}
+
+// leaseCounters holds the Store's lease configuration and statistics;
+// embedded (unexported) so everything lease-related lives in this file
+// without widening Store's literal in store.go.
+type leaseCounters struct {
+	leaseTTL       atomic.Int64
+	leasePoll      atomic.Int64
+	leaseAcquired  atomic.Int64
+	leaseContended atomic.Int64
+	leaseTakeovers atomic.Int64
+}

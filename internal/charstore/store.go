@@ -41,6 +41,8 @@ type Store struct {
 	index      map[string]IndexEntry
 	indexDirty bool // in-memory index has changes not yet on disk
 	flushing   bool // one goroutine is writing index.json
+
+	leaseCounters // cross-process build-lease configuration and statistics
 }
 
 // Entry container format constants. formatVersion guards the container
@@ -529,6 +531,7 @@ func (s *Store) GC() (removed int, err error) {
 			removed++
 		}
 	}
+	removed += s.cleanStaleLeases()
 	if removed > 0 {
 		err = s.Rebuild()
 	}

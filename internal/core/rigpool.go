@@ -26,41 +26,79 @@ import (
 // mutation of a shared *cell.Cell or *interconnect.Bus value is not
 // detected (the same documented limitation as Cluster's own rig cache).
 //
-// The pool is bounded: beyond maxPoolRigs entries the least recently used
-// bench is evicted. Golden benches key on the full cluster topology and
-// are therefore near-unique across a heterogeneous design — without a
-// bound, a 10k-net run would retain 10k dense-matrix sessions for the
-// analyzer's lifetime. The bound keeps the pool at working-set size:
-// driver-class benches (small key space, high reuse) stay resident, and
-// golden benches survive exactly long enough for re-evaluation and
-// re-analysis of recent clusters.
+// The pool is bounded — by entry count and, optionally, by estimated
+// resident bytes (see RigPoolLimits) — evicting the least recently used
+// bench first. Golden benches key on the full cluster topology and are
+// therefore near-unique across a heterogeneous design — without a bound, a
+// 10k-net run would retain 10k dense-matrix sessions for the analyzer's
+// lifetime. The bound keeps the pool at working-set size: driver-class
+// benches (small key space, high reuse) stay resident, and golden benches
+// survive exactly long enough for re-evaluation and re-analysis of recent
+// clusters. Long-lived holders (an analysis server above all) size pools
+// in bytes and drop every bench explicitly with Invalidate when the
+// underlying libraries change.
 type RigPool struct {
 	rigs   map[string]*pooledEntry
+	limits RigPoolLimits
+	bytes  int64
 	seq    int64
 	hits   int
 	misses int
 }
 
-// pooledEntry pairs a bench with its last-use stamp for LRU eviction.
+// pooledEntry pairs a bench with its last-use stamp for LRU eviction and
+// the byte estimate it was admitted under.
 type pooledEntry struct {
 	rig     *simRig
 	lastUse int64
+	bytes   int64
 }
 
-// maxPoolRigs bounds a pool's resident compiled benches. A bench is a
-// Program plus a Session (two dense size×size matrices, an LU workspace
-// and result buffers) — roughly hundreds of kilobytes at cluster scale —
-// so 64 entries keep a worker's pool in the tens of megabytes worst-case
-// while comfortably covering the distinct driver classes plus the
-// recently evaluated golden topologies of a real design.
-const maxPoolRigs = 64
+// RigPoolLimits bounds a pool's resident compiled benches. The zero value
+// selects the defaults; both bounds are enforced together, LRU-first, and
+// the most recently inserted bench is never evicted (a bench larger than
+// MaxBytes on its own is kept until the next insertion displaces it —
+// refusing it outright would force recompilation on every evaluation).
+type RigPoolLimits struct {
+	// MaxRigs bounds the number of resident benches; <= 0 selects the
+	// default of 64. A bench is a Program plus a Session (dense size×size
+	// matrices, an LU workspace and result buffers) — roughly hundreds of
+	// kilobytes at cluster scale — so the default keeps a worker's pool in
+	// the tens of megabytes worst-case while comfortably covering the
+	// distinct driver classes plus the recently evaluated golden topologies
+	// of a real design.
+	MaxRigs int
+	// MaxBytes additionally bounds the pool by the summed
+	// sim.Session.MemoryBytes estimate of its benches; <= 0 disables the
+	// byte bound. This is the long-lived-server knob: cluster sizes vary
+	// wildly between requests, so a count bound alone cannot cap worst-case
+	// memory.
+	MaxBytes int64
+}
 
-// NewRigPool returns an empty pool ready for single-goroutine use.
-func NewRigPool() *RigPool { return &RigPool{rigs: map[string]*pooledEntry{}} }
+// defaultMaxPoolRigs is the entry-count bound selected by zero
+// RigPoolLimits; see RigPoolLimits.MaxRigs for the sizing rationale.
+const defaultMaxPoolRigs = 64
+
+func (l RigPoolLimits) normalize() RigPoolLimits {
+	if l.MaxRigs <= 0 {
+		l.MaxRigs = defaultMaxPoolRigs
+	}
+	return l
+}
+
+// NewRigPool returns an empty pool with default limits, ready for
+// single-goroutine use.
+func NewRigPool() *RigPool { return NewRigPoolWithLimits(RigPoolLimits{}) }
+
+// NewRigPoolWithLimits returns an empty pool bounded by the given limits.
+func NewRigPoolWithLimits(l RigPoolLimits) *RigPool {
+	return &RigPool{rigs: map[string]*pooledEntry{}, limits: l.normalize()}
+}
 
 // lookup returns the pooled rig for key, building and memoizing it on the
-// first request and evicting the least recently used bench when the pool
-// is full. Build errors are not memoized: a failing topology is
+// first request and evicting least-recently-used benches while either
+// limit is exceeded. Build errors are not memoized: a failing topology is
 // re-attempted (and fails identically) on the next request.
 func (p *RigPool) lookup(key string, build func() (*simRig, error)) (*simRig, error) {
 	p.seq++
@@ -74,26 +112,66 @@ func (p *RigPool) lookup(key string, build func() (*simRig, error)) (*simRig, er
 		return nil, err
 	}
 	p.misses++
-	if len(p.rigs) >= maxPoolRigs {
+	p.rigs[key] = &pooledEntry{rig: r, lastUse: p.seq, bytes: r.memoryBytes()}
+	p.bytes += p.rigs[key].bytes
+	p.evict()
+	return r, nil
+}
+
+// evict removes least-recently-used benches until both limits hold,
+// always sparing the entry touched by the current lookup (lastUse ==
+// p.seq) so the bench about to be used cannot be evicted under it.
+func (p *RigPool) evict() {
+	for len(p.rigs) > 1 &&
+		(len(p.rigs) > p.limits.MaxRigs || (p.limits.MaxBytes > 0 && p.bytes > p.limits.MaxBytes)) {
 		var oldestKey string
 		oldest := int64(1<<63 - 1)
 		for k, e := range p.rigs {
-			if e.lastUse < oldest {
+			if e.lastUse < oldest && e.lastUse != p.seq {
 				oldest, oldestKey = e.lastUse, k
 			}
 		}
+		if oldestKey == "" {
+			return
+		}
+		p.bytes -= p.rigs[oldestKey].bytes
 		delete(p.rigs, oldestKey)
 	}
-	p.rigs[key] = &pooledEntry{rig: r, lastUse: p.seq}
-	return r, nil
+}
+
+// Invalidate drops every pooled bench, returning how many were held. This
+// is the explicit invalidation point for long-lived processes: compiled
+// benches key on topology *classes* (cell names, geometry, options), so a
+// process that mutates what a name means — reloading a cell library,
+// editing a tech card in place — must invalidate its pools or pooled
+// benches would keep simulating the old physics. Statistics survive.
+func (p *RigPool) Invalidate() int {
+	n := len(p.rigs)
+	p.rigs = map[string]*pooledEntry{}
+	p.bytes = 0
+	return n
 }
 
 // Len returns the number of compiled benches held by the pool.
 func (p *RigPool) Len() int { return len(p.rigs) }
 
+// Bytes returns the summed memory estimate of the pooled benches.
+func (p *RigPool) Bytes() int64 { return p.bytes }
+
 // Stats reports pool effectiveness: hits counts bench compilations avoided
 // by reuse, misses counts benches actually compiled.
 func (p *RigPool) Stats() (hits, misses int) { return p.hits, p.misses }
+
+// memoryBytes estimates a bench's resident footprint: the session's dense
+// solver state dominates; the compiled program's stamp plans are a small
+// constant on top.
+func (r *simRig) memoryBytes() int64 {
+	const programOverhead = 4096
+	if r == nil || r.sess == nil {
+		return programOverhead
+	}
+	return r.sess.MemoryBytes() + programOverhead
+}
 
 // UseRigPool attaches a pool to the cluster: subsequent evaluations cache
 // their compiled benches in the pool under topology-class keys instead of

@@ -89,19 +89,19 @@ func TestRigPoolGoldenMatchesUnpooled(t *testing.T) {
 }
 
 // TestRigPoolEvictsLeastRecentlyUsed asserts the pool bound: filling it
-// past maxPoolRigs evicts the least recently used bench (so design-sized
+// past defaultMaxPoolRigs evicts the least recently used bench (so design-sized
 // runs cannot accumulate unbounded dense-matrix sessions), while a
 // recently touched bench survives.
 func TestRigPoolEvictsLeastRecentlyUsed(t *testing.T) {
 	p := NewRigPool()
 	build := func() (*simRig, error) { return &simRig{}, nil }
-	for i := 0; i < maxPoolRigs; i++ {
+	for i := 0; i < defaultMaxPoolRigs; i++ {
 		if _, err := p.lookup(fmt.Sprintf("k%d", i), build); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if p.Len() != maxPoolRigs {
-		t.Fatalf("pool holds %d, want %d", p.Len(), maxPoolRigs)
+	if p.Len() != defaultMaxPoolRigs {
+		t.Fatalf("pool holds %d, want %d", p.Len(), defaultMaxPoolRigs)
 	}
 	// Touch k0 so k1 becomes the LRU, then overflow.
 	if _, err := p.lookup("k0", build); err != nil {
@@ -110,7 +110,7 @@ func TestRigPoolEvictsLeastRecentlyUsed(t *testing.T) {
 	if _, err := p.lookup("overflow", build); err != nil {
 		t.Fatal(err)
 	}
-	if p.Len() != maxPoolRigs {
+	if p.Len() != defaultMaxPoolRigs {
 		t.Fatalf("pool grew past its bound: %d", p.Len())
 	}
 	hitsBefore, _ := p.Stats()
@@ -123,8 +123,87 @@ func TestRigPoolEvictsLeastRecentlyUsed(t *testing.T) {
 	if _, err := p.lookup("k1", build); err != nil { // the LRU: evicted, rebuilt
 		t.Fatal(err)
 	}
-	if _, misses := p.Stats(); misses != maxPoolRigs+2 {
-		t.Fatalf("misses = %d, want %d (k1 must have been evicted and rebuilt)", misses, maxPoolRigs+2)
+	if _, misses := p.Stats(); misses != defaultMaxPoolRigs+2 {
+		t.Fatalf("misses = %d, want %d (k1 must have been evicted and rebuilt)", misses, defaultMaxPoolRigs+2)
+	}
+}
+
+// TestRigPoolByteBound asserts the byte-based retention limit of
+// RigPoolLimits.MaxBytes: benches are admitted, then least-recently-used
+// ones are evicted until the summed sim.Session.MemoryBytes estimate fits,
+// and the bench of the current lookup is never evicted under the caller.
+func TestRigPoolByteBound(t *testing.T) {
+	ctx := context.Background()
+	opts := fastEvalOptions()
+
+	// Measure one real compiled golden bench so the limit is set in terms
+	// of actual session footprints rather than magic numbers.
+	probe := NewRigPool()
+	c := fastCluster(t, 1)
+	c.UseRigPool(probe)
+	if _, err := c.Evaluate(ctx, Golden, nil, opts); err != nil {
+		t.Fatal(err)
+	}
+	per := probe.Bytes()
+	if per <= 0 {
+		t.Fatalf("bench byte estimate %d, want > 0", per)
+	}
+
+	// A pool that can hold two benches of that size but not three.
+	p := NewRigPoolWithLimits(RigPoolLimits{MaxBytes: 2*per + per/2})
+	for i := 1; i <= 3; i++ {
+		cl := fastCluster(t, i) // distinct aggressor counts -> distinct golden topologies
+		cl.UseRigPool(p)
+		if _, err := cl.Evaluate(ctx, Golden, nil, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Len() >= 3 {
+		t.Fatalf("pool holds all %d benches (%d bytes); byte bound %d never evicted", p.Len(), p.Bytes(), 2*per+per/2)
+	}
+	// Either the bound holds, or eviction ran all the way down to the one
+	// bench of the current lookup, which is never evicted under the caller
+	// even when it alone exceeds the bound.
+	if p.Bytes() > 2*per+per/2 && p.Len() != 1 {
+		t.Fatalf("pool bytes %d exceed the bound %d with %d benches resident", p.Bytes(), 2*per+per/2, p.Len())
+	}
+
+	// A single oversized bench must still be admitted (and used), not
+	// rejected into a compile-every-time loop.
+	tiny := NewRigPoolWithLimits(RigPoolLimits{MaxBytes: 1})
+	cl := fastCluster(t, 1)
+	cl.UseRigPool(tiny)
+	if _, err := cl.Evaluate(ctx, Golden, nil, opts); err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Len() != 1 {
+		t.Fatalf("oversized bench not retained: pool holds %d", tiny.Len())
+	}
+}
+
+// TestRigPoolInvalidate asserts the explicit invalidation point: every
+// bench is dropped, byte accounting returns to zero, and the next lookup
+// recompiles — the contract a long-lived server relies on after a library
+// reload.
+func TestRigPoolInvalidate(t *testing.T) {
+	p := NewRigPool()
+	build := func() (*simRig, error) { return &simRig{}, nil }
+	for i := 0; i < 5; i++ {
+		if _, err := p.lookup(fmt.Sprintf("k%d", i), build); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := p.Invalidate(); n != 5 {
+		t.Fatalf("Invalidate dropped %d benches, want 5", n)
+	}
+	if p.Len() != 0 || p.Bytes() != 0 {
+		t.Fatalf("pool not empty after Invalidate: len=%d bytes=%d", p.Len(), p.Bytes())
+	}
+	if _, err := p.lookup("k0", build); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := p.Stats(); misses != 6 {
+		t.Fatalf("misses = %d, want 6 (k0 must recompile after invalidation)", misses)
 	}
 }
 

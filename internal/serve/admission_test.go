@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"stanoise/internal/sna"
+)
+
+// testGate is a controllable fleet gate: budget -1 passes everything
+// through, 0 blocks every cluster, n > 0 admits n clusters then blocks.
+// Blocked acquirers honour their context, like the production chanGate.
+type testGate struct {
+	mu     sync.Mutex
+	budget int
+}
+
+// Acquire implements sna.Gate.
+func (g *testGate) Acquire(ctx context.Context) error {
+	for {
+		g.mu.Lock()
+		b := g.budget
+		if b != 0 {
+			if b > 0 {
+				g.budget--
+			}
+			g.mu.Unlock()
+			return nil
+		}
+		g.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Release implements sna.Gate (test slots are not returned — setBudget is
+// the only refill).
+func (g *testGate) Release() {}
+
+// setBudget replaces the remaining cluster budget.
+func (g *testGate) setBudget(n int) {
+	g.mu.Lock()
+	g.budget = n
+	g.mu.Unlock()
+}
+
+// TestAdmissionControlRejectsWithRetryAfter saturates a 2-slot server with
+// requests parked on a blocked fleet gate and asserts the third request is
+// turned away immediately — 429, Retry-After, stable error code — while
+// the parked requests, once unblocked, still finish with complete streams.
+func TestAdmissionControlRejectsWithRetryAfter(t *testing.T) {
+	gate := &testGate{} // budget 0: every cluster blocks
+	opts := fastAnalysis()
+	opts.Gate = gate
+	srv := NewServer(Config{Analysis: opts, MaxInFlight: 2, FleetWorkers: -1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body := requestBody(t, sna.SampleDesign(), map[string]any{"deterministic": true})
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := ts.Client().Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+			if err != nil {
+				results <- result{}
+				return
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			results <- result{resp.StatusCode, raw}
+		}()
+	}
+	waitFor(t, 30*time.Second, "both requests to be admitted", func() bool {
+		return srv.Stats().Requests.InFlight == 2
+	})
+
+	// Saturated: the next request must bounce, not queue.
+	resp, err := ts.Client().Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated POST: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without a Retry-After header")
+	}
+	var e struct {
+		Error RequestError `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error.Code != "overloaded" {
+		t.Errorf("429 body code %q (decode err %v), want overloaded", e.Error.Code, err)
+	}
+	resp.Body.Close()
+
+	// Unblock the fleet: the admitted requests must run to completion.
+	gate.setBudget(-1)
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.status != http.StatusOK {
+			t.Fatalf("admitted request finished with status %d", r.status)
+		}
+		recs := readRecords(t, bytes.NewReader(r.body))
+		if len(recs) == 0 || recs[len(recs)-1].Type != "summary" {
+			t.Fatalf("admitted request did not stream to a summary: %+v", recs)
+		}
+	}
+	st := srv.Stats().Requests
+	if st.Accepted != 2 || st.Rejected != 1 || st.Completed != 2 {
+		t.Errorf("request stats %+v, want 2 accepted, 1 rejected, 2 completed", st)
+	}
+}
+
+// TestDeadlineYieldsPartialResults gives a request a deadline it cannot
+// meet — the fleet gate admits exactly one of its two clusters — and
+// asserts the stream carries the completed verdict followed by the typed
+// terminal deadline record, with the deadline counted.
+func TestDeadlineYieldsPartialResults(t *testing.T) {
+	gate := &testGate{budget: -1}
+	opts := fastAnalysis()
+	opts.Gate = gate
+	srv := NewServer(Config{Analysis: opts, FleetWorkers: -1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	d := sna.SampleDesign()
+
+	// Warm the shared cache so the admitted cluster analyses in
+	// milliseconds and the test's deadline dominates its own runtime; skip
+	// the alignment search in both requests so even -race builds evaluate
+	// the admitted cluster well inside the deadline.
+	postAnalyze(t, ts.Client(), ts.URL, requestBody(t, d, map[string]any{"align": false}))
+
+	gate.setBudget(1)
+	body := requestBody(t, d, map[string]any{"deterministic": true, "align": false, "deadline_ms": 2500})
+	resp, err := ts.Client().Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	recs := readRecords(t, resp.Body)
+
+	var nReports int
+	for _, rec := range recs {
+		if rec.Type == "report" {
+			nReports++
+		}
+	}
+	if nReports != 1 {
+		t.Errorf("%d reports streamed before the deadline, want exactly 1 (the admitted cluster)", nReports)
+	}
+	last := recs[len(recs)-1]
+	if last.Type != "terminal" {
+		t.Fatalf("terminal record type %q, want terminal", last.Type)
+	}
+	var te terminalError
+	if err := json.Unmarshal(last.Error, &te); err != nil {
+		t.Fatal(err)
+	}
+	if te.Code != "deadline" {
+		t.Errorf("terminal code %q, want deadline", te.Code)
+	}
+	if n := srv.Stats().Requests.DeadlineExpired; n != 1 {
+		t.Errorf("deadline counter %d, want 1", n)
+	}
+}

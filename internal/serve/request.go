@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"stanoise/internal/core"
+	"stanoise/internal/sna"
+)
+
+// RequestError is the typed outcome of rejecting a request before any
+// analysis runs: an HTTP status plus a stable machine-readable code. It is
+// what POST /v1/analyze returns as the JSON error body for 4xx responses,
+// so clients can branch on Code instead of parsing prose.
+type RequestError struct {
+	// Status is the HTTP status the server responds with (400, 413, 429).
+	Status int `json:"-"`
+	// Code is the stable error identifier: "bad_json", "bad_design",
+	// "bad_method", "bad_policy", "bad_budget", "empty_design",
+	// "too_many_clusters", "body_too_large", "overloaded".
+	Code string `json:"code"`
+	// Message is the human-readable cause.
+	Message string `json:"message"`
+}
+
+// Error implements error.
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("serve: %s: %s", e.Code, e.Message)
+}
+
+// badRequest builds a 400-class RequestError.
+func badRequest(code, format string, args ...any) *RequestError {
+	return &RequestError{Status: http.StatusBadRequest, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// analyzeRequest is the wire form of POST /v1/analyze. The design field
+// embeds the same JSON schema snacheck -design consumes (and -sample
+// emits); every other field overrides one server default for this request
+// only. Unknown fields are rejected, so typos fail loudly instead of
+// silently running with defaults.
+type analyzeRequest struct {
+	// Design is the embedded design document (the snacheck JSON schema).
+	Design json.RawMessage `json:"design"`
+	// Method selects the victim model: "macromodel" (default),
+	// "superposition", "zolotov" or "golden".
+	Method string `json:"method,omitempty"`
+	// Policy selects the error policy: "fail-fast" (default) or "continue".
+	Policy string `json:"policy,omitempty"`
+	// Align toggles the worst-case alignment search; default true.
+	Align *bool `json:"align,omitempty"`
+	// DtPs is the engine timestep in picoseconds; default 2.
+	DtPs float64 `json:"dt_ps,omitempty"`
+	// DeadlineMs is this request's analysis budget in milliseconds; 0
+	// selects the server default, and the server maximum always clamps it.
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+	// MaxClusters is the client's own cluster budget: a design with more
+	// clusters is rejected with 413 before any analysis. 0 means no
+	// client-side budget (the server-side budget still applies).
+	MaxClusters int `json:"max_clusters,omitempty"`
+	// Deterministic omits run-varying fields (per-report timings) from the
+	// streamed records, mirroring snacheck -deterministic.
+	Deterministic bool `json:"deterministic,omitempty"`
+	// WarmStart toggles Newton-continuation characterisation sweeps for
+	// this request; default is the server's configured setting.
+	WarmStart *bool `json:"warm_start,omitempty"`
+}
+
+// parsedRequest is a decoded, validated, defaulted analyzeRequest, ready
+// to run.
+type parsedRequest struct {
+	design        *sna.Design
+	method        core.Method
+	policy        sna.ErrorPolicy
+	align         bool
+	dt            float64 // seconds
+	deadline      time.Duration
+	deterministic bool
+	warmStart     bool
+}
+
+// requestLimits are the server-side budgets decodeRequest enforces.
+type requestLimits struct {
+	maxClusters     int           // 0 = unlimited
+	defaultDeadline time.Duration // 0 = no deadline unless requested
+	maxDeadline     time.Duration // 0 = unclamped
+	defaultWarm     bool
+	defaultAlign    bool
+}
+
+// finitePositive reports whether v is usable as a strictly positive
+// budget: NaN, infinities, zero and negatives are all rejected. JSON
+// cannot spell NaN or Inf directly, but out-of-range literals and hostile
+// decoders make the explicit guard worth its one line.
+func finitePositive(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+}
+
+// decodeRequest parses and validates one analyze request body against the
+// server budgets, returning a typed RequestError (never a bare error) on
+// any rejection. It never panics on malformed input — FuzzRequestDecode
+// holds it to that.
+func decodeRequest(r io.Reader, lim requestLimits) (*parsedRequest, *RequestError) {
+	var req analyzeRequest
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return nil, &RequestError{
+				Status: http.StatusRequestEntityTooLarge, Code: "body_too_large",
+				Message: fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit),
+			}
+		}
+		return nil, badRequest("bad_json", "decoding request: %v", err)
+	}
+	// A second document after the first is a framing error, not extra data
+	// to ignore.
+	if dec.More() {
+		return nil, badRequest("bad_json", "trailing data after request object")
+	}
+	if len(req.Design) == 0 {
+		return nil, badRequest("empty_design", "request carries no design")
+	}
+
+	p := &parsedRequest{
+		align:         lim.defaultAlign,
+		warmStart:     lim.defaultWarm,
+		deterministic: req.Deterministic,
+		deadline:      lim.defaultDeadline,
+	}
+
+	design, err := sna.ParseDesign(bytes.NewReader(req.Design))
+	if err != nil {
+		return nil, badRequest("bad_design", "%v", err)
+	}
+	p.design = design
+
+	p.method = core.Macromodel
+	if req.Method != "" {
+		m, err := core.ParseMethod(req.Method)
+		if err != nil {
+			return nil, badRequest("bad_method", "%v", err)
+		}
+		p.method = m
+	}
+	if req.Policy != "" {
+		pol, err := sna.ParseErrorPolicy(req.Policy)
+		if err != nil {
+			return nil, badRequest("bad_policy", "%v", err)
+		}
+		p.policy = pol
+	}
+	if req.Align != nil {
+		p.align = *req.Align
+	}
+	if req.WarmStart != nil {
+		p.warmStart = *req.WarmStart
+	}
+
+	p.dt = 2e-12
+	if req.DtPs != 0 {
+		if !finitePositive(req.DtPs) {
+			return nil, badRequest("bad_budget", "dt_ps must be a finite positive number, got %v", req.DtPs)
+		}
+		p.dt = req.DtPs * 1e-12
+	}
+	if req.DeadlineMs != 0 {
+		if !finitePositive(req.DeadlineMs) {
+			return nil, badRequest("bad_budget", "deadline_ms must be a finite positive number, got %v", req.DeadlineMs)
+		}
+		p.deadline = time.Duration(req.DeadlineMs * float64(time.Millisecond))
+	}
+	if lim.maxDeadline > 0 && (p.deadline <= 0 || p.deadline > lim.maxDeadline) {
+		p.deadline = lim.maxDeadline
+	}
+
+	if req.MaxClusters < 0 {
+		return nil, badRequest("bad_budget", "max_clusters must be >= 0, got %d", req.MaxClusters)
+	}
+	budget := lim.maxClusters
+	if req.MaxClusters > 0 && (budget == 0 || req.MaxClusters < budget) {
+		budget = req.MaxClusters
+	}
+	if budget > 0 && len(design.Clusters) > budget {
+		return nil, &RequestError{
+			Status: http.StatusRequestEntityTooLarge, Code: "too_many_clusters",
+			Message: fmt.Sprintf("design has %d clusters, budget is %d", len(design.Clusters), budget),
+		}
+	}
+	return p, nil
+}

@@ -219,6 +219,25 @@ func (s *Session) WarmStart(on bool) {
 // discontinuities where the previous point is a bad predictor.
 func (s *Session) ResetWarmStart() { s.haveWarm = false }
 
+// MemoryBytes estimates the session's resident footprint: the dense
+// matrices (base, Jacobian, the LU workspace buffer, and the transient
+// system matrix once allocated) dominate at size² float64s each, plus the
+// per-unknown vectors. Long-lived holders of many sessions — core.RigPool
+// above all — use it to enforce byte-based retention bounds; it is an
+// accounting estimate, not an exact heap measurement.
+func (s *Session) MemoryBytes() int64 {
+	sz := int64(s.size)
+	matrices := int64(3) // base, jac, lu workspace buffer
+	if s.lin != nil {
+		matrices++
+	}
+	b := matrices * sz * sz * 8
+	// f, rhs, b, x, dx, xWarm (+ pivot ints and small per-element slices).
+	b += 6*sz*8 + sz*8
+	b += int64(len(s.vPrev)+len(s.iPrev)) * 16
+	return b
+}
+
 // SetLoad replaces the value of a capacitor for subsequent runs — the
 // per-point mutation of a load sweep. A zero value is legal and stamps
 // nothing; negative or non-finite values are programming errors.

@@ -72,6 +72,24 @@ type Options struct {
 	// distinct keys and the mode stays opt-in; sweep order is
 	// deterministic, so warm results are still reproducible run-to-run.
 	WarmStart bool
+	// Gate optionally bounds cluster-level concurrency *across* analyzers:
+	// every worker acquires the gate before analysing a cluster and
+	// releases it afterwards. A multi-tenant server shares one Gate (see
+	// NewGate) between all in-flight requests so admitted requests queue at
+	// cluster granularity instead of multiplying into Workers × requests
+	// simultaneous solves. nil means no fleet-wide bound.
+	Gate Gate
+	// RigPools optionally shares a set of compiled-bench pools across
+	// analyzers (see PoolSet), the same way Cache shares characterised
+	// artefacts: a long-lived server reuses compiled benches across
+	// requests whose cluster topologies match. When nil the analyzer
+	// creates a private set bounded by RigPoolLimits.
+	RigPools *PoolSet
+	// RigPoolLimits bounds each worker's compiled-bench pool (entry count
+	// and estimated bytes; see core.RigPoolLimits) when the analyzer
+	// creates its own pools. Ignored when RigPools is supplied — limits
+	// then belong to the shared set.
+	RigPoolLimits core.RigPoolLimits
 	// Model quality knobs.
 	LoadCurve charlib.LoadCurveOptions
 	Prop      charlib.PropOptions
@@ -220,51 +238,30 @@ type Analyzer struct {
 	cache    *charlib.Cache
 	storeErr error
 
-	// rigPools is a free list of compiled-bench pools (see core.RigPool).
-	// Each analysis worker checks one out for the clusters it processes and
+	// pools is the free list of compiled-bench pools (see PoolSet). Each
+	// analysis worker checks one out for the clusters it processes and
 	// returns it afterwards, so pools are never shared between concurrent
 	// goroutines but persist across Analyze/Stream calls on the same
 	// analyzer — a re-analysis reuses every compiled bench whose cluster
 	// topology is unchanged, and clusters sharing a victim configuration
-	// reuse one driver-alone bench even within a single run.
-	poolMu   sync.Mutex
-	rigPools []*core.RigPool
+	// reuse one driver-alone bench even within a single run. When
+	// Options.RigPools is set this is the caller's shared set, and benches
+	// additionally persist across analyzers.
+	pools *PoolSet
 }
 
-// acquirePool checks a rig pool out of the free list, creating one when
-// the list is empty (first run, or more workers than any previous run).
-func (a *Analyzer) acquirePool() *core.RigPool {
-	a.poolMu.Lock()
-	defer a.poolMu.Unlock()
-	if n := len(a.rigPools); n > 0 {
-		p := a.rigPools[n-1]
-		a.rigPools = a.rigPools[:n-1]
-		return p
-	}
-	return core.NewRigPool()
-}
+// RigPoolStats sums compiled-bench pool effectiveness over the analyzer's
+// pool set: hits counts bench compilations avoided by topology-class
+// reuse, misses counts benches actually compiled. Call it between runs
+// (pools checked out by in-flight workers are not counted); with a shared
+// Options.RigPools the counts cover every analyzer on the set.
+func (a *Analyzer) RigPoolStats() (hits, misses int) { return a.pools.Stats() }
 
-// releasePool returns a pool to the free list for the next run or worker.
-func (a *Analyzer) releasePool(p *core.RigPool) {
-	a.poolMu.Lock()
-	a.rigPools = append(a.rigPools, p)
-	a.poolMu.Unlock()
-}
-
-// RigPoolStats sums compiled-bench pool effectiveness over all pools the
-// analyzer has created: hits counts bench compilations avoided by
-// topology-class reuse, misses counts benches actually compiled. Call it
-// between runs (pools checked out by in-flight workers are not counted).
-func (a *Analyzer) RigPoolStats() (hits, misses int) {
-	a.poolMu.Lock()
-	defer a.poolMu.Unlock()
-	for _, p := range a.rigPools {
-		h, m := p.Stats()
-		hits += h
-		misses += m
-	}
-	return hits, misses
-}
+// InvalidateRigPools drops every compiled bench of the analyzer's idle
+// pools (see PoolSet.Invalidate), returning how many benches were dropped.
+// This is the explicit invalidation point for long-lived holders whose
+// cell libraries or tech cards change underneath retained benches.
+func (a *Analyzer) InvalidateRigPools() int { return a.pools.Invalidate() }
 
 // NewAnalyzer builds an analyzer for a validated design.
 func NewAnalyzer(d *Design, opts Options) *Analyzer {
@@ -273,7 +270,11 @@ func NewAnalyzer(d *Design, opts Options) *Analyzer {
 	if cache == nil {
 		cache = charlib.NewCache()
 	}
-	a := &Analyzer{design: d, opts: opts, cache: cache}
+	pools := opts.RigPools
+	if pools == nil {
+		pools = NewPoolSet(opts.RigPoolLimits)
+	}
+	a := &Analyzer{design: d, opts: opts, cache: cache, pools: pools}
 	switch {
 	case opts.Cache != nil:
 		// A shared cache is the caller's object: never mutate its disk
@@ -347,13 +348,13 @@ func (a *Analyzer) runClusters(ctx context.Context, emit func(outcome) bool) err
 		// against — TestParallelMatchesSerial compares the pool's output
 		// to this path, which it couldn't do if both went through the same
 		// pool machinery.
-		pool := a.acquirePool()
-		defer a.releasePool(pool)
+		pool := a.pools.acquire()
+		defer a.pools.release(pool)
 		for i, cs := range clusters {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			rep, cerr := a.analyzeCluster(ctx, cs, pool)
+			rep, cerr := a.gatedAnalyzeCluster(ctx, cs, pool)
 			if cerr != nil {
 				if err := ctx.Err(); err != nil {
 					return err
@@ -385,14 +386,14 @@ func (a *Analyzer) runClusters(ctx context.Context, emit func(outcome) bool) err
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			pool := a.acquirePool()
-			defer a.releasePool(pool)
+			pool := a.pools.acquire()
+			defer a.pools.release(pool)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(clusters) || stop.Load() || ctx.Err() != nil {
 					return
 				}
-				rep, cerr := a.analyzeCluster(ctx, clusters[i], pool)
+				rep, cerr := a.gatedAnalyzeCluster(ctx, clusters[i], pool)
 				if cerr != nil {
 					if ctx.Err() != nil {
 						// Cut short by cancellation, not a real cluster
@@ -525,6 +526,21 @@ func (a *Analyzer) Stream(ctx context.Context) iter.Seq2[NetReport, error] {
 			yield(NetReport{Cluster: failErr.Cluster}, failErr)
 		}
 	}
+}
+
+// gatedAnalyzeCluster wraps analyzeCluster in the fleet gate (see
+// Options.Gate): the worker holds one fleet slot for the duration of the
+// cluster's analysis. A gate acquisition cut short by cancellation surfaces
+// as a *ClusterError carrying the context error, which runClusters already
+// maps to a cancelled run rather than a cluster failure.
+func (a *Analyzer) gatedAnalyzeCluster(ctx context.Context, cs ClusterSpec, pool *core.RigPool) (*NetReport, *ClusterError) {
+	if g := a.opts.Gate; g != nil {
+		if err := g.Acquire(ctx); err != nil {
+			return nil, &ClusterError{Cluster: cs.Name, Stage: StageBuild, Err: err}
+		}
+		defer g.Release()
+	}
+	return a.analyzeCluster(ctx, cs, pool)
 }
 
 // analyzeCluster runs the full pipeline on one cluster. The error, when

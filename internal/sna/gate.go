@@ -1,0 +1,46 @@
+package sna
+
+import "context"
+
+// Gate bounds how many clusters are analysed concurrently *across*
+// analyzers. Options.Workers bounds one run; a Gate is the fleet-wide
+// bound a multi-tenant server needs so N concurrent requests cannot
+// multiply into N×Workers simultaneous transistor-level solves. Every
+// worker acquires the gate before analysing a cluster and releases it
+// afterwards, so a request admitted while the fleet is saturated simply
+// queues at cluster granularity instead of oversubscribing the host.
+//
+// Acquire blocks until a slot is free or ctx is done, returning ctx.Err()
+// in the latter case; Release returns the slot and must be called exactly
+// once per successful Acquire. Implementations must be safe for concurrent
+// use. A nil Gate in Options means unbounded (no fleet limit).
+type Gate interface {
+	Acquire(ctx context.Context) error
+	Release()
+}
+
+// chanGate is the standard Gate: a buffered-channel semaphore.
+type chanGate chan struct{}
+
+// NewGate returns a Gate admitting at most n concurrent holders, or nil
+// (no limit) when n <= 0 — so callers can plumb a "0 = unlimited"
+// configuration value straight through.
+func NewGate(n int) Gate {
+	if n <= 0 {
+		return nil
+	}
+	return make(chanGate, n)
+}
+
+// Acquire implements Gate.
+func (g chanGate) Acquire(ctx context.Context) error {
+	select {
+	case g <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release implements Gate.
+func (g chanGate) Release() { <-g }

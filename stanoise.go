@@ -7,6 +7,7 @@ import (
 	"stanoise/internal/charstore"
 	"stanoise/internal/core"
 	"stanoise/internal/nrc"
+	"stanoise/internal/serve"
 	"stanoise/internal/sna"
 	"stanoise/internal/wave"
 )
@@ -128,6 +129,13 @@ type (
 	// PersistentStore is the interface a Cache's disk tier satisfies
 	// (implemented by *Store); see Options.Store.
 	PersistentStore = charlib.PersistentStore
+	// LeaseStore is the cross-process extension of PersistentStore
+	// (implemented by *Store): a disk tier that also provides build
+	// leases, so N processes sharing one store directory single-flight
+	// each characterisation between them.
+	LeaseStore = charlib.LeaseStore
+	// LeaseStats counts a Store's cross-process build-lease activity.
+	LeaseStats = charstore.LeaseStats
 	// LoadCurveOptions tunes VCCS load-curve characterisation, including
 	// the opt-in WarmStart continuation mode.
 	LoadCurveOptions = charlib.LoadCurveOptions
@@ -139,6 +147,52 @@ type (
 	// margin a receiver pin is judged against.
 	NRCCurve = nrc.Curve
 )
+
+// Fleet-scale analysis: shared compiled-bench pools, the fleet-wide
+// concurrency gate, and the HTTP analysis server.
+type (
+	// Gate bounds concurrent cluster evaluations across analyzers; share
+	// one (see NewGate) between all analyzers of a multi-tenant process
+	// via Options.Gate.
+	Gate = sna.Gate
+	// PoolSet is a shared, thread-safe set of compiled-bench pools (see
+	// NewPoolSet and Options.RigPools): benches compiled for one analysis
+	// are reused by every later one whose cluster topologies match, and
+	// PoolSet.Invalidate is the explicit drop point after a library or
+	// tech-card change.
+	PoolSet = sna.PoolSet
+	// RigPoolLimits bounds a compiled-bench pool by entry count and
+	// estimated resident bytes; see Options.RigPoolLimits.
+	RigPoolLimits = core.RigPoolLimits
+	// Server is the stanoise analysis HTTP server (what the snaserve
+	// command hosts): POST designs in the snacheck JSON schema, stream
+	// per-net verdicts back in completion order. See NewServer.
+	Server = serve.Server
+	// ServerConfig configures a Server: shared analysis machinery plus
+	// admission-control budgets (in-flight requests, cluster counts,
+	// deadlines, body size).
+	ServerConfig = serve.Config
+	// ServerStats is the server's /statsz document: admission, cache,
+	// engine, rig-pool and lease counters.
+	ServerStats = serve.Stats
+	// RequestError is the typed rejection of a server request before
+	// analysis: an HTTP status plus a stable machine-readable code.
+	RequestError = serve.RequestError
+)
+
+// NewGate returns a Gate admitting at most n concurrent cluster
+// evaluations, or nil (no limit) when n <= 0.
+func NewGate(n int) Gate { return sna.NewGate(n) }
+
+// NewPoolSet returns an empty compiled-bench pool set whose pools are
+// bounded by limits (the zero value selects the defaults).
+func NewPoolSet(limits RigPoolLimits) *PoolSet { return sna.NewPoolSet(limits) }
+
+// NewServer builds an analysis server from the configuration; mount it on
+// any http.Server (it implements http.Handler). A cache directory that
+// cannot be opened degrades to memory-only caching, reported by
+// Server.StoreError.
+func NewServer(cfg ServerConfig) *Server { return serve.NewServer(cfg) }
 
 // Waveforms and glitch metrics (the payload of an Evaluation).
 type (
