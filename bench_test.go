@@ -19,6 +19,7 @@ import (
 	"stanoise/internal/interconnect"
 	"stanoise/internal/mor"
 	"stanoise/internal/nrc"
+	"stanoise/internal/sim"
 	"stanoise/internal/sna"
 	"stanoise/internal/tech"
 	"stanoise/paper"
@@ -311,6 +312,46 @@ func BenchmarkDesignAnalyzeParallel8(b *testing.B) { benchDesignAnalyze(b, 8, fa
 // Parallel4 doubles as the cold-cache baseline: same design and workers,
 // every artefact characterised inside the timed region.
 func BenchmarkDesignAnalyzeWarmCache(b *testing.B) { benchDesignAnalyze(b, 4, true) }
+
+// --- Feasibility filter ----------------------------------------------------
+
+// The feasibility benchmarks measure the aggressor-correlation filter on
+// the generated windowed design (every aggressor carries a switching
+// window; every fourth cluster a mutex or implication pair). Both modes
+// run the full alignment search over a pre-warmed characterisation cache,
+// so the timed region is exactly the work the filter changes: Pessimistic
+// pays the per-aggressor coordinate-ascent refinement, Feasible replaces
+// it with interval-arithmetic alignment plus one engine run per maximal
+// feasible scenario. The engine-solves/op metric makes the strictly-fewer-
+// simulations claim visible next to the wall-clock number.
+func benchDesignFeasibility(b *testing.B, feasibility bool) {
+	b.Helper()
+	d := sna.GenerateDesign("bench", benchDesignClusters)
+	shared := charlib.NewCache()
+	opts := designBenchOpts(4, shared)
+	opts.Align = true
+	opts.Feasibility = feasibility
+	if _, err := sna.NewAnalyzer(d, opts).Analyze(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	before := sim.Snapshot()
+	for i := 0; i < b.N; i++ {
+		reports, err := sna.NewAnalyzer(d, opts).Analyze(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) != benchDesignClusters {
+			b.Fatalf("reports = %d", len(reports))
+		}
+	}
+	runs := sim.Snapshot().Sub(before).EngineRuns
+	b.ReportMetric(float64(runs)/float64(b.N), "engine-solves/op")
+}
+
+func BenchmarkDesignAnalyzePessimistic(b *testing.B) { benchDesignFeasibility(b, false) }
+func BenchmarkDesignAnalyzeFeasible(b *testing.B)    { benchDesignFeasibility(b, true) }
 
 // --- Persistent characterisation store (internal/charstore) ---------------
 

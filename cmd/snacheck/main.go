@@ -4,7 +4,7 @@
 //
 //	snacheck -design design.json [-method macromodel|superposition|zolotov|golden]
 //	         [-align] [-workers N] [-policy fail-fast|continue] [-json]
-//	         [-cache-dir DIR] [-deterministic] [-warm-start]
+//	         [-cache-dir DIR] [-deterministic] [-warm-start] [-feasibility]
 //	snacheck -sample > design.json     # emit a starter design
 //
 // Clusters are analysed concurrently on a bounded worker pool (-workers,
@@ -29,6 +29,15 @@
 // Warm artefacts are cached under distinct keys and never mix with cold
 // ones; leave the flag off when reproducibility against earlier cold
 // runs matters.
+//
+// With -feasibility the FRAME-style aggressor-correlation filter runs
+// before evaluation: switching windows, mutex groups and implications
+// declared in the design prune unrealizable aggressor combinations, and
+// each net is reported with both the classic worst-case margin and a
+// bounded-realistic one (the worst *feasible* scenario at its constrained
+// alignment). The table gains realistic columns and a pruning totals line;
+// the JSON gains per-report "feasibility" objects and an aggregate census.
+// Without the flag the output is byte-identical to the classic flow.
 //
 // With -json the report is emitted as a single machine-readable JSON
 // document whose reports and summary use the stable schema of the public
@@ -75,6 +84,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent characterisation store directory (warm runs skip all transistor-level sweeps)")
 	deterministic := flag.Bool("deterministic", false, "omit run-varying fields (timings, cache counters) from -json output")
 	warmStart := flag.Bool("warm-start", false, "seed characterisation Newton solves from the previous grid point (faster; solver-tolerance differences vs the cold flow, NRC heights within their bisection tolerance)")
+	feasibility := flag.Bool("feasibility", false, "prune unrealizable aggressor combinations via switching windows and logic constraints; report realistic margins next to worst-case ones")
 	sample := flag.Bool("sample", false, "print a sample design JSON and exit")
 	flag.Parse()
 
@@ -115,13 +125,14 @@ func main() {
 	defer cancel()
 
 	an := stanoise.NewAnalyzer(design, stanoise.Options{
-		Method:    m,
-		Align:     *align,
-		Dt:        *dt * 1e-12,
-		Workers:   *workers,
-		OnError:   pol,
-		CacheDir:  *cacheDir,
-		WarmStart: *warmStart,
+		Method:      m,
+		Align:       *align,
+		Dt:          *dt * 1e-12,
+		Workers:     *workers,
+		OnError:     pol,
+		CacheDir:    *cacheDir,
+		WarmStart:   *warmStart,
+		Feasibility: *feasibility,
 	})
 	if err := an.StoreError(); err != nil {
 		fmt.Fprintf(os.Stderr, "snacheck: warning: %v (continuing without a persistent cache)\n", err)
@@ -137,9 +148,9 @@ func main() {
 	}
 
 	if *jsonOut {
-		writeJSON(design, an, m, pol, reports, clusterErrs, elapsed, *deterministic)
+		writeJSON(design, an, m, pol, reports, clusterErrs, elapsed, *deterministic, *feasibility)
 	} else {
-		writeText(design, an, m, reports, clusterErrs, elapsed)
+		writeText(design, an, m, reports, clusterErrs, elapsed, *feasibility)
 	}
 	switch {
 	case len(clusterErrs) > 0:
@@ -172,11 +183,15 @@ func collectClusterErrors(err error) []*stanoise.ClusterError {
 }
 
 func writeText(design *stanoise.Design, an *stanoise.Analyzer, m stanoise.Method,
-	reports []stanoise.NetReport, clusterErrs []*stanoise.ClusterError, elapsed time.Duration) {
+	reports []stanoise.NetReport, clusterErrs []*stanoise.ClusterError, elapsed time.Duration, feasibility bool) {
 	fmt.Printf("static noise analysis of %q (%s victim model)\n", design.Name, m)
 	if len(reports) > 0 {
 		tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
-		fmt.Fprintln(tw, "cluster\trecv peak (V)\tarea (V·ps)\twidth (ps)\tDP peak (V)\tNRC\tmargin (V)\ttime")
+		header := "cluster\trecv peak (V)\tarea (V·ps)\twidth (ps)\tDP peak (V)\tNRC\tmargin (V)\ttime"
+		if feasibility {
+			header = "cluster\trecv peak (V)\tarea (V·ps)\twidth (ps)\tDP peak (V)\tNRC\tmargin (V)\treal peak (V)\treal margin (V)\tpruned\ttime"
+		}
+		fmt.Fprintln(tw, header)
 		for _, r := range reports {
 			status := "pass"
 			if r.Fails {
@@ -185,6 +200,25 @@ func writeText(design *stanoise.Design, an *stanoise.Analyzer, m stanoise.Method
 			margin := fmt.Sprintf("%.3f", r.MarginV)
 			if math.IsInf(r.MarginV, 1) {
 				margin = "inf"
+			}
+			if feasibility && r.Feasibility != nil {
+				fr := r.Feasibility
+				if fr.RealisticFails {
+					status = "FAIL"
+				} else if r.Fails {
+					// Classic worst case fails but no feasible scenario
+					// does: a false violation the filter retired.
+					status = "pass*"
+				}
+				rmargin := fmt.Sprintf("%.3f", fr.RealisticMarginV)
+				if math.IsInf(fr.RealisticMarginV, 1) {
+					rmargin = "inf"
+				}
+				fmt.Fprintf(tw, "%s\t%.3f\t%.1f\t%.0f\t%.3f\t%s\t%s\t%.3f\t%s\t%d/%d\t%s\n",
+					r.Cluster, r.PeakV, r.AreaVps, r.WidthPs, r.DPPeakV,
+					status, margin, fr.RealisticPeakV, rmargin, fr.Pruned, fr.Combos,
+					r.Elapsed.Round(1e5).String())
+				continue
 			}
 			fmt.Fprintf(tw, "%s\t%.3f\t%.1f\t%.0f\t%.3f\t%s\t%s\t%s\n",
 				r.Cluster, r.PeakV, r.AreaVps, r.WidthPs, r.DPPeakV,
@@ -197,6 +231,11 @@ func writeText(design *stanoise.Design, an *stanoise.Analyzer, m stanoise.Method
 	}
 	s := stanoise.Summarize(reports)
 	fmt.Printf("\n%s\n", s)
+	if feasibility {
+		ft := sumFeasibility(reports)
+		fmt.Printf("feasibility: %d of %d aggressor combinations pruned; %d scenarios evaluated; realistic failures %d of %d classic\n",
+			ft.Pruned, ft.Combos, ft.Scenarios, ft.realFailing, s.Failing)
+	}
 	if s.Total == 0 && len(clusterErrs) == 0 {
 		return
 	}
@@ -206,13 +245,54 @@ func writeText(design *stanoise.Design, an *stanoise.Analyzer, m stanoise.Method
 		stages.Add(r.Timing)
 	}
 	cs := an.CacheStats()
-	fmt.Printf("stage totals: build %s, characterise %s, align %s, evaluate %s, nrc %s (sum %s over %d workers; wall %s)\n",
-		stages.Build.Round(time.Millisecond), stages.Models.Round(time.Millisecond),
-		stages.Align.Round(time.Millisecond), stages.Eval.Round(time.Millisecond),
-		stages.NRC.Round(time.Millisecond), stages.Total().Round(time.Millisecond),
-		an.Workers(), elapsed.Round(time.Millisecond))
+	if feasibility {
+		fmt.Printf("stage totals: build %s, characterise %s, feasibility %s, align %s, evaluate %s, nrc %s (sum %s over %d workers; wall %s)\n",
+			stages.Build.Round(time.Millisecond), stages.Models.Round(time.Millisecond),
+			stages.Feas.Round(time.Millisecond),
+			stages.Align.Round(time.Millisecond), stages.Eval.Round(time.Millisecond),
+			stages.NRC.Round(time.Millisecond), stages.Total().Round(time.Millisecond),
+			an.Workers(), elapsed.Round(time.Millisecond))
+	} else {
+		fmt.Printf("stage totals: build %s, characterise %s, align %s, evaluate %s, nrc %s (sum %s over %d workers; wall %s)\n",
+			stages.Build.Round(time.Millisecond), stages.Models.Round(time.Millisecond),
+			stages.Align.Round(time.Millisecond), stages.Eval.Round(time.Millisecond),
+			stages.NRC.Round(time.Millisecond), stages.Total().Round(time.Millisecond),
+			an.Workers(), elapsed.Round(time.Millisecond))
+	}
 	fmt.Printf("characterisation cache: %d artefacts, %d hits, %d misses (%d served from disk)\n",
 		cs.Entries, cs.Hits, cs.Misses, cs.DiskHits)
+}
+
+// feasTotals is the design-level feasibility census: the summed FeasReport
+// counters plus the realistic failure count. It is both the JSON aggregate
+// ("feasibility" in the -json document) and the source of the text totals
+// line.
+type feasTotals struct {
+	Combos    int64 `json:"combos"`
+	Feasible  int64 `json:"feasible"`
+	Pruned    int64 `json:"pruned"`
+	Scenarios int   `json:"scenarios"`
+	Failing   int   `json:"failing"`
+
+	realFailing int
+}
+
+func sumFeasibility(reports []stanoise.NetReport) feasTotals {
+	var t feasTotals
+	for _, r := range reports {
+		if r.Feasibility == nil {
+			continue
+		}
+		t.Combos += r.Feasibility.Combos
+		t.Feasible += r.Feasibility.Feasible
+		t.Pruned += r.Feasibility.Pruned
+		t.Scenarios += r.Feasibility.Scenarios
+		if r.Feasibility.RealisticFails {
+			t.realFailing++
+		}
+	}
+	t.Failing = t.realFailing
+	return t
 }
 
 // jsonReport is the top-level document of snacheck -json. Reports, errors
@@ -220,19 +300,20 @@ func writeText(design *stanoise.Design, an *stanoise.Analyzer, m stanoise.Method
 // Cache and ElapsedNs are absent under -deterministic (they are the only
 // fields that legitimately differ between identical runs).
 type jsonReport struct {
-	Design    string                   `json:"design"`
-	Method    stanoise.Method          `json:"method"`
-	Policy    string                   `json:"policy"`
-	Workers   int                      `json:"workers"`
-	Reports   []stanoise.NetReport     `json:"reports"`
-	Errors    []*stanoise.ClusterError `json:"errors,omitempty"`
-	Summary   stanoise.Summary         `json:"summary"`
-	Cache     *stanoise.CacheStats     `json:"cache,omitempty"`
-	ElapsedNs int64                    `json:"elapsed_ns,omitempty"`
+	Design      string                   `json:"design"`
+	Method      stanoise.Method          `json:"method"`
+	Policy      string                   `json:"policy"`
+	Workers     int                      `json:"workers"`
+	Reports     []stanoise.NetReport     `json:"reports"`
+	Errors      []*stanoise.ClusterError `json:"errors,omitempty"`
+	Summary     stanoise.Summary         `json:"summary"`
+	Feasibility *feasTotals              `json:"feasibility,omitempty"`
+	Cache       *stanoise.CacheStats     `json:"cache,omitempty"`
+	ElapsedNs   int64                    `json:"elapsed_ns,omitempty"`
 }
 
 func writeJSON(design *stanoise.Design, an *stanoise.Analyzer, m stanoise.Method, pol stanoise.ErrorPolicy,
-	reports []stanoise.NetReport, clusterErrs []*stanoise.ClusterError, elapsed time.Duration, deterministic bool) {
+	reports []stanoise.NetReport, clusterErrs []*stanoise.ClusterError, elapsed time.Duration, deterministic, feasibility bool) {
 	doc := jsonReport{
 		Design:  design.Name,
 		Method:  m,
@@ -241,6 +322,10 @@ func writeJSON(design *stanoise.Design, an *stanoise.Analyzer, m stanoise.Method
 		Reports: reports,
 		Errors:  clusterErrs,
 		Summary: stanoise.Summarize(reports),
+	}
+	if feasibility {
+		ft := sumFeasibility(reports)
+		doc.Feasibility = &ft
 	}
 	if deterministic {
 		for i := range doc.Reports {

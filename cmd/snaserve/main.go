@@ -5,7 +5,7 @@
 //	snaserve [-addr :8347] [-cache-dir DIR] [-lease-ttl 2m]
 //	         [-max-inflight N] [-max-clusters N] [-max-body-bytes N]
 //	         [-default-deadline D] [-max-deadline D]
-//	         [-fleet N] [-workers N] [-warm-start]
+//	         [-fleet N] [-workers N] [-warm-start] [-feasibility]
 //	         [-rig-pool-rigs N] [-rig-pool-bytes N]
 //
 // Endpoints (see internal/serve for the full protocol):
@@ -18,7 +18,12 @@
 // Analysis defaults match the snacheck CLI — macromodel victim model,
 // alignment search on, 2 ps timestep, fail-fast error policy — and every
 // request can override them (method, policy, align, dt_ps, deadline_ms,
-// max_clusters, deterministic, warm_start fields of the request object).
+// max_clusters, deterministic, warm_start, feasibility fields of the
+// request object). With -feasibility (or the per-request knob) the
+// aggressor-correlation filter prunes unrealizable noise scenarios and
+// report records carry bounded-realistic margins; a design whose
+// constraints are malformed or self-contradictory is rejected with a
+// typed "bad_design" 400.
 //
 // With -cache-dir several snaserve processes may share one directory: the
 // persistent store is safe under concurrent writers, and cross-process
@@ -74,6 +79,7 @@ func run() error {
 	fleet := flag.Int("fleet", 0, "fleet-wide concurrent cluster evaluations across all requests (0 = GOMAXPROCS, -1 = unbounded)")
 	workers := flag.Int("workers", 0, "per-request concurrent cluster workers (0 = GOMAXPROCS)")
 	warmStart := flag.Bool("warm-start", false, "default the warm-start continuation mode on (requests can still override)")
+	feasibility := flag.Bool("feasibility", false, "default the aggressor-correlation feasibility filter on (requests can still override)")
 	rigPoolRigs := flag.Int("rig-pool-rigs", 0, "compiled benches retained per worker pool (0 = default)")
 	rigPoolBytes := flag.Int64("rig-pool-bytes", 0, "estimated bytes of compiled benches retained per worker pool (0 = unbounded)")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long in-flight streams may finish after SIGINT/SIGTERM")
@@ -81,11 +87,12 @@ func run() error {
 
 	srv := serve.NewServer(serve.Config{
 		Analysis: sna.Options{
-			Method:    core.Macromodel,
-			Align:     true,
-			Workers:   *workers,
-			CacheDir:  *cacheDir,
-			WarmStart: *warmStart,
+			Method:      core.Macromodel,
+			Align:       true,
+			Workers:     *workers,
+			CacheDir:    *cacheDir,
+			WarmStart:   *warmStart,
+			Feasibility: *feasibility,
 			RigPoolLimits: core.RigPoolLimits{
 				MaxRigs:  *rigPoolRigs,
 				MaxBytes: *rigPoolBytes,

@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"stanoise"
 	"stanoise/internal/cell"
 	"stanoise/internal/charlib"
 	"stanoise/internal/nrc"
@@ -291,6 +292,71 @@ func TestGoldenCharacterization(t *testing.T) {
 		cfg := cfg
 		t.Run(cfg.techName+"/"+cfg.cell, func(t *testing.T) {
 			runGoldenConfig(t, cfg.techName, cfg.cell, cfg.pin, false)
+		})
+	}
+}
+
+// TestGoldenFeasibility pins the feasibility filter's full report schema
+// on both technology cards: a generated windowed design (switching
+// windows, mutex pairs, implication pairs) is analysed serially in
+// feasibility mode and the timing-cleared reports — census, governing
+// scenario, realistic margins and all — must match the committed fixture
+// byte for byte. Cold analysis at a fixed grid is deterministic, so this
+// comparison is exact, unlike the tolerance-based characterisation
+// fixtures above; regenerate after an intentional change with the same
+// -update flag.
+func TestGoldenFeasibility(t *testing.T) {
+	for _, techName := range []string{"cmos130", "cmos090"} {
+		techName := techName
+		t.Run(techName, func(t *testing.T) {
+			d := stanoise.GenerateDesign("golden-feas", 6)
+			d.Tech = techName
+			opts := stanoise.Options{
+				Method:      stanoise.Macromodel,
+				Dt:          2e-12,
+				Align:       true,
+				Feasibility: true,
+				Workers:     1,
+				LoadCurve:   stanoise.LoadCurveOptions{NVin: 31, NVout: 31},
+				Prop: stanoise.PropOptions{
+					Heights: []float64{0.3, 0.6, 0.9, 1.2},
+					Widths:  []float64{150e-12, 400e-12, 800e-12},
+					Loads:   []float64{30e-15, 80e-15, 160e-15},
+					Dt:      2e-12,
+				},
+				NRC: stanoise.NRCOptions{Widths: []float64{100e-12, 300e-12, 900e-12}, Dt: 2e-12},
+			}
+			reports, err := stanoise.NewAnalyzer(d, opts).Analyze(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range reports {
+				reports[i].ClearTiming()
+			}
+			raw, err := json.MarshalIndent(reports, "", " ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw = append(raw, '\n')
+
+			path := filepath.Join("testdata", "golden", techName+"_feas.json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture %s (generate with: go test -run Golden . -update): %v", path, err)
+			}
+			if string(raw) != string(want) {
+				t.Errorf("feasibility reports drifted from %s:\ngot:\n%s\nfixture:\n%s", path, raw, want)
+			}
 		})
 	}
 }

@@ -51,6 +51,13 @@ type AggressorSpec struct {
 	InputT0   float64    // input ramp start (s); default 200 ps
 	Offset    float64    // extra start-time shift applied by alignment (s)
 	Line      int        // index of the aggressor wire in the bus
+	// Quiet holds the aggressor at its pre-transition level instead of
+	// switching — the evaluation form of an aggressor excluded from a
+	// feasibility scenario (see EvaluateScenario). A quiet aggressor still
+	// loads the bus through its driver, it just injects no noise; the
+	// compiled benches are unaffected (only source waveforms differ), so
+	// toggling Quiet between evaluations never recompiles anything.
+	Quiet bool
 
 	Receiver    *cell.Cell
 	ReceiverPin string
@@ -231,12 +238,20 @@ func (a *AggressorSpec) t0() float64 {
 	return 200e-12
 }
 
-// aggressorInputWave returns the ramp driving the aggressor's switching pin.
+// aggressorInputWave returns the ramp driving the aggressor's switching
+// pin, or the constant pre-transition level when the aggressor is Quiet.
 func (a *AggressorSpec) aggressorInputWave() *wave.Waveform {
 	from := a.Cell.PinVoltage(a.FromState[a.SwitchPin])
+	if a.Quiet {
+		return wave.Constant(from)
+	}
 	to := a.Cell.PinVoltage(!a.FromState[a.SwitchPin])
 	return wave.SaturatedRamp(from, to, a.t0()+a.Offset, a.slew())
 }
+
+// StartTime returns the aggressor's current input-ramp start time: its
+// nominal t0 (InputT0, default 200 ps) plus the alignment Offset.
+func (a *AggressorSpec) StartTime() float64 { return a.t0() + a.Offset }
 
 // receiverCap returns the pin capacitance loading a line's far end.
 func receiverCap(recv *cell.Cell, pin string) float64 {

@@ -9,6 +9,7 @@ import (
 	"stanoise/internal/charlib"
 	"stanoise/internal/linalg"
 	"stanoise/internal/mor"
+	"stanoise/internal/sim"
 	"stanoise/internal/thevenin"
 	"stanoise/internal/wave"
 )
@@ -224,6 +225,7 @@ func RunEngine(ctx context.Context, red *mor.Reduced, sources []PortSource, v0 [
 		return nil, fmt.Errorf("core: engine needs %d sources and v0 entries, got %d/%d",
 			p, len(sources), len(v0))
 	}
+	sim.CountEngineRun()
 	q := red.Q
 	h := opts.Dt
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"time"
 
 	"stanoise/internal/charlib"
@@ -245,8 +246,15 @@ func seedQuietLevels(c *Cluster, simOpts *sim.Options) {
 }
 
 // aggressorSources builds the Thevenin port sources with current offsets.
+// Quiet aggressors hold their pre-transition rail through their Thevenin
+// resistance instead of switching — the same held-aggressor construction
+// the alignment timing runs use.
 func (c *Cluster) aggressorSources(models *Models, sources []PortSource) {
 	for i, pi := range models.AggPorts {
+		if c.Aggressors[i].Quiet {
+			sources[pi] = &PulsePort{W: wave.Constant(models.Agg[i].V0), R: models.Agg[i].RTh}
+			continue
+		}
 		drv := models.Agg[i].Shifted(c.Aggressors[i].Offset)
 		sources[pi] = NewTheveninPort(drv)
 	}
@@ -465,24 +473,31 @@ func (c *Cluster) finish(m Method, dp, recv *wave.Waveform, elapsed time.Duratio
 	}
 }
 
-// AlignWorstCase shifts the aggressor switching times so that every noise
-// contribution peaks simultaneously at the victim driving point — the
-// worst-case overlapping of the paper's Table 2. Contributions are timed
-// with fast linear engine runs (one per aggressor); the victim's propagated
-// peak is timed from the driver-alone response when an input glitch is
-// present. The computed shifts are stored in Aggressors[i].Offset.
-func (c *Cluster) AlignWorstCase(ctx context.Context, models *Models, opts EvalOptions) error {
+// AlignPeaks performs the classical peak alignment: every switching
+// aggressor's noise contribution is timed with a fast linear engine run
+// (one per aggressor, the others held), the victim's propagated peak is
+// timed from the driver-alone response when an input glitch is present,
+// and Aggressors[i].Offset is shifted so every contribution peaks at the
+// common target. It returns that target time and, per aggressor, the
+// aligned input-ramp start time (NaN for Quiet aggressors, which are
+// skipped and keep their offsets). The feasibility filter reuses the
+// target and starts to derive each aggressor's peak delay; AlignWorstCase
+// builds on this with a coordinate-ascent refinement.
+func (c *Cluster) AlignPeaks(ctx context.Context, models *Models, opts EvalOptions) (target float64, starts []float64, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if models == nil {
-		return fmt.Errorf("core: alignment needs models")
+		return 0, nil, fmt.Errorf("core: alignment needs models")
 	}
 	opts = opts.normalize(c)
 	quiet := models.QuietVic
 
 	peaks := make([]float64, len(c.Aggressors))
 	for i := range c.Aggressors {
+		if c.Aggressors[i].Quiet {
+			continue
+		}
 		sources := make([]PortSource, len(models.Red.Ports))
 		for k := range sources {
 			sources[k] = OpenPort{}
@@ -499,33 +514,57 @@ func (c *Cluster) AlignWorstCase(ctx context.Context, models *Models, opts EvalO
 		}
 		res, err := RunEngine(ctx, models.Red, sources, models.V0, EngineOptions{Dt: opts.Dt, TStop: opts.TStop})
 		if err != nil {
-			return fmt.Errorf("core: alignment run for aggressor %d: %w", i, err)
+			return 0, nil, fmt.Errorf("core: alignment run for aggressor %d: %w", i, err)
 		}
 		m := wave.MeasureNoise(res.Waveform(models.VicPort), quiet)
 		if m.Peak == 0 {
-			return fmt.Errorf("core: aggressor %d injects no measurable noise", i)
+			return 0, nil, fmt.Errorf("core: aggressor %d injects no measurable noise", i)
 		}
 		peaks[i] = m.TPeak
 	}
 
-	target := 0.0
 	if c.Victim.Glitch.Height > 0 {
 		drv, err := c.DriverAloneResponse(ctx, models, opts)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		m := wave.MeasureNoise(drv, quiet)
 		if m.Peak > 0 {
 			target = m.TPeak
 		}
 	}
-	for _, t := range peaks {
-		if t > target {
+	for i, t := range peaks {
+		if !c.Aggressors[i].Quiet && t > target {
 			target = t
 		}
 	}
+	starts = make([]float64, len(c.Aggressors))
 	for i := range c.Aggressors {
+		if c.Aggressors[i].Quiet {
+			starts[i] = math.NaN()
+			continue
+		}
 		c.Aggressors[i].Offset += target - peaks[i]
+		starts[i] = c.Aggressors[i].StartTime()
+	}
+	return target, starts, nil
+}
+
+// AlignWorstCase shifts the aggressor switching times so that every noise
+// contribution peaks simultaneously at the victim driving point — the
+// worst-case overlapping of the paper's Table 2 (see AlignPeaks) — then
+// refines by greedy coordinate ascent. The computed shifts are stored in
+// Aggressors[i].Offset.
+func (c *Cluster) AlignWorstCase(ctx context.Context, models *Models, opts EvalOptions) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if models == nil {
+		return fmt.Errorf("core: alignment needs models")
+	}
+	opts = opts.normalize(c)
+	if _, _, err := c.AlignPeaks(ctx, models, opts); err != nil {
+		return err
 	}
 	// Peak alignment is only a linear-model heuristic: with a non-linear
 	// victim the true worst case can sit tens of picoseconds away (the
@@ -544,6 +583,9 @@ func (c *Cluster) AlignWorstCase(ctx context.Context, models *Models, opts EvalO
 	for pass := 0; pass < passes; pass++ {
 		improved := false
 		for i := range c.Aggressors {
+			if c.Aggressors[i].Quiet {
+				continue
+			}
 			base := c.Aggressors[i].Offset
 			bestOff := base
 			for off := base - window; off <= base+window+step/2; off += step {
@@ -567,6 +609,43 @@ func (c *Cluster) AlignWorstCase(ctx context.Context, models *Models, opts EvalO
 		}
 	}
 	return nil
+}
+
+// EvaluateScenario evaluates the cluster with only a chosen subset of its
+// aggressors switching — one feasible scenario of the correlation filter.
+// active[i] selects whether aggressor i switches; starts[i] is the input
+// ramp start time of an active aggressor (ignored for inactive ones, which
+// are held quiet at their pre-transition rail but keep loading the bus).
+// The aggressors' Quiet/Offset state is restored before returning, so a
+// scenario evaluation never perturbs a later classical one. Like every
+// evaluation it must not run concurrently with others on the same Cluster
+// value; distinct clusters are unaffected.
+func (c *Cluster) EvaluateScenario(ctx context.Context, m Method, models *Models, opts EvalOptions, active []bool, starts []float64) (*Evaluation, error) {
+	if len(active) != len(c.Aggressors) || len(starts) != len(c.Aggressors) {
+		return nil, fmt.Errorf("core: scenario needs %d active/start entries, got %d/%d",
+			len(c.Aggressors), len(active), len(starts))
+	}
+	savedQuiet := make([]bool, len(c.Aggressors))
+	savedOffset := make([]float64, len(c.Aggressors))
+	for i := range c.Aggressors {
+		a := &c.Aggressors[i]
+		savedQuiet[i], savedOffset[i] = a.Quiet, a.Offset
+		if !active[i] {
+			a.Quiet = true
+			continue
+		}
+		if math.IsNaN(starts[i]) || math.IsInf(starts[i], 0) {
+			return nil, fmt.Errorf("core: scenario start for aggressor %d is %v", i, starts[i])
+		}
+		a.Quiet = false
+		a.Offset = starts[i] - a.t0()
+	}
+	defer func() {
+		for i := range c.Aggressors {
+			c.Aggressors[i].Quiet, c.Aggressors[i].Offset = savedQuiet[i], savedOffset[i]
+		}
+	}()
+	return c.Evaluate(ctx, m, models, opts)
 }
 
 // macromodelPeak evaluates the cluster's macromodel noise peak at the

@@ -1,0 +1,64 @@
+package feas
+
+import "sync/atomic"
+
+// Process-wide feasibility-filter counters, mirroring the sim package's
+// engine counters: higher layers (snacheck, the /statsz endpoint, CI smoke
+// jobs) read them to prove the filter is actually pruning work rather than
+// silently passing everything through.
+var (
+	clusterCount  atomic.Int64
+	comboCount    atomic.Int64
+	feasibleCount atomic.Int64
+	prunedCount   atomic.Int64
+	scenarioCount atomic.Int64
+)
+
+// Stats is a snapshot of the cumulative feasibility-filter counters since
+// process start. Its JSON form is embedded in the analysis server's
+// /statsz document.
+type Stats struct {
+	// Clusters counts clusters run through the feasibility filter.
+	Clusters int64 `json:"clusters"`
+	// Combos counts non-empty aggressor combinations considered.
+	Combos int64 `json:"combos"`
+	// Feasible counts combinations the constraints admitted.
+	Feasible int64 `json:"feasible"`
+	// Pruned counts combinations ruled out before any evaluation.
+	Pruned int64 `json:"pruned"`
+	// Scenarios counts maximal feasible scenarios actually evaluated.
+	Scenarios int64 `json:"scenarios"`
+}
+
+// Snapshot returns the current cumulative counters. Subtract two snapshots
+// (see Sub) to measure the filtering attributable to a region of code.
+func Snapshot() Stats {
+	return Stats{
+		Clusters:  clusterCount.Load(),
+		Combos:    comboCount.Load(),
+		Feasible:  feasibleCount.Load(),
+		Pruned:    prunedCount.Load(),
+		Scenarios: scenarioCount.Load(),
+	}
+}
+
+// Sub returns the per-counter difference s − prev.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Clusters:  s.Clusters - prev.Clusters,
+		Combos:    s.Combos - prev.Combos,
+		Feasible:  s.Feasible - prev.Feasible,
+		Pruned:    s.Pruned - prev.Pruned,
+		Scenarios: s.Scenarios - prev.Scenarios,
+	}
+}
+
+// Record accumulates one cluster's solved census plus the number of
+// scenario evaluations the analyzer actually ran for it.
+func Record(sol *Solution, scenarios int) {
+	clusterCount.Add(1)
+	comboCount.Add(sol.Total)
+	feasibleCount.Add(sol.Feasible)
+	prunedCount.Add(sol.Pruned)
+	scenarioCount.Add(int64(scenarios))
+}

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"stanoise/internal/sna"
+)
+
+// TestFeasibilityOverTheWire drives the feasibility filter end to end
+// through the HTTP surface: a request with the feasibility knob on gets
+// report records carrying the feasibility census with real pruning (the
+// sample design's mutexed bus pair), /statsz accumulates the process-wide
+// feas and engine-run counters, and a request without the knob streams
+// records with none of the new keys — the legacy wire schema untouched.
+func TestFeasibilityOverTheWire(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Config{Analysis: fastAnalysis()}))
+	defer ts.Close()
+
+	recs := postAnalyze(t, ts.Client(), ts.URL, requestBody(t, sna.SampleDesign(), map[string]any{
+		"feasibility": true,
+	}))
+	var pruned int64
+	var reports int
+	for _, rec := range recs {
+		if rec.Type != "report" {
+			continue
+		}
+		reports++
+		var rep sna.NetReport
+		if err := json.Unmarshal(rec.Report, &rep); err != nil {
+			t.Fatal(err)
+		}
+		f := rep.Feasibility
+		if f == nil {
+			t.Fatalf("cluster %s: no feasibility object in a feasibility-mode record", rep.Cluster)
+		}
+		if f.RealisticMarginV < rep.MarginV {
+			t.Errorf("cluster %s: realistic margin %v V below classic %v V",
+				rep.Cluster, f.RealisticMarginV, rep.MarginV)
+		}
+		pruned += f.Pruned
+	}
+	if reports == 0 {
+		t.Fatal("no report records streamed")
+	}
+	if pruned == 0 {
+		t.Error("sample design's mutexed bus pair pruned nothing")
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Feas.Pruned == 0 || stats.Feas.Clusters == 0 {
+		t.Errorf("feas stats %+v show no filter activity", stats.Feas)
+	}
+	if stats.Sim.EngineRuns == 0 {
+		t.Error("engine-run counter missing from /statsz after an analysis")
+	}
+
+	// The same design without the knob: byte-level absence of every new key.
+	resp2, err := ts.Client().Post(ts.URL+"/v1/analyze", "application/json",
+		bytes.NewReader(requestBody(t, sna.SampleDesign(), nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	raw, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"feasibility"`, `"feas_ns"`, `"realistic_margin_v"`} {
+		if strings.Contains(string(raw), key) {
+			t.Errorf("legacy-mode stream contains %s:\n%s", key, raw)
+		}
+	}
+}
+
+// TestFeasibilityServerDefault pins the -feasibility server knob: with
+// Config.Analysis.Feasibility set, a request that says nothing gets
+// feasibility records, and an explicit {"feasibility": false} opts back
+// out per request.
+func TestFeasibilityServerDefault(t *testing.T) {
+	cfg := Config{Analysis: fastAnalysis()}
+	cfg.Analysis.Feasibility = true
+	ts := httptest.NewServer(NewServer(cfg))
+	defer ts.Close()
+
+	recs := postAnalyze(t, ts.Client(), ts.URL, requestBody(t, sna.SampleDesign(), nil))
+	seen := false
+	for _, rec := range recs {
+		if rec.Type != "report" {
+			continue
+		}
+		var rep sna.NetReport
+		if err := json.Unmarshal(rec.Report, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Feasibility != nil {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("server-side feasibility default did not reach the stream")
+	}
+
+	recs = postAnalyze(t, ts.Client(), ts.URL, requestBody(t, sna.SampleDesign(), map[string]any{
+		"feasibility": false,
+	}))
+	for _, rec := range recs {
+		if rec.Type == "report" && bytes.Contains(rec.Report, []byte(`"feasibility"`)) {
+			t.Errorf("per-request opt-out ignored: %s", rec.Report)
+		}
+	}
+}
+
+// TestBadConstraintDesignRejected holds the server to the typed-rejection
+// contract for correlation metadata: a design whose constraints reference
+// an unknown aggressor — or are self-contradictory — draws a 400 with the
+// stable "bad_design" code before any analysis runs, never a panic or a
+// mid-stream failure.
+func TestBadConstraintDesignRejected(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Config{Analysis: fastAnalysis()}))
+	defer ts.Close()
+
+	bad := func(mutate func(d *sna.Design)) []byte {
+		d := sna.SampleDesign()
+		mutate(d)
+		m := map[string]any{"design": d, "feasibility": true}
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"unknown mutex ref", bad(func(d *sna.Design) {
+			d.Clusters[0].MutexGroups = [][]string{{"ghost"}}
+		})},
+		{"unknown implication ref", bad(func(d *sna.Design) {
+			d.Clusters[0].Implications = []sna.ImplicationSpec{{If: "ghost", Then: "agg0"}}
+		})},
+		{"inverted window", bad(func(d *sna.Design) {
+			d.Clusters[0].Aggressors[0].Window = &sna.WindowSpec{EarlyPs: 500, LatePs: 100}
+		})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := ts.Client().Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				b, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status %d, want 400: %s", resp.StatusCode, b)
+			}
+			var e struct {
+				Error RequestError `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				t.Fatal(err)
+			}
+			if e.Error.Code != "bad_design" {
+				t.Errorf("code %q, want bad_design", e.Error.Code)
+			}
+		})
+	}
+}

@@ -42,6 +42,8 @@ func FuzzRequestDecode(f *testing.F) {
 		valid(nil),
 		valid(map[string]any{"method": "golden", "policy": "continue", "align": false}),
 		valid(map[string]any{"dt_ps": 1, "deadline_ms": 250, "max_clusters": 2, "deterministic": true}),
+		valid(map[string]any{"feasibility": true}),
+		valid(map[string]any{"feasibility": "yes"}),
 		valid(map[string]any{"dt_ps": -1}),
 		valid(map[string]any{"deadline_ms": -5}),
 		valid(map[string]any{"max_clusters": -1}),

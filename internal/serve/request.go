@@ -69,6 +69,12 @@ type analyzeRequest struct {
 	// WarmStart toggles Newton-continuation characterisation sweeps for
 	// this request; default is the server's configured setting.
 	WarmStart *bool `json:"warm_start,omitempty"`
+	// Feasibility toggles the aggressor-correlation filter for this
+	// request: switching windows and logic constraints in the design prune
+	// unrealizable combinations and every report carries a
+	// bounded-realistic margin next to the classic one. Default is the
+	// server's configured setting (off unless the operator enables it).
+	Feasibility *bool `json:"feasibility,omitempty"`
 }
 
 // parsedRequest is a decoded, validated, defaulted analyzeRequest, ready
@@ -82,6 +88,7 @@ type parsedRequest struct {
 	deadline      time.Duration
 	deterministic bool
 	warmStart     bool
+	feasibility   bool
 }
 
 // requestLimits are the server-side budgets decodeRequest enforces.
@@ -91,6 +98,7 @@ type requestLimits struct {
 	maxDeadline     time.Duration // 0 = unclamped
 	defaultWarm     bool
 	defaultAlign    bool
+	defaultFeas     bool
 }
 
 // finitePositive reports whether v is usable as a strictly positive
@@ -131,6 +139,7 @@ func decodeRequest(r io.Reader, lim requestLimits) (*parsedRequest, *RequestErro
 	p := &parsedRequest{
 		align:         lim.defaultAlign,
 		warmStart:     lim.defaultWarm,
+		feasibility:   lim.defaultFeas,
 		deterministic: req.Deterministic,
 		deadline:      lim.defaultDeadline,
 	}
@@ -161,6 +170,9 @@ func decodeRequest(r io.Reader, lim requestLimits) (*parsedRequest, *RequestErro
 	}
 	if req.WarmStart != nil {
 		p.warmStart = *req.WarmStart
+	}
+	if req.Feasibility != nil {
+		p.feasibility = *req.Feasibility
 	}
 
 	p.dt = 2e-12

@@ -33,7 +33,15 @@
 // Requests rejected before analysis get a conventional JSON error body
 // with a stable code (see RequestError); saturation returns 429 with a
 // Retry-After header so overload degrades to client backoff, never to
-// queue collapse.
+// queue collapse. A design whose correlation constraints are malformed or
+// self-contradictory is a "bad_design" 400, caught at validation — never a
+// panic or a mid-stream failure.
+//
+// The per-request "feasibility" knob (default from Config.Analysis)
+// enables the aggressor-correlation filter: report records then carry a
+// "feasibility" object with the pruned-combination census and the
+// bounded-realistic margin, and /statsz exposes the process-wide census
+// under "feas".
 package serve
 
 import (
@@ -49,6 +57,7 @@ import (
 
 	"stanoise/internal/charlib"
 	"stanoise/internal/charstore"
+	"stanoise/internal/feas"
 	"stanoise/internal/sim"
 	"stanoise/internal/sna"
 )
@@ -59,10 +68,11 @@ import (
 type Config struct {
 	// Analysis supplies the shared analysis machinery and quality knobs:
 	// Cache/Store/CacheDir (persistent tier), RigPools/RigPoolLimits,
-	// Gate, Workers, the model-quality grids and the WarmStart default.
-	// The per-request knobs — Method, Align, Dt, OnError — are NOT taken
-	// from here: they default to the snacheck CLI defaults (macromodel,
-	// align on, 2 ps, fail-fast) and are overridden per request.
+	// Gate, Workers, the model-quality grids and the WarmStart and
+	// Feasibility defaults. The per-request knobs — Method, Align, Dt,
+	// OnError — are NOT taken from here: they default to the snacheck CLI
+	// defaults (macromodel, align on, 2 ps, fail-fast) and are overridden
+	// per request.
 	Analysis sna.Options
 	// MaxInFlight bounds concurrently admitted requests; excess requests
 	// get 429 + Retry-After immediately. Default 8.
@@ -185,6 +195,7 @@ func (s *Server) limits() requestLimits {
 		maxDeadline:     s.cfg.MaxDeadline,
 		defaultWarm:     s.cfg.Analysis.WarmStart,
 		defaultAlign:    true,
+		defaultFeas:     s.cfg.Analysis.Feasibility,
 	}
 }
 
@@ -234,6 +245,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	opts.Align = preq.align
 	opts.Dt = preq.dt
 	opts.WarmStart = preq.warmStart
+	opts.Feasibility = preq.feasibility
 	an := sna.NewAnalyzer(preq.design, opts)
 
 	sw := newStreamWriter(w, r)
@@ -329,6 +341,10 @@ type SimStats struct {
 	Transient int64 `json:"transient"`
 	// NewtonIters counts Newton iterations across all solves.
 	NewtonIters int64 `json:"newton_iters"`
+	// EngineRuns counts reduced-order noise-engine runs — evaluation work,
+	// tracked separately from the transistor-level DC/Transient counters.
+	// The feasibility filter's fewer-evaluations claim is measurable here.
+	EngineRuns int64 `json:"engine_runs"`
 }
 
 // RigPoolStats summarises the shared compiled-bench pool set.
@@ -353,6 +369,9 @@ type Stats struct {
 	Cache charlib.CacheStats `json:"cache"`
 	// Sim is the process-wide engine invocation snapshot.
 	Sim SimStats `json:"sim"`
+	// Feas is the process-wide feasibility-filter census: clusters
+	// filtered, combinations pruned, scenarios evaluated.
+	Feas feas.Stats `json:"feas"`
 	// RigPools summarises the compiled-bench pool set.
 	RigPools RigPoolStats `json:"rig_pools"`
 	// Leases reports cross-process build-lease activity; absent without a
@@ -379,7 +398,8 @@ func (s *Server) Stats() Stats {
 			InFlight:        len(s.sem),
 		},
 		Cache: s.cache.Stats(),
-		Sim:   SimStats{DC: c.DC, Transient: c.Transient, NewtonIters: c.NewtonIters},
+		Sim:   SimStats{DC: c.DC, Transient: c.Transient, NewtonIters: c.NewtonIters, EngineRuns: c.EngineRuns},
+		Feas:  feas.Snapshot(),
 		RigPools: RigPoolStats{
 			Hits: hits, Misses: misses,
 			Benches: s.pools.Len(), Bytes: s.pools.Bytes(),

@@ -11,7 +11,15 @@ var (
 	dcCount         atomic.Int64
 	transientCount  atomic.Int64
 	newtonIterCount atomic.Int64
+	engineRunCount  atomic.Int64
 )
+
+// CountEngineRun counts one reduced-order noise-engine run (core.RunEngine).
+// Those runs never touch the transistor-level solver, so they are tracked
+// separately from DC/Transient: the characterisation-reuse proofs stay on
+// Total() = DC + Transient, while the feasibility filter's
+// fewer-evaluations proof reads EngineRuns.
+func CountEngineRun() { engineRunCount.Add(1) }
 
 // Counters is a snapshot of the cumulative engine invocation counts since
 // process start. Transient includes the internal DC operating-point solve
@@ -23,6 +31,11 @@ type Counters struct {
 	DC          int64
 	Transient   int64
 	NewtonIters int64
+	// EngineRuns counts reduced-order noise-engine runs (core.RunEngine) —
+	// evaluation work, not transistor-level characterisation, so it is
+	// excluded from Total(). The feasibility filter's strictly-fewer-solves
+	// guarantee is asserted on this counter.
+	EngineRuns int64
 }
 
 // Snapshot returns the current cumulative counters. Subtract two snapshots
@@ -32,6 +45,7 @@ func Snapshot() Counters {
 		DC:          dcCount.Load(),
 		Transient:   transientCount.Load(),
 		NewtonIters: newtonIterCount.Load(),
+		EngineRuns:  engineRunCount.Load(),
 	}
 }
 
@@ -41,9 +55,12 @@ func (c Counters) Sub(prev Counters) Counters {
 		DC:          c.DC - prev.DC,
 		Transient:   c.Transient - prev.Transient,
 		NewtonIters: c.NewtonIters - prev.NewtonIters,
+		EngineRuns:  c.EngineRuns - prev.EngineRuns,
 	}
 }
 
-// Total is the number of engine invocations (DC plus transient solves,
-// not Newton iterations) in the snapshot.
+// Total is the number of transistor-level engine invocations (DC plus
+// transient solves — not Newton iterations, and not reduced-order
+// EngineRuns) in the snapshot. The warm-run zero-solve proofs depend on
+// exactly this definition.
 func (c Counters) Total() int64 { return c.DC + c.Transient }

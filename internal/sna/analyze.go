@@ -29,6 +29,16 @@ type Options struct {
 	Dt     float64 // engine step; default 2 ps
 	// Align enables the worst-case peak-alignment search per cluster.
 	Align bool
+	// Feasibility enables the FRAME-style aggressor-correlation filter:
+	// switching windows, mutex groups and implications on the cluster spec
+	// prune unrealizable aggressor combinations, and each report carries a
+	// bounded-realistic margin (NetReport.Feasibility) next to the classic
+	// worst-case one. Clusters without constraints are unaffected beyond
+	// the census. In this mode the alignment stage stops at peak alignment
+	// — the coordinate-ascent refinement of the pessimistic flow is skipped,
+	// so realistic runs perform strictly fewer engine solves. Off by
+	// default; when off the output is byte-identical to the classic flow.
+	Feasibility bool
 	// FailFrac is the NRC failure threshold (fraction of VDD at the
 	// receiver output); default 0.5.
 	FailFrac float64
@@ -128,11 +138,15 @@ type StageTiming struct {
 	Align  time.Duration `json:"align_ns"`  // worst-case aggressor alignment search
 	Eval   time.Duration `json:"eval_ns"`   // transient evaluation of the chosen method
 	NRC    time.Duration `json:"nrc_ns"`    // receiver NRC characterisation or cache lookup
+	// Feas is the feasibility-filter time: constraint solving plus the
+	// per-scenario evaluations. Zero (and omitted from JSON) unless
+	// Options.Feasibility is on, keeping the classic wire schema unchanged.
+	Feas time.Duration `json:"feas_ns,omitempty"`
 }
 
 // Total sums the stages.
 func (s StageTiming) Total() time.Duration {
-	return s.Build + s.Models + s.Align + s.Eval + s.NRC
+	return s.Build + s.Models + s.Align + s.Eval + s.NRC + s.Feas
 }
 
 // Add accumulates another cluster's timing (for per-design totals).
@@ -142,6 +156,7 @@ func (s *StageTiming) Add(o StageTiming) {
 	s.Align += o.Align
 	s.Eval += o.Eval
 	s.NRC += o.NRC
+	s.Feas += o.Feas
 }
 
 // NetReport is the per-victim outcome of an analysis. Its JSON form is the
@@ -166,6 +181,11 @@ type NetReport struct {
 
 	Elapsed time.Duration `json:"elapsed_ns"` // evaluation time (excluding characterisation)
 	Timing  StageTiming   `json:"timing"`     // full per-stage breakdown for this cluster
+
+	// Feasibility carries the correlation filter's census and the
+	// bounded-realistic outcome. Nil — and absent from JSON — unless
+	// Options.Feasibility is enabled, so the classic schema is unchanged.
+	Feasibility *FeasReport `json:"feasibility,omitempty"`
 }
 
 // netReportJSON is the wire form of NetReport: identical except that the
@@ -182,6 +202,8 @@ type netReportJSON struct {
 
 	Elapsed time.Duration `json:"elapsed_ns"`
 	Timing  StageTiming   `json:"timing"`
+
+	Feasibility *FeasReport `json:"feasibility,omitempty"`
 }
 
 // MarshalJSON implements the stable report schema (see NetReport).
@@ -191,6 +213,7 @@ func (r NetReport) MarshalJSON() ([]byte, error) {
 		PeakV: r.PeakV, AreaVps: r.AreaVps, WidthPs: r.WidthPs,
 		DPPeakV: r.DPPeakV, Fails: r.Fails,
 		Elapsed: r.Elapsed, Timing: r.Timing,
+		Feasibility: r.Feasibility,
 	}
 	if !math.IsInf(r.MarginV, 0) {
 		m := r.MarginV
@@ -210,6 +233,7 @@ func (r *NetReport) UnmarshalJSON(b []byte) error {
 		PeakV: j.PeakV, AreaVps: j.AreaVps, WidthPs: j.WidthPs,
 		DPPeakV: j.DPPeakV, Fails: j.Fails, MarginV: math.Inf(1),
 		Elapsed: j.Elapsed, Timing: j.Timing,
+		Feasibility: j.Feasibility,
 	}
 	if j.MarginV != nil {
 		r.MarginV = *j.MarginV
@@ -576,19 +600,62 @@ func (a *Analyzer) analyzeCluster(ctx context.Context, cs ClusterSpec, pool *cor
 	timing.Models = time.Since(t0)
 
 	eopts := core.EvalOptions{Dt: a.opts.Dt}
+	feasible := a.opts.Feasibility && len(cl.Aggressors) > 0
+
+	var (
+		fctx      *feasContext
+		target    float64
+		starts    []float64
+		scenarios []scenarioOutcome
+	)
+	if feasible {
+		// Constraint solving is cheap (≤ 2^N masks); evaluation is not, so
+		// infeasible specs must fail here, before any engine run.
+		t0 = time.Now()
+		fctx, err = newFeasContext(&cs)
+		if err != nil {
+			return fail(StageFeas, err)
+		}
+		timing.Feas += time.Since(t0)
+	}
+
 	if a.opts.Align && len(cl.Aggressors) > 0 {
 		t0 = time.Now()
-		if err := cl.AlignWorstCase(ctx, models, eopts); err != nil {
+		if feasible {
+			// Realistic mode stops at peak alignment: the coordinate-ascent
+			// refinement of the pessimistic flow is exactly the simulation
+			// budget the feasibility filter reinvests into scenarios.
+			target, starts, err = cl.AlignPeaks(ctx, models, eopts)
+		} else {
+			err = cl.AlignWorstCase(ctx, models, eopts)
+		}
+		if err != nil {
 			return fail(StageAlign, err)
 		}
 		timing.Align = time.Since(t0)
 	}
+	if feasible && starts == nil {
+		// Alignment disabled: the classical evaluation uses the nominal
+		// start times, and scenarios clamp those into their windows.
+		target = math.NaN()
+		starts = nominalStarts(cl)
+	}
+
 	t0 = time.Now()
 	ev, err := cl.Evaluate(ctx, method, models, eopts)
 	if err != nil {
 		return fail(StageEval, err)
 	}
 	timing.Eval = time.Since(t0)
+
+	if feasible {
+		t0 = time.Now()
+		scenarios, err = evalScenarios(ctx, cl, method, models, eopts, fctx, target, starts, a.opts.Align, ev)
+		if err != nil {
+			return fail(StageFeas, err)
+		}
+		timing.Feas += time.Since(t0)
+	}
 
 	rep := &NetReport{
 		Cluster: cs.Name,
@@ -608,6 +675,13 @@ func (a *Analyzer) analyzeCluster(ctx context.Context, cs ClusterSpec, pool *cor
 	timing.NRC = time.Since(t0)
 	rep.Fails = curve.Fails(rep.PeakV, ev.RecvMetrics.Width)
 	rep.MarginV = curve.MarginV(rep.PeakV, ev.RecvMetrics.Width)
+	if feasible {
+		rep.Feasibility = fctx.report(curve, scenarios, rep.MarginV, rep.Fails)
+	} else if a.opts.Feasibility {
+		// Aggressor-free cluster: nothing to prune, but the mode still
+		// reports a (trivial) census so consumers see a uniform schema.
+		rep.Feasibility = emptyFeasReport(rep)
+	}
 	rep.Timing = timing
 	return rep, nil
 }

@@ -3,6 +3,7 @@ package sna
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"stanoise/internal/core"
 	"stanoise/internal/wave"
@@ -19,6 +20,13 @@ import (
 // chain converges (noise dies out stage over stage) when every stage's
 // driver attenuates below unity noise gain; a growing sequence is the
 // signature of a propagating functional failure.
+//
+// When Options.Feasibility is on, each stage carries its *realistic* noise
+// forward instead of the classical worst case: the stage's correlation
+// constraints are solved, every maximal feasible scenario is evaluated at
+// its constrained alignment, and the governing scenario (largest receiver
+// peak — there is no NRC in a chain hand-off) feeds the next stage.
+// Alignment stops at peak alignment in this mode, mirroring Analyze.
 func (a *Analyzer) PropagateChain(ctx context.Context, specs []ClusterSpec) ([]wave.NoiseMetrics, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("sna: empty chain")
@@ -50,16 +58,50 @@ func (a *Analyzer) PropagateChain(ctx context.Context, specs []ClusterSpec) ([]w
 			return nil, fmt.Errorf("sna: chain stage %d models: %w", i, err)
 		}
 		eopts := core.EvalOptions{Dt: a.opts.Dt}
+		feasible := a.opts.Feasibility && len(cl.Aggressors) > 0
+		var fctx *feasContext
+		if feasible {
+			if fctx, err = newFeasContext(&cs); err != nil {
+				return nil, fmt.Errorf("sna: chain stage %d: %w", i, err)
+			}
+		}
+		target, starts := 0.0, []float64(nil)
 		if a.opts.Align && len(cl.Aggressors) > 0 {
-			if err := cl.AlignWorstCase(ctx, models, eopts); err != nil {
+			if feasible {
+				target, starts, err = cl.AlignPeaks(ctx, models, eopts)
+			} else {
+				err = cl.AlignWorstCase(ctx, models, eopts)
+			}
+			if err != nil {
 				return nil, fmt.Errorf("sna: chain stage %d alignment: %w", i, err)
 			}
+		}
+		if feasible && starts == nil {
+			target = math.NaN()
+			starts = nominalStarts(cl)
 		}
 		ev, err := cl.Evaluate(ctx, method, models, eopts)
 		if err != nil {
 			return nil, fmt.Errorf("sna: chain stage %d evaluation: %w", i, err)
 		}
 		m := ev.RecvMetrics
+		if feasible {
+			scenarios, err := evalScenarios(ctx, cl, method, models, eopts, fctx, target, starts, a.opts.Align, ev)
+			if err != nil {
+				return nil, fmt.Errorf("sna: chain stage %d scenarios: %w", i, err)
+			}
+			// The governing hand-off is the feasible scenario with the
+			// largest receiver peak; it can only be ≤ the classical carry.
+			gov := -1
+			for j, sc := range scenarios {
+				if gov < 0 || sc.ev.RecvMetrics.Peak > scenarios[gov].ev.RecvMetrics.Peak {
+					gov = j
+				}
+			}
+			if gov >= 0 {
+				m = scenarios[gov].ev.RecvMetrics
+			}
+		}
 		out = append(out, m)
 		carry = m.Peak
 		// Carry the base width of an equivalent triangle (2·area/peak) so

@@ -27,10 +27,17 @@ type Design struct {
 }
 
 // ClusterSpec describes one victim net and its coupled aggressors.
+// MutexGroups and Implications are optional logic-correlation constraints
+// consumed by the feasibility filter (Options.Feasibility); they reference
+// aggressors by name (or the positional default "agg<i>") and are ignored
+// by the classical pessimistic flow.
 type ClusterSpec struct {
 	Name       string          `json:"name"`
 	Victim     VictimSpec      `json:"victim"`
 	Aggressors []AggressorSpec `json:"aggressors"`
+
+	MutexGroups  [][]string        `json:"mutex_groups,omitempty"`
+	Implications []ImplicationSpec `json:"implications,omitempty"`
 }
 
 // VictimSpec is the JSON form of a victim net.
@@ -50,8 +57,13 @@ type VictimSpec struct {
 	ReceiverPin   string `json:"receiver_pin"`
 }
 
-// AggressorSpec is the JSON form of one coupled aggressor.
+// AggressorSpec is the JSON form of one coupled aggressor. Name and Window
+// are optional feasibility metadata: Name labels the aggressor for
+// constraint references (default "agg<i>" by position) and Window bounds
+// when its input transition may start. Both are ignored unless the
+// feasibility filter is enabled.
 type AggressorSpec struct {
+	Name      string          `json:"agg_name,omitempty"`
 	Cell      string          `json:"cell"`
 	Drive     int             `json:"drive"`
 	FromState map[string]bool `json:"from_state"`
@@ -65,6 +77,27 @@ type AggressorSpec struct {
 	Receiver      string `json:"receiver"`
 	ReceiverDrive int    `json:"receiver_drive"`
 	ReceiverPin   string `json:"receiver_pin"`
+
+	Window *WindowSpec `json:"window,omitempty"`
+}
+
+// WindowSpec is the JSON form of an aggressor switching window: the input
+// transition of the aggressor driver may start no earlier than EarlyPs and
+// no later than LatePs (picoseconds from analysis time zero). A missing
+// window means the aggressor can switch at any time — exactly the
+// pessimistic assumption of the classical flow.
+type WindowSpec struct {
+	EarlyPs float64 `json:"early_ps"`
+	LatePs  float64 `json:"late_ps"`
+}
+
+// ImplicationSpec is the JSON form of a logic implication between
+// aggressors: whenever If switches in a scenario, Then must switch too
+// (e.g. a buffered copy of the same signal). Aggressors are referenced by
+// name.
+type ImplicationSpec struct {
+	If   string `json:"if"`
+	Then string `json:"then"`
 }
 
 // ParseDesign reads a Design from JSON.
@@ -108,6 +141,9 @@ func (d *Design) Validate() error {
 			if a.Side != "" && a.Side != "left" && a.Side != "right" {
 				return fmt.Errorf("sna: cluster %s aggressor %d: bad side %q", cs.Name, i, a.Side)
 			}
+		}
+		if err := cs.validateFeasibility(); err != nil {
+			return err
 		}
 	}
 	return nil

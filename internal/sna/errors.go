@@ -6,13 +6,16 @@ import (
 )
 
 // Stage identifies the pipeline stage of cluster analysis in which an error
-// occurred. The stages mirror StageTiming: build, models, align, eval, nrc.
+// occurred. The stages mirror StageTiming: build, models, feas, align, eval,
+// nrc.
 type Stage string
 
-// The analysis pipeline stages, in execution order.
+// The analysis pipeline stages, in execution order. StageFeas only appears
+// when the feasibility filter is enabled (Options.Feasibility).
 const (
 	StageBuild  Stage = "build"  // cluster construction: geometry, parasitics, cells
 	StageModels Stage = "models" // pre-characterisation (load curve, Thevenin, MOR)
+	StageFeas   Stage = "feas"   // feasibility filter: constraint solve + scenario evaluations
 	StageAlign  Stage = "align"  // worst-case aggressor alignment search
 	StageEval   Stage = "eval"   // transient evaluation of the chosen method
 	StageNRC    Stage = "nrc"    // receiver NRC characterisation or cache lookup

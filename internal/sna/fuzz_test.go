@@ -1,0 +1,80 @@
+package sna
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzWindowSpec holds design parsing — correlation metadata included —
+// to its contract on arbitrary input: ParseDesign never panics, and any
+// design it accepts (a) survives a JSON round trip and (b) re-validates,
+// so the feasibility solver behind Validate is total over everything the
+// parser lets through. The seed corpus covers the metadata shapes that
+// matter: windows (valid, inverted, negative, non-finite), mutex groups,
+// implication chains, dead aggressors, duplicate and positional names.
+func FuzzWindowSpec(f *testing.F) {
+	design := func(cluster string) string {
+		return `{"name":"z","tech":"cmos130","layer":"M4","clusters":[` + cluster + `]}`
+	}
+	agg := func(extra string) string {
+		return `{"cell":"INV","from_state":{"A":false},"switch_pin":"A","length_um":100` + extra + `}`
+	}
+	victim := `"victim":{"cell":"INV","noisy_pin":"A","length_um":100}`
+	seeds := []string{
+		design(`{"name":"c0",` + victim + `,"aggressors":[` + agg(``) + `]}`),
+		design(`{"name":"c0",` + victim + `,"aggressors":[` +
+			agg(`,"agg_name":"a","window":{"early_ps":100,"late_ps":400}`) + `,` +
+			agg(`,"agg_name":"b","window":{"early_ps":200,"late_ps":500},"side":"right"`) +
+			`],"mutex_groups":[["a","b"]]}`),
+		design(`{"name":"c0",` + victim + `,"aggressors":[` +
+			agg(`,"agg_name":"a","window":{"early_ps":100,"late_ps":500}`) + `,` +
+			agg(`,"agg_name":"b","window":{"early_ps":100,"late_ps":500},"side":"right"`) +
+			`],"implications":[{"if":"a","then":"b"}]}`),
+		// Positional names: constraints may reference "agg<i>" without
+		// declaring agg_name.
+		design(`{"name":"c0",` + victim + `,"aggressors":[` + agg(``) + `,` + agg(`,"side":"right"`) +
+			`],"mutex_groups":[["agg0","agg1"]]}`),
+		// Dead aggressor: a implies b across disjoint windows.
+		design(`{"name":"c0",` + victim + `,"aggressors":[` +
+			agg(`,"agg_name":"a","window":{"early_ps":100,"late_ps":200}`) + `,` +
+			agg(`,"agg_name":"b","window":{"early_ps":400,"late_ps":500},"side":"right"`) +
+			`],"implications":[{"if":"a","then":"b"}]}`),
+		// Duplicate names, unknown references, malformed windows.
+		design(`{"name":"c0",` + victim + `,"aggressors":[` +
+			agg(`,"agg_name":"a"`) + `,` + agg(`,"agg_name":"a","side":"right"`) + `]}`),
+		design(`{"name":"c0",` + victim + `,"aggressors":[` + agg(``) + `],"mutex_groups":[["ghost"]]}`),
+		design(`{"name":"c0",` + victim + `,"aggressors":[` +
+			agg(`,"window":{"early_ps":500,"late_ps":100}`) + `]}`),
+		design(`{"name":"c0",` + victim + `,"aggressors":[` +
+			agg(`,"window":{"early_ps":-1,"late_ps":100}`) + `]}`),
+		design(`{"name":"c0",` + victim + `,"aggressors":[` +
+			agg(`,"window":{"early_ps":1e999,"late_ps":1e999}`) + `]}`),
+		design(`{"name":"c0",` + victim + `,"aggressors":[` + agg(`,"window":null`) + `]}`),
+		design(`{"name":"c0",` + victim + `,"aggressors":[` + agg(`,"window":{}`) + `]}`),
+		`{"name":"z","tech":"cmos130","layer":"M4","clusters":null}`,
+		`{`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ParseDesign(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		// Accepted designs must be stable: re-validation agrees, and the
+		// JSON round trip re-parses cleanly.
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted design fails re-validation: %v", err)
+		}
+		var b strings.Builder
+		if err := d.WriteJSON(&b); err != nil {
+			t.Fatalf("accepted design does not serialise: %v", err)
+		}
+		if _, err := ParseDesign(strings.NewReader(b.String())); err != nil {
+			t.Fatalf("round-tripped design rejected: %v", err)
+		}
+	})
+}

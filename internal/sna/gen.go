@@ -4,7 +4,10 @@ import "fmt"
 
 // SampleDesign is a ready-to-run starter design: one dangerous cluster and
 // one comfortable one, mirroring the paper's Table 1/2 setups. It is what
-// `snacheck -sample` emits.
+// `snacheck -sample` emits. Both clusters carry correlation metadata so the
+// sample also exercises the feasibility filter out of the box: bus_bit7's
+// two aggressors are opposite phases of one bus and mutually exclusive, so
+// realistic mode prunes their simultaneous-switching combination.
 func SampleDesign() *Design {
 	return &Design{
 		Name:     "sample",
@@ -20,11 +23,14 @@ func SampleDesign() *Design {
 					LengthUm: 500,
 				},
 				Aggressors: []AggressorSpec{
-					{Cell: "INV", Drive: 2, FromState: map[string]bool{"A": false},
-						SwitchPin: "A", LengthUm: 500, Side: "left"},
-					{Cell: "INV", Drive: 2, FromState: map[string]bool{"A": false},
-						SwitchPin: "A", LengthUm: 500, Side: "right"},
+					{Name: "left", Cell: "INV", Drive: 2, FromState: map[string]bool{"A": false},
+						SwitchPin: "A", LengthUm: 500, Side: "left",
+						Window: &WindowSpec{EarlyPs: 150, LatePs: 450}},
+					{Name: "right", Cell: "INV", Drive: 2, FromState: map[string]bool{"A": false},
+						SwitchPin: "A", LengthUm: 500, Side: "right",
+						Window: &WindowSpec{EarlyPs: 250, LatePs: 550}},
 				},
+				MutexGroups: [][]string{{"left", "right"}},
 			},
 			{
 				Name: "ctrl_en",
@@ -34,7 +40,8 @@ func SampleDesign() *Design {
 				},
 				Aggressors: []AggressorSpec{
 					{Cell: "INV", Drive: 1, FromState: map[string]bool{"A": false},
-						SwitchPin: "A", LengthUm: 200, SpacingFactor: 2},
+						SwitchPin: "A", LengthUm: 200, SpacingFactor: 2,
+						Window: &WindowSpec{EarlyPs: 100, LatePs: 300}},
 				},
 			},
 		},
@@ -48,6 +55,13 @@ func SampleDesign() *Design {
 // recur across many nets — which is exactly what the shared
 // characterisation cache exploits — while wire lengths, spacings and
 // glitch sizes vary per cluster so every evaluation is distinct work.
+//
+// Every aggressor carries a switching window, and the two-aggressor
+// clusters alternate between a mutual-exclusion pair (with staggered,
+// partly disjoint windows) and an implication pair (with overlapping
+// windows — an implication across disjoint windows would strand its
+// antecedent and fail validation), so a generated design gives the
+// feasibility filter temporal and both logic constraint kinds to prune.
 func GenerateDesign(name string, n int) *Design {
 	victims := []struct {
 		cell  string
@@ -91,6 +105,21 @@ func GenerateDesign(name string, n int) *Design {
 			if j == 1 {
 				side = "left"
 			}
+			// Window placement: single aggressors get one moderate window;
+			// mutex pairs (i%4 == 1) get staggered windows with a shrinking
+			// overlap so some pairs are also temporally infeasible;
+			// implication pairs (i%4 == 3) share one generous window.
+			var w *WindowSpec
+			switch {
+			case nAgg == 1:
+				early := 100 + 40*float64(i%4)
+				w = &WindowSpec{EarlyPs: early, LatePs: early + 250}
+			case i%4 == 1:
+				early := 120 + 260*float64(j) + 20*float64(i%3)
+				w = &WindowSpec{EarlyPs: early, LatePs: early + 180}
+			default:
+				w = &WindowSpec{EarlyPs: 100, LatePs: 500}
+			}
 			cs.Aggressors = append(cs.Aggressors, AggressorSpec{
 				Cell:          "INV",
 				Drive:         aggDrives[(i+j)%len(aggDrives)],
@@ -100,7 +129,16 @@ func GenerateDesign(name string, n int) *Design {
 				LengthUm:      length,
 				SpacingFactor: 1 + float64(i%2),
 				Side:          side,
+				Window:        w,
 			})
+		}
+		if nAgg == 2 {
+			switch i % 4 {
+			case 1:
+				cs.MutexGroups = [][]string{{"agg0", "agg1"}}
+			case 3:
+				cs.Implications = []ImplicationSpec{{If: "agg0", Then: "agg1"}}
+			}
 		}
 		d.Clusters = append(d.Clusters, cs)
 	}

@@ -32,6 +32,12 @@ type (
 	VictimSpec = sna.VictimSpec
 	// AggressorSpec is one coupled aggressor of a cluster.
 	AggressorSpec = sna.AggressorSpec
+	// WindowSpec bounds when an aggressor's input transition may start
+	// (picoseconds), for the feasibility filter (Options.Feasibility).
+	WindowSpec = sna.WindowSpec
+	// ImplicationSpec is a logic implication between named aggressors:
+	// whenever If switches in a scenario, Then switches too.
+	ImplicationSpec = sna.ImplicationSpec
 	// Cluster is the evaluable form of a ClusterSpec (see
 	// Design.BuildCluster): the victim driver, aggressors, coupled
 	// interconnect and receivers of one noise cluster.
@@ -56,6 +62,10 @@ type (
 	Summary = sna.Summary
 	// StageTiming breaks one cluster's analysis into pipeline stages.
 	StageTiming = sna.StageTiming
+	// FeasReport is the per-cluster outcome of the feasibility filter
+	// (NetReport.Feasibility): the pruned-combination census and the
+	// bounded-realistic noise result next to the classic worst case.
+	FeasReport = sna.FeasReport
 )
 
 // Typed errors and policies.
@@ -73,6 +83,7 @@ type (
 const (
 	StageBuild  = sna.StageBuild
 	StageModels = sna.StageModels
+	StageFeas   = sna.StageFeas
 	StageAlign  = sna.StageAlign
 	StageEval   = sna.StageEval
 	StageNRC    = sna.StageNRC
