@@ -25,14 +25,39 @@
 // iterations substantially on fine grids. Warm artefacts differ from cold
 // ones at solver-tolerance level and are stored under distinct cache
 // keys.
+//
+// # Corner-matrix and Monte Carlo farm
+//
+// -corners and/or -mc-samples switch libchar into farm mode: every cell is
+// characterised at every requested operating corner (and sampled
+// Monte Carlo variation), fanned out across -workers, with one library
+// file per corner:
+//
+//	libchar -tech cmos130 -all -corners tt,ss,ff -warm-start -out lib.json
+//	  → lib.tt.json, lib.ss.json, lib.ff.json
+//	libchar -tech cmos130 -cell INV -mc-samples 100 -mc-seed 7 -out mc.json
+//	  → mc.mc0000.json ... mc.mc0099.json
+//
+// Corners are solved in continuation order and, with -warm-start, each
+// non-nominal corner's sweep is seeded from its neighbour's converged
+// state (adjacent-corner continuation), so the whole matrix costs far
+// fewer Newton iterations than characterising each corner cold. The
+// nominal (tt) corner's artefacts are byte-identical to a plain
+// single-corner run, so a shared -cache-dir serves both. -stats-out
+// writes the per-corner work and cache counters as JSON for scripted
+// assertions (CI holds the warm-rerun-zero-solves and
+// continuation-cuts-iterations properties on exactly this output).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 
 	"stanoise/internal/cell"
@@ -50,10 +75,15 @@ func main() {
 	withProp := flag.Bool("prop", false, "also build propagation tables (slow)")
 	grid := flag.Int("grid", 61, "load-curve grid points per axis")
 	warmStart := flag.Bool("warm-start", false, "seed each sweep point's Newton solve from the previous point (faster on fine grids; solver-tolerance differences vs the cold flow)")
-	out := flag.String("out", "", "output JSON path (default stdout)")
+	out := flag.String("out", "", "output JSON path (default stdout); farm mode inserts the corner name before the extension")
 	cacheDir := flag.String("cache-dir", "", "persist characterised artefacts to a content-addressed store at this directory")
 	exportStore := flag.String("export-store", "", "write the whole -cache-dir store as a portable bundle to this path and exit")
 	importStore := flag.String("import-store", "", "import a bundle into -cache-dir and exit")
+	cornerList := flag.String("corners", "", "comma-separated standard corners to farm over (tt,ff,ss,fs,sf); enables farm mode")
+	mcSamples := flag.Int("mc-samples", 0, "number of Monte Carlo corner samples to farm over; enables farm mode")
+	mcSeed := flag.Int64("mc-seed", 1, "Monte Carlo sampler seed (same seed, same corners)")
+	workers := flag.Int("workers", 0, "farm worker goroutines (0 = GOMAXPROCS)")
+	statsOut := flag.String("stats-out", "", "write farm per-corner work/cache counters as JSON to this path ('-' for stdout)")
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -113,7 +143,6 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	lib := &charlib.Library{Tech: t.Name}
 
 	type job struct {
 		kind, pin string
@@ -141,6 +170,34 @@ func main() {
 		jobs = append(jobs, job{*cellKind, p})
 	}
 
+	if *cornerList != "" || *mcSamples > 0 {
+		// Farm mode: characterise every sensitizable job at every corner.
+		corners, err := tech.ParseCorners(*cornerList)
+		if err != nil {
+			fail(err)
+		}
+		if *mcSamples > 0 {
+			corners = append(corners, tech.SampleCorners(*mcSamples, *mcSeed, tech.SampleSpec{})...)
+		}
+		var cjobs []charlib.CornerJob
+		for _, j := range jobs {
+			c := cell.MustNew(t, j.kind, *drive)
+			if _, err := c.SensitizedState(j.pin, true); err != nil {
+				fmt.Fprintf(os.Stderr, "libchar: skipping %s pin %s: %v\n", j.kind, j.pin, err)
+				continue
+			}
+			cjobs = append(cjobs, charlib.CornerJob{Kind: j.kind, Drive: *drive, Pin: j.pin})
+		}
+		runFarm(ctx, cache, store, t, corners, cjobs, charlib.CornerSweepOptions{
+			LoadCurve:   charlib.LoadCurveOptions{NVin: *grid, NVout: *grid, WarmStart: *warmStart},
+			Prop:        *withProp,
+			PropOptions: charlib.PropOptions{WarmStart: *warmStart},
+			Workers:     *workers,
+		}, *out, *statsOut)
+		return
+	}
+
+	lib := &charlib.Library{Tech: t.Name}
 	for _, j := range jobs {
 		c, err := cell.New(t, j.kind, *drive)
 		if err != nil {
@@ -188,6 +245,102 @@ func main() {
 	if err := lib.WriteJSON(w); err != nil {
 		fail(err)
 	}
+}
+
+// farmCornerStats is the per-corner entry of the -stats-out document.
+type farmCornerStats struct {
+	Corner        string `json:"corner"`
+	DCSolves      int64  `json:"dc_solves"`
+	Transients    int64  `json:"transients"`
+	NewtonIters   int64  `json:"newton_iters"`
+	WarmStarts    int64  `json:"warm_starts"`
+	WarmFallbacks int64  `json:"warm_fallbacks"`
+}
+
+// farmStats is the -stats-out document: per-corner solver work in
+// continuation order plus run totals and the cache counters. A rerun over
+// a warm store reports total_solves 0; a -warm-start matrix reports fewer
+// total_newton_iters than the same matrix cold.
+type farmStats struct {
+	Corners          []farmCornerStats  `json:"corners"`
+	TotalSolves      int64              `json:"total_solves"`
+	TotalNewtonIters int64              `json:"total_newton_iters"`
+	Cache            charlib.CacheStats `json:"cache"`
+}
+
+// runFarm executes the corner-matrix / Monte Carlo farm and writes one
+// library per corner plus the optional stats document.
+func runFarm(ctx context.Context, cache *charlib.Cache, store *charstore.Store, base *tech.Tech, corners []tech.Corner, jobs []charlib.CornerJob, opts charlib.CornerSweepOptions, out, statsOut string) {
+	if len(jobs) == 0 {
+		fail(fmt.Errorf("no characterisable jobs"))
+	}
+	results, err := charlib.SweepCorners(ctx, cache, base, corners, jobs, opts)
+	if err != nil {
+		fail(err)
+	}
+
+	stats := farmStats{Cache: cache.Stats()}
+	for _, r := range results {
+		fmt.Fprintf(os.Stderr, "libchar: corner %-8s %d load curves, %d Newton iters (%d DC solves, %d warm starts, %d fallbacks)\n",
+			r.Corner.Name, len(r.Library.LoadCurves), r.Stats.NewtonIters,
+			r.Stats.DCSolves, r.Stats.WarmStarts, r.Stats.WarmFallbacks)
+		stats.Corners = append(stats.Corners, farmCornerStats{
+			Corner:        r.Corner.Name,
+			DCSolves:      r.Stats.DCSolves,
+			Transients:    r.Stats.Transients,
+			NewtonIters:   r.Stats.NewtonIters,
+			WarmStarts:    r.Stats.WarmStarts,
+			WarmFallbacks: r.Stats.WarmFallbacks,
+		})
+		stats.TotalSolves += r.Stats.DCSolves + r.Stats.Transients
+		stats.TotalNewtonIters += r.Stats.NewtonIters
+
+		w := os.Stdout
+		if out != "" {
+			f, err := os.Create(cornerOutPath(out, r.Corner.Name))
+			if err != nil {
+				fail(err)
+			}
+			w = f
+		}
+		err := r.Library.WriteJSON(w)
+		if w != os.Stdout {
+			if cerr := w.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fail(err)
+		}
+	}
+	if store != nil {
+		fmt.Fprintf(os.Stderr, "libchar: store %s holds %d artefacts (%d loaded from disk this run)\n",
+			store.Dir(), store.Len(), stats.Cache.DiskHits)
+	}
+	if statsOut != "" {
+		w := os.Stdout
+		if statsOut != "-" {
+			f, err := os.Create(statsOut)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// cornerOutPath inserts the corner name before the output path's
+// extension: lib.json + ss → lib.ss.json (extensionless paths get a
+// plain suffix).
+func cornerOutPath(out, corner string) string {
+	ext := filepath.Ext(out)
+	return strings.TrimSuffix(out, ext) + "." + corner + ext
 }
 
 func fail(err error) {

@@ -5,6 +5,7 @@
 //	snacheck -design design.json [-method macromodel|superposition|zolotov|golden]
 //	         [-align] [-workers N] [-policy fail-fast|continue] [-json]
 //	         [-cache-dir DIR] [-deterministic] [-warm-start] [-feasibility]
+//	         [-corner tt|ff|ss|fs|sf]
 //	snacheck -sample > design.json     # emit a starter design
 //
 // Clusters are analysed concurrently on a bounded worker pool (-workers,
@@ -38,6 +39,13 @@
 // alignment). The table gains realistic columns and a pruning totals line;
 // the JSON gains per-report "feasibility" objects and an aggregate census.
 // Without the flag the output is byte-identical to the classic flow.
+//
+// With -corner the whole analysis runs at a named operating corner: the
+// technology card is derived (supply, temperature, threshold and mobility
+// shifts) before any cluster is built, characterised artefacts land under
+// corner-specific cache/store keys, and every report carries a "corner"
+// tag. Without the flag the analysis is nominal and the output — including
+// every cache key — is byte-identical to earlier corner-less runs.
 //
 // With -json the report is emitted as a single machine-readable JSON
 // document whose reports and summary use the stable schema of the public
@@ -85,6 +93,7 @@ func main() {
 	deterministic := flag.Bool("deterministic", false, "omit run-varying fields (timings, cache counters) from -json output")
 	warmStart := flag.Bool("warm-start", false, "seed characterisation Newton solves from the previous grid point (faster; solver-tolerance differences vs the cold flow, NRC heights within their bisection tolerance)")
 	feasibility := flag.Bool("feasibility", false, "prune unrealizable aggressor combinations via switching windows and logic constraints; report realistic margins next to worst-case ones")
+	corner := flag.String("corner", "", "operating corner to analyse at: tt, ff, ss, fs or sf (default nominal; reports gain a corner tag)")
 	sample := flag.Bool("sample", false, "print a sample design JSON and exit")
 	flag.Parse()
 
@@ -105,6 +114,11 @@ func main() {
 		os.Exit(2)
 	}
 	pol, err := stanoise.ParseErrorPolicy(*policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snacheck: %v\n", err)
+		os.Exit(2)
+	}
+	crn, err := stanoise.CornerByName(*corner)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "snacheck: %v\n", err)
 		os.Exit(2)
@@ -133,6 +147,7 @@ func main() {
 		CacheDir:    *cacheDir,
 		WarmStart:   *warmStart,
 		Feasibility: *feasibility,
+		Corner:      crn,
 	})
 	if err := an.StoreError(); err != nil {
 		fmt.Fprintf(os.Stderr, "snacheck: warning: %v (continuing without a persistent cache)\n", err)

@@ -4,9 +4,9 @@
 //
 //	snaserve [-addr :8347] [-cache-dir DIR] [-lease-ttl 2m]
 //	         [-max-inflight N] [-max-clusters N] [-max-body-bytes N]
-//	         [-default-deadline D] [-max-deadline D]
+//	         [-default-deadline D] [-max-deadline D] [-retry-after-cap D]
 //	         [-fleet N] [-workers N] [-warm-start] [-feasibility]
-//	         [-rig-pool-rigs N] [-rig-pool-bytes N]
+//	         [-corner tt|ff|ss|fs|sf] [-rig-pool-rigs N] [-rig-pool-bytes N]
 //
 // Endpoints (see internal/serve for the full protocol):
 //
@@ -19,7 +19,10 @@
 // alignment search on, 2 ps timestep, fail-fast error policy — and every
 // request can override them (method, policy, align, dt_ps, deadline_ms,
 // max_clusters, deterministic, warm_start, feasibility fields of the
-// request object). With -feasibility (or the per-request knob) the
+// request object, plus "corner" to analyse at a named operating corner —
+// unknown names get a typed "bad_corner" 400, and per-corner cache and
+// solver counters appear under "corners" in /statsz). With -feasibility
+// (or the per-request knob) the
 // aggressor-correlation filter prunes unrealizable noise scenarios and
 // report records carry bounded-realistic margins; a design whose
 // constraints are malformed or self-contradictory is rejected with a
@@ -32,7 +35,9 @@
 // them.
 //
 // Overload degrades gracefully: past -max-inflight concurrent requests
-// the server answers 429 with a Retry-After header, designs beyond
+// the server answers 429 with a Retry-After hint that doubles while the
+// server stays saturated (clamped at -retry-after-cap) and resets once a
+// slot frees, designs beyond
 // -max-clusters get 413, and a request whose deadline (its own
 // deadline_ms, default -default-deadline, clamped to -max-deadline)
 // expires receives the verdicts computed so far plus a terminal
@@ -57,6 +62,7 @@ import (
 	"stanoise/internal/core"
 	"stanoise/internal/serve"
 	"stanoise/internal/sna"
+	"stanoise/internal/tech"
 )
 
 func main() {
@@ -80,11 +86,17 @@ func run() error {
 	workers := flag.Int("workers", 0, "per-request concurrent cluster workers (0 = GOMAXPROCS)")
 	warmStart := flag.Bool("warm-start", false, "default the warm-start continuation mode on (requests can still override)")
 	feasibility := flag.Bool("feasibility", false, "default the aggressor-correlation feasibility filter on (requests can still override)")
+	corner := flag.String("corner", "", "default operating corner: tt, ff, ss, fs or sf (requests can still override)")
+	retryAfterCap := flag.Duration("retry-after-cap", 0, "clamp on the saturation-derived Retry-After hint (0 = default 8s)")
 	rigPoolRigs := flag.Int("rig-pool-rigs", 0, "compiled benches retained per worker pool (0 = default)")
 	rigPoolBytes := flag.Int64("rig-pool-bytes", 0, "estimated bytes of compiled benches retained per worker pool (0 = unbounded)")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long in-flight streams may finish after SIGINT/SIGTERM")
 	flag.Parse()
 
+	crn, err := tech.CornerByName(*corner)
+	if err != nil {
+		return err
+	}
 	srv := serve.NewServer(serve.Config{
 		Analysis: sna.Options{
 			Method:      core.Macromodel,
@@ -93,6 +105,7 @@ func run() error {
 			CacheDir:    *cacheDir,
 			WarmStart:   *warmStart,
 			Feasibility: *feasibility,
+			Corner:      crn,
 			RigPoolLimits: core.RigPoolLimits{
 				MaxRigs:  *rigPoolRigs,
 				MaxBytes: *rigPoolBytes,
@@ -104,6 +117,7 @@ func run() error {
 		DefaultDeadline: *defaultDeadline,
 		MaxDeadline:     *maxDeadline,
 		FleetWorkers:    *fleet,
+		RetryAfterCap:   *retryAfterCap,
 	})
 	if err := srv.StoreError(); err != nil {
 		fmt.Fprintf(os.Stderr, "snaserve: warning: %v (continuing without a persistent cache)\n", err)

@@ -37,6 +37,10 @@ type Cache struct {
 	hits     int
 	misses   int
 	diskHits int
+	// corner holds per-corner-tag cache counters (see CornerStats), fed by
+	// Artefact so a corner-matrix farm can see cache effectiveness per
+	// corner on /statsz. Lazily allocated; empty until the first Artefact.
+	corner map[string]*CacheStats
 }
 
 // PersistentStore is the on-disk tier of the cache, implemented by
@@ -119,6 +123,48 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses, DiskHits: c.diskHits}
+}
+
+// CornerStats snapshots the per-corner cache counters, keyed by the corner
+// tag of the card each artefact was requested for (tech.Tech.CornerTag:
+// "nominal" or the corner name). Only Artefact-routed requests are
+// attributed (typed accessors all route through Artefact); Entries counts
+// the builds this cache started for the corner. Safe on a nil cache.
+func (c *Cache) CornerStats() map[string]CacheStats {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]CacheStats, len(c.corner))
+	for tag, st := range c.corner {
+		out[tag] = *st
+	}
+	return out
+}
+
+// noteCorner folds one Artefact outcome into the per-corner counters.
+func (c *Cache) noteCorner(tag string, built, diskHit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.corner == nil {
+		c.corner = map[string]*CacheStats{}
+	}
+	st := c.corner[tag]
+	if st == nil {
+		st = &CacheStats{}
+		c.corner[tag] = st
+	}
+	switch {
+	case built:
+		st.Entries++
+		st.Misses++
+		if diskHit {
+			st.DiskHits++
+		}
+	default:
+		st.Hits++
+	}
 }
 
 // Keys returns the sorted entry keys, for inspection and tests.
@@ -218,11 +264,19 @@ func (c *Cache) forget(key string, f *flight) {
 // CellKey builds a cache key for an artefact of the given kind ("lc",
 // "prop", "nrc", ...) characterised on a cell configuration. The cell name
 // embeds the drive strength, and optsFP fingerprints the characterisation
-// options so different qualities never alias. This is the *in-memory* key;
-// the persistent tier derives its own content-addressed key from the same
-// configuration (plus the cell netlist, tech card and model version).
+// options so different qualities never alias. A cell built on a
+// corner-derived card (tech.Corner.Apply) additionally keys on the corner
+// fingerprint, so per-corner artefacts never alias in memory either; the
+// segment is absent for nominal cards, keeping legacy keys unchanged. This
+// is the *in-memory* key; the persistent tier derives its own
+// content-addressed key from the same configuration (plus the cell netlist,
+// tech card and model version).
 func CellKey(kind string, cl *cell.Cell, st cell.State, pin, optsFP string) string {
-	return kind + "|" + cl.Tech.Name + "|" + cl.Name() + "|" + st.String() + "|" + pin + "|" + optsFP
+	techID := cl.Tech.Name
+	if cl.Tech.Corner != nil {
+		techID += "@" + cl.Tech.Corner.Fingerprint()
+	}
+	return kind + "|" + techID + "|" + cl.Name() + "|" + st.String() + "|" + pin + "|" + optsFP
 }
 
 // Artefact runs the full two-tier lookup for one artefact of the given
@@ -237,13 +291,19 @@ func (c *Cache) Artefact(ctx context.Context, kind string, cl *cell.Cell, st cel
 	if c == nil {
 		return build()
 	}
-	return c.Do(ctx, CellKey(kind, cl, st, pin, optsFP), func() (any, error) {
+	// built/diskHit are only written by this call's own closure: Do
+	// single-flights, so when another goroutine owns the build our closure
+	// never runs and the request is attributed as a per-corner hit.
+	built, diskHit := false, false
+	v, err := c.Do(ctx, CellKey(kind, cl, st, pin, optsFP), func() (any, error) {
+		built = true
 		s := c.getStore()
 		if s != nil {
 			if v, ok := s.Get(kind, cl, st, pin, optsFP); ok {
 				c.mu.Lock()
 				c.diskHits++
 				c.mu.Unlock()
+				diskHit = true
 				return v, nil
 			}
 			if ls, ok := s.(LeaseStore); ok {
@@ -259,6 +319,7 @@ func (c *Cache) Artefact(ctx context.Context, kind string, cl *cell.Cell, st cel
 						c.mu.Lock()
 						c.diskHits++
 						c.mu.Unlock()
+						diskHit = true
 						return v, nil
 					}
 				} else if isCtxErr(lerr) {
@@ -274,6 +335,10 @@ func (c *Cache) Artefact(ctx context.Context, kind string, cl *cell.Cell, st cel
 		}
 		return v, err
 	})
+	if err == nil || built {
+		c.noteCorner(cl.Tech.CornerTag(), built, diskHit)
+	}
+	return v, err
 }
 
 // warmFP is the fingerprint suffix of the warm-start continuation mode.
@@ -288,6 +353,14 @@ func warmFP(warm bool) string {
 	return ""
 }
 
+// loadCurveFP fingerprints normalized load-curve options — the exact fp
+// Cache.LoadCurve keys on. The corner-sweep driver reuses it (plus a
+// continuation suffix) so a single-corner farm run and a plain LoadCurve
+// call address the same artefact.
+func loadCurveFP(opts LoadCurveOptions) string {
+	return fmt.Sprintf("%d,%d,%g", opts.NVin, opts.NVout, opts.MarginFrac) + warmFP(opts.WarmStart)
+}
+
 // LoadCurve returns the memoized VCCS load-curve table for the cell
 // configuration, characterising it on first use.
 func (c *Cache) LoadCurve(ctx context.Context, cl *cell.Cell, st cell.State, pin string, opts LoadCurveOptions) (*LoadCurve, error) {
@@ -295,9 +368,7 @@ func (c *Cache) LoadCurve(ctx context.Context, cl *cell.Cell, st cell.State, pin
 		return CharacterizeLoadCurve(ctx, cl, st, pin, opts)
 	}
 	opts = opts.normalize()
-	fp := fmt.Sprintf("%d,%d,%g", opts.NVin, opts.NVout, opts.MarginFrac)
-	fp += warmFP(opts.WarmStart)
-	v, err := c.Artefact(ctx, "lc", cl, st, pin, fp, func() (any, error) {
+	v, err := c.Artefact(ctx, "lc", cl, st, pin, loadCurveFP(opts), func() (any, error) {
 		return CharacterizeLoadCurve(ctx, cl, st, pin, opts)
 	})
 	if err != nil {

@@ -1,0 +1,267 @@
+package charlib
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"stanoise/internal/cell"
+	"stanoise/internal/sim"
+	"stanoise/internal/tech"
+)
+
+// CornerJob names one characterisation configuration of a corner sweep: a
+// cell kind at a drive strength with one noisy input pin. The
+// characterisation state is derived per corner by sensitizing the pin
+// (cell.SensitizedState), exactly as cmd/libchar does for single-corner
+// runs.
+type CornerJob struct {
+	// Kind is the cell kind ("INV", "NAND2", ...).
+	Kind string
+	// Drive is the drive strength of the cell variant.
+	Drive int
+	// Pin is the noisy input pin to characterise.
+	Pin string
+}
+
+// CornerSweepOptions tunes a corner-matrix/Monte Carlo characterisation
+// farm run (SweepCorners).
+type CornerSweepOptions struct {
+	// LoadCurve configures each corner's load-curve sweep. Its WarmStart
+	// field selects the continuation mode: intra-sweep warm starting plus
+	// adjacent-corner seeding. Off, every corner characterises cold — the
+	// baseline the continuation savings are measured against.
+	LoadCurve LoadCurveOptions
+	// Prop additionally characterises a propagation table per job and
+	// corner (transient-heavy; intra-sweep warm starting only).
+	Prop bool
+	// PropOptions configures the propagation tables when Prop is set.
+	PropOptions PropOptions
+	// Workers bounds the concurrent (job × corner) characterisations;
+	// 0 means GOMAXPROCS.
+	Workers int
+}
+
+// CornerResult is one corner's slice of a SweepCorners run: the
+// per-corner library plus the transistor-level solver work this run
+// actually spent on the corner (zero when every artefact came from the
+// cache or store — the warm-rerun-does-zero-solves proof reads exactly
+// this).
+type CornerResult struct {
+	// Corner identifies the corner the library was characterised at.
+	Corner tech.Corner
+	// Library holds the corner's load curves (and prop tables with
+	// Options.Prop) in job order, tagged with the corner name.
+	Library *Library
+	// Stats aggregates the load-curve solver work spent on this corner in
+	// this run, including the adjacent-corner seed solves charged to it
+	// (propagation-table work is tracked in the process-wide per-corner
+	// registry, sim.SnapshotCorners, not here).
+	Stats sim.SessionStats
+}
+
+// OrderCorners returns the corners sorted along the continuation-friendly
+// axis (Corner.Axis, ties broken by name): monotonically increasing drive
+// strength, so each corner's operating points are as close as the set
+// allows to its predecessor's — the property that makes the predecessor's
+// converged state a good Newton seed. The input is not modified.
+func OrderCorners(corners []tech.Corner) []tech.Corner {
+	out := append([]tech.Corner(nil), corners...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ai, aj := out[i].Axis(), out[j].Axis()
+		if ai != aj {
+			return ai < aj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// contFP is the fingerprint suffix of an adjacent-corner continuation
+// seed: it names the predecessor corner whose first-point state seeded the
+// sweep, so a continuation-built artefact never aliases the same corner
+// characterised standalone (or seeded from a different neighbour). The
+// seed itself is a deterministic function of the predecessor corner (see
+// FirstPointSeed), so one fp always addresses one byte sequence.
+func contFP(pred tech.Corner) string {
+	return ",cont={" + pred.Fingerprint() + "}"
+}
+
+// SweepCorners characterises every job at every corner — the
+// corner-matrix / Monte Carlo farm. Corners are solved in continuation
+// order (OrderCorners); with LoadCurve.WarmStart on, each non-nominal
+// corner's load-curve sweep is seeded from its predecessor corner's
+// converged first-point state (FirstPointSeed + Session.SeedWarmStart), so
+// the only cold solve of an intra-warm sweep becomes a warm one too.
+// Nominal corners always characterise unseeded, which keeps their
+// artefacts (and cache/store keys) exactly those of a legacy
+// corner-less run.
+//
+// Every (job, corner) pair is independent — the seed is recomputed from
+// the predecessor's card rather than threaded through a chain — so all
+// pairs fan out across the worker pool and the per-corner artefact bytes
+// never depend on scheduling or cache history. Results come back in
+// continuation order; Stats in each result counts only the solver work
+// this run actually performed, so a rerun over a warm cache reports
+// all-zero stats.
+//
+// The cache may be nil (every artefact characterises fresh) and may carry
+// a persistent store; artefacts go through the usual two-tier Artefact
+// path, so several farm processes can share a store directory.
+func SweepCorners(ctx context.Context, cache *Cache, base *tech.Tech, corners []tech.Corner, jobs []CornerJob, opts CornerSweepOptions) ([]CornerResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(corners) == 0 || len(jobs) == 0 {
+		return nil, fmt.Errorf("charlib: corner sweep needs at least one corner and one job")
+	}
+	opts.LoadCurve = opts.LoadCurve.normalize()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	ordered := OrderCorners(corners)
+	type task struct{ ci, ji int }
+	type outcome struct {
+		lc    *LoadCurve
+		pt    *PropTable
+		stats sim.SessionStats
+	}
+	tasks := make([]task, 0, len(ordered)*len(jobs))
+	for ci := range ordered {
+		for ji := range jobs {
+			tasks = append(tasks, task{ci, ji})
+		}
+	}
+	outcomes := make([]outcome, len(tasks))
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		errMu.Unlock()
+	}
+
+	run := func(ti int) error {
+		t := tasks[ti]
+		corner, job := ordered[t.ci], jobs[t.ji]
+		card := corner.Apply(base)
+		cl, err := cell.New(card, job.Kind, job.Drive)
+		if err != nil {
+			return err
+		}
+		st, err := cl.SensitizedState(job.Pin, true)
+		if err != nil {
+			return fmt.Errorf("charlib: %s pin %s: %w", job.Kind, job.Pin, err)
+		}
+		lcOpts := opts.LoadCurve
+		fp := loadCurveFP(lcOpts)
+		var pred *tech.Corner
+		if lcOpts.WarmStart && t.ci > 0 && !corner.IsNominal() {
+			p := ordered[t.ci-1]
+			pred = &p
+			fp += contFP(p)
+		}
+		var stats sim.SessionStats
+		v, err := cache.Artefact(ctx, "lc", cl, st, job.Pin, fp, func() (any, error) {
+			var seed []float64
+			if pred != nil {
+				predCell, perr := cell.New(pred.Apply(base), job.Kind, job.Drive)
+				if perr == nil {
+					var sstats sim.SessionStats
+					seed, sstats, perr = FirstPointSeed(predCell, st, job.Pin, lcOpts)
+					stats = addStats(stats, sstats)
+				}
+				if perr != nil {
+					// Transparent cold fallback: the sweep still runs, just
+					// without the transplant (deterministically — seed
+					// failures are a property of the configuration, not of
+					// run state).
+					seed = nil
+				}
+			}
+			lc, sstats, err := characterizeLoadCurveSeeded(ctx, cl, st, job.Pin, lcOpts, seed)
+			stats = addStats(stats, sstats)
+			return lc, err
+		})
+		if err != nil {
+			return fmt.Errorf("charlib: corner %s %s/%s: %w", corner.Name, job.Kind, job.Pin, err)
+		}
+		out := outcome{lc: v.(*LoadCurve), stats: stats}
+		if opts.Prop {
+			pt, err := cache.PropTable(ctx, cl, st, job.Pin, opts.PropOptions)
+			if err != nil {
+				return fmt.Errorf("charlib: corner %s %s/%s propagation: %w", corner.Name, job.Kind, job.Pin, err)
+			}
+			out.pt = pt
+		}
+		outcomes[ti] = out
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range next {
+				if ctx.Err() != nil {
+					continue
+				}
+				if err := run(ti); err != nil {
+					setErr(err)
+				}
+			}
+		}()
+	}
+	for ti := range tasks {
+		next <- ti
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	results := make([]CornerResult, len(ordered))
+	for ci, corner := range ordered {
+		lib := &Library{Tech: base.Name}
+		if !corner.IsNominal() {
+			lib.Corner = corner.Name
+		}
+		res := CornerResult{Corner: corner, Library: lib}
+		for ji := range jobs {
+			o := outcomes[ci*len(jobs)+ji]
+			lib.AddLoadCurve(o.lc)
+			if o.pt != nil {
+				lib.AddPropTable(o.pt)
+			}
+			res.Stats = addStats(res.Stats, o.stats)
+		}
+		results[ci] = res
+	}
+	return results, nil
+}
+
+// addStats sums two session-stat snapshots field-wise.
+func addStats(a, b sim.SessionStats) sim.SessionStats {
+	return sim.SessionStats{
+		DCSolves:      a.DCSolves + b.DCSolves,
+		Transients:    a.Transients + b.Transients,
+		NewtonIters:   a.NewtonIters + b.NewtonIters,
+		WarmStarts:    a.WarmStarts + b.WarmStarts,
+		WarmFallbacks: a.WarmFallbacks + b.WarmFallbacks,
+	}
+}

@@ -11,7 +11,11 @@ import (
 // cmd/libchar produces and what a production flow would ship alongside
 // timing libraries.
 type Library struct {
-	Tech       string       `json:"tech"`
+	Tech string `json:"tech"`
+	// Corner names the operating corner the library was characterised at
+	// ("ss", "mc0007", ...); empty for nominal libraries, so pre-corner
+	// library files round-trip byte-identically.
+	Corner     string       `json:"corner,omitempty"`
 	LoadCurves []*LoadCurve `json:"load_curves,omitempty"`
 	PropTables []*PropTable `json:"prop_tables,omitempty"`
 }

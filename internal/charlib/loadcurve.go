@@ -151,6 +151,22 @@ func (o LoadCurveOptions) normalize() LoadCurveOptions {
 // source values mutated, so the NVin×NVout sweep pays circuit assembly,
 // node resolution and matrix allocation exactly once.
 func CharacterizeLoadCurve(ctx context.Context, cl *cell.Cell, st cell.State, noisyPin string, opts LoadCurveOptions) (*LoadCurve, error) {
+	lc, _, err := characterizeLoadCurveSeeded(ctx, cl, st, noisyPin, opts, nil)
+	return lc, err
+}
+
+// characterizeLoadCurveSeeded is CharacterizeLoadCurve with cross-corner
+// continuation: a non-nil seed (a full solution vector of the cell's rig,
+// typically the adjacent corner's converged state from FirstPointSeed) is
+// installed as the session's warm-start seed before the sweep, so the very
+// first grid point — the only cold solve of an intra-warm sweep — starts
+// from the neighbouring corner's operating point instead of the flat cold
+// guess. The seed only takes effect with opts.WarmStart on, and a seed that
+// fails to converge falls back to the cold start inside the session, so
+// continuation never costs robustness. The session's work counters are
+// returned (and folded into the process-wide per-corner registry) so sweep
+// drivers can prove the continuation savings.
+func characterizeLoadCurveSeeded(ctx context.Context, cl *cell.Cell, st cell.State, noisyPin string, opts LoadCurveOptions, seed []float64) (_ *LoadCurve, stats sim.SessionStats, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -167,7 +183,7 @@ func CharacterizeLoadCurve(ctx context.Context, cl *cell.Cell, st cell.State, no
 		I: make([]float64, opts.NVin*opts.NVout),
 	}
 	if !cl.HasInput(noisyPin) {
-		return nil, fmt.Errorf("charlib: %s has no pin %q", cl.Name(), noisyPin)
+		return nil, stats, fmt.Errorf("charlib: %s has no pin %q", cl.Name(), noisyPin)
 	}
 
 	// Compile-once: the sweep topology is fixed, only source values change.
@@ -180,17 +196,26 @@ func CharacterizeLoadCurve(ctx context.Context, cl *cell.Cell, st cell.State, no
 		ckt.AddVDC("v_"+in, node, "0", cl.PinVoltage(st[in]))
 	}
 	if err := cl.Build(ckt, "dut", pins, "out", "vdd"); err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	ckt.AddVDC("vforce", "out", "0", 0)
 	prog := sim.Compile(ckt)
 	sess, err := sim.NewSession(prog, sim.Options{})
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	hNoisy := prog.MustSource("v_" + noisyPin)
 	hForce := prog.MustSource("vforce")
 	sess.WarmStart(opts.WarmStart)
+	if seed != nil && opts.WarmStart {
+		sess.SeedWarmStart(seed)
+	}
+	// Attribute the sweep's solver work to the card's corner, even on
+	// cancellation — partial sweeps burned real iterations.
+	defer func() {
+		stats = sess.Stats()
+		sim.RecordCornerStats(cl.Tech.CornerTag(), stats)
+	}()
 
 	// The sweep loop itself is allocation-free (asserted by
 	// TestLoadCurvePointAllocFree): source values mutate session-owned
@@ -202,7 +227,7 @@ func CharacterizeLoadCurve(ctx context.Context, cl *cell.Cell, st cell.State, no
 	for iv := 0; iv < lc.NVin; iv++ {
 		vin := lc.VinMin + float64(iv)*dvin
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, stats, err
 		}
 		sess.SetSourceDC(hNoisy, vin)
 		for io := 0; io < lc.NVout; io++ {
@@ -217,14 +242,66 @@ func CharacterizeLoadCurve(ctx context.Context, cl *cell.Cell, st cell.State, no
 			sess.SetGuess("dut.n1", g)
 			sess.SetGuess("dut.n2", g)
 			if err := sess.RunDCInto(&dc); err != nil {
-				return nil, fmt.Errorf("charlib: DC at vin=%.3f vout=%.3f: %w", vin, vout, err)
+				return nil, stats, fmt.Errorf("charlib: DC at vin=%.3f vout=%.3f: %w", vin, vout, err)
 			}
 			// Branch current into the forcing source equals the current the
 			// cell injects into the net.
 			lc.I[iv*lc.NVout+io] = dc.SourceCurrent(hForce)
 		}
 	}
-	return lc, nil
+	return lc, stats, nil
+}
+
+// FirstPointSeed cold-solves the cell's load-curve rig at the sweep's first
+// grid point (VinMin, VoutMin) and returns the full converged solution
+// vector — the canonical cross-corner continuation seed. The corner-sweep
+// driver feeds this state, computed on corner k's card, into corner k+1's
+// sweep: adjacent corners have adjacent operating points, so the transplant
+// lands Newton one or two iterations from convergence instead of the five
+// to eight a cold start needs.
+//
+// The seed is deliberately *recomputed* as a cold solve rather than scraped
+// from whatever state the previous corner's sweep happened to end in: it
+// then depends only on (card, cell, state, pin, grid), never on whether the
+// previous corner was itself seeded, served from cache, or skipped — which
+// is what keeps continuation-built artefacts reproducible byte-for-byte for
+// a given corner chain regardless of cache history.
+func FirstPointSeed(cl *cell.Cell, st cell.State, noisyPin string, opts LoadCurveOptions) ([]float64, sim.SessionStats, error) {
+	opts = opts.normalize()
+	vdd := cl.Tech.VDD
+	margin := opts.MarginFrac * vdd
+	if !cl.HasInput(noisyPin) {
+		return nil, sim.SessionStats{}, fmt.Errorf("charlib: %s has no pin %q", cl.Name(), noisyPin)
+	}
+	ckt := circuit.New()
+	ckt.AddVDC("vdd", "vdd", "0", vdd)
+	pins := map[string]string{}
+	for _, in := range cl.Inputs() {
+		node := "in_" + in
+		pins[in] = node
+		ckt.AddVDC("v_"+in, node, "0", cl.PinVoltage(st[in]))
+	}
+	if err := cl.Build(ckt, "dut", pins, "out", "vdd"); err != nil {
+		return nil, sim.SessionStats{}, err
+	}
+	ckt.AddVDC("vforce", "out", "0", 0)
+	prog := sim.Compile(ckt)
+	sess, err := sim.NewSession(prog, sim.Options{})
+	if err != nil {
+		return nil, sim.SessionStats{}, err
+	}
+	sess.SetSourceDC(prog.MustSource("v_"+noisyPin), -margin)
+	sess.SetSourceDC(prog.MustSource("vforce"), -margin)
+	g := internalGuess(-margin, cl.PinVoltage(cl.Logic(st)))
+	sess.SetGuess("dut.n1", g)
+	sess.SetGuess("dut.n2", g)
+	res, err := sess.RunDC()
+	stats := sess.Stats()
+	sim.RecordCornerStats(cl.Tech.CornerTag(), stats)
+	if err != nil {
+		return nil, stats, fmt.Errorf("charlib: continuation seed for %s: %w", cl.Name(), err)
+	}
+	return res.X, stats, nil
 }
 
 // internalGuess seeds stacked-transistor internal nodes between the forced

@@ -103,6 +103,9 @@ func CharacterizePropagation(ctx context.Context, cl *cell.Cell, st cell.State, 
 	if err != nil {
 		return nil, err
 	}
+	// Attribute the probe sweep's solver work to the card's corner for the
+	// process-wide per-corner registry (/statsz).
+	defer func() { sim.RecordCornerStats(cl.Tech.CornerTag(), rig.sess.Stats()) }()
 	pt.Peak = make([][][]float64, len(pt.Heights))
 	pt.Area = make([][][]float64, len(pt.Heights))
 	// The polarity is taken from the strongest response, where true

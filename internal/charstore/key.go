@@ -42,13 +42,24 @@ const keyScheme = "stanoise-charstore-key/v1"
 // deterministically. Wire parasitics are deliberately excluded: they shape
 // interconnect models, not cell characterisation, and including them would
 // invalidate every cell artefact on a routing-stack edit.
+//
+// A card derived for an operating corner (tech.Corner.Apply) additionally
+// renders the corner fingerprint, so per-corner artefacts are content-
+// addressed by both the scaled parameters *and* the corner identity — two
+// corners that happened to scale to the same numbers still never alias.
+// Nominal cards render exactly the pre-corner text, keeping every existing
+// store entry reachable (asserted by TestNominalCornerKeysBitStable).
 func TechFingerprint(t *tech.Tech) string {
 	mos := func(m tech.MOSParams) string {
 		return fmt.Sprintf("KP=%.17g VT0=%.17g LAMBDA=%.17g CG=%.17g COV=%.17g CJ=%.17g",
 			m.KP, m.VT0, m.Lambda, m.CGatePerWL, m.COverlap, m.CJunction)
 	}
-	return fmt.Sprintf("tech=%s VDD=%.17g Lmin=%.17g WUnit=%.17g PNRatio=%.17g NMOS{%s} PMOS{%s}",
+	fp := fmt.Sprintf("tech=%s VDD=%.17g Lmin=%.17g WUnit=%.17g PNRatio=%.17g NMOS{%s} PMOS{%s}",
 		t.Name, t.VDD, t.Lmin, t.WUnit, t.PNRatio, mos(t.NMOS), mos(t.PMOS))
+	if t.Corner != nil {
+		fp += " Corner{" + t.Corner.Fingerprint() + "}"
+	}
+	return fp
 }
 
 // CellNetlist renders the cell's transistor-level netlist with canonical

@@ -352,8 +352,11 @@ func intervalDist(t, lo, hi float64) float64 {
 // instant, the target sweeps the finite interval endpoints — the candidate
 // set containing the optimum of the piecewise-linear total-spread objective
 // — and picks the one minimising the summed distance of each member's
-// achievable peak to the target (ties go to the earliest candidate). The
-// result is deterministic in all cases.
+// achievable peak to the target (ties go to the earliest candidate). If
+// every endpoint is unbounded (half-open degenerate windows such as
+// Early = +Inf or Late = −Inf leave nothing finite to sweep), the target
+// falls back to the classic prefer instant. The result is deterministic
+// in all cases.
 func AlignWindows(windows []Window, delays []float64, prefer float64) []float64 {
 	n := len(windows)
 	starts := make([]float64, n)
@@ -380,8 +383,10 @@ func AlignWindows(windows []Window, delays []float64, prefer float64) []float64 
 	} else {
 		// No common peak instant: minimise total peak spread over the
 		// finite endpoints (the objective is piecewise linear, so its
-		// minimum sits on an endpoint; lo > hi guarantees at least one
-		// finite endpoint exists).
+		// minimum sits on an endpoint). lo > hi does NOT guarantee a finite
+		// endpoint: windows degenerate in the infinite direction (Early =
+		// +Inf, or Late = −Inf) force the branch with nothing finite to
+		// sweep, so the classic prefer target is the explicit fallback.
 		cands := make([]float64, 0, 2*n)
 		for i, w := range windows {
 			if !math.IsInf(w.Early, 0) {
@@ -391,16 +396,26 @@ func AlignWindows(windows []Window, delays []float64, prefer float64) []float64 
 				cands = append(cands, w.Late+delays[i])
 			}
 		}
-		sort.Float64s(cands)
-		best := math.Inf(1)
-		target = prefer
-		for _, c := range cands {
-			cost := 0.0
-			for i, w := range windows {
-				cost += intervalDist(c, w.Early+delays[i], w.Late+delays[i])
-			}
-			if cost < best {
-				best, target = cost, c
+		if len(cands) == 0 {
+			// Every endpoint unbounded: the sweep would degenerate to an
+			// empty candidate set. Fall back deterministically to the
+			// classic alignment target; each member still clamps into its
+			// own window below.
+			target = prefer
+		} else {
+			sort.Float64s(cands)
+			best := math.Inf(1)
+			// Seed with the classic target so a sweep whose every cost is
+			// +Inf (a member infinite in one direction) also degrades to it.
+			target = prefer
+			for _, c := range cands {
+				cost := 0.0
+				for i, w := range windows {
+					cost += intervalDist(c, w.Early+delays[i], w.Late+delays[i])
+				}
+				if cost < best {
+					best, target = cost, c
+				}
 			}
 		}
 	}

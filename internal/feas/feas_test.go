@@ -214,6 +214,34 @@ func TestAlignWindowsDisjointPeaks(t *testing.T) {
 	}
 }
 
+func TestAlignWindowsAllUnboundedFallsBackToClassicTarget(t *testing.T) {
+	// Degenerate half-open windows (Early = +Inf / Late = −Inf) force the
+	// no-common-instant branch with zero finite endpoints: the sweep has an
+	// empty candidate set and must fall back to the classic prefer target
+	// instead of degenerating. The unconstrained member pins the fallback:
+	// it must peak exactly at prefer, as in the classical alignment.
+	windows := []Window{
+		Unbounded(),
+		{Early: math.Inf(1), Late: math.Inf(1)},
+		{Early: math.Inf(-1), Late: math.Inf(-1)},
+	}
+	delays := []float64{ps(40), 0, 0}
+	prefer := ps(250)
+	starts := AlignWindows(windows, delays, prefer)
+	if got := starts[0] + delays[0]; math.Abs(got-prefer) > 1e-18 {
+		t.Errorf("unconstrained member peaks at %g, want classic target %g", got, prefer)
+	}
+	// The degenerate members clamp to their own (infinite) bounds.
+	if !math.IsInf(starts[1], 1) || !math.IsInf(starts[2], -1) {
+		t.Errorf("degenerate members = %g, %g, want +Inf, -Inf", starts[1], starts[2])
+	}
+	// Determinism: same inputs, same output.
+	again := AlignWindows(windows, delays, prefer)
+	if !reflect.DeepEqual(starts, again) {
+		t.Fatalf("AlignWindows not deterministic: %v vs %v", starts, again)
+	}
+}
+
 func TestAlignWindowsUnboundedMembers(t *testing.T) {
 	// Unbounded members follow the target wherever it lands.
 	windows := []Window{Unbounded(), win(200, 300)}

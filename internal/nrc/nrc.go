@@ -103,6 +103,9 @@ func Characterize(ctx context.Context, cl *cell.Cell, st cell.State, pin string,
 	if err != nil {
 		return nil, err
 	}
+	// Attribute the bisection probes' solver work to the card's corner for
+	// the process-wide per-corner registry (/statsz).
+	defer func() { sim.RecordCornerStats(cl.Tech.CornerTag(), rig.sess.Stats()) }()
 	for i, w := range opts.Widths {
 		h, err := bisectFailingHeight(ctx, rig, w, opts)
 		if err != nil {

@@ -12,6 +12,7 @@ import (
 
 	"stanoise/internal/core"
 	"stanoise/internal/sna"
+	"stanoise/internal/tech"
 )
 
 // RequestError is the typed outcome of rejecting a request before any
@@ -22,8 +23,8 @@ type RequestError struct {
 	// Status is the HTTP status the server responds with (400, 413, 429).
 	Status int `json:"-"`
 	// Code is the stable error identifier: "bad_json", "bad_design",
-	// "bad_method", "bad_policy", "bad_budget", "empty_design",
-	// "too_many_clusters", "body_too_large", "overloaded".
+	// "bad_method", "bad_policy", "bad_budget", "bad_corner",
+	// "empty_design", "too_many_clusters", "body_too_large", "overloaded".
 	Code string `json:"code"`
 	// Message is the human-readable cause.
 	Message string `json:"message"`
@@ -75,6 +76,11 @@ type analyzeRequest struct {
 	// bounded-realistic margin next to the classic one. Default is the
 	// server's configured setting (off unless the operator enables it).
 	Feasibility *bool `json:"feasibility,omitempty"`
+	// Corner names the operating corner this request analyses at — one of
+	// the standard corner names (tt/ff/ss/fs/sf; see tech.CornerByName).
+	// An unknown name is a "bad_corner" 400. Empty selects the server's
+	// configured default corner (nominal unless the operator set one).
+	Corner string `json:"corner,omitempty"`
 }
 
 // parsedRequest is a decoded, validated, defaulted analyzeRequest, ready
@@ -89,6 +95,7 @@ type parsedRequest struct {
 	deterministic bool
 	warmStart     bool
 	feasibility   bool
+	corner        tech.Corner
 }
 
 // requestLimits are the server-side budgets decodeRequest enforces.
@@ -99,6 +106,7 @@ type requestLimits struct {
 	defaultWarm     bool
 	defaultAlign    bool
 	defaultFeas     bool
+	defaultCorner   tech.Corner
 }
 
 // finitePositive reports whether v is usable as a strictly positive
@@ -173,6 +181,14 @@ func decodeRequest(r io.Reader, lim requestLimits) (*parsedRequest, *RequestErro
 	}
 	if req.Feasibility != nil {
 		p.feasibility = *req.Feasibility
+	}
+	p.corner = lim.defaultCorner
+	if req.Corner != "" {
+		c, err := tech.CornerByName(req.Corner)
+		if err != nil {
+			return nil, badRequest("bad_corner", "%v", err)
+		}
+		p.corner = c
 	}
 
 	p.dt = 2e-12

@@ -68,11 +68,11 @@ import (
 type Config struct {
 	// Analysis supplies the shared analysis machinery and quality knobs:
 	// Cache/Store/CacheDir (persistent tier), RigPools/RigPoolLimits,
-	// Gate, Workers, the model-quality grids and the WarmStart and
-	// Feasibility defaults. The per-request knobs — Method, Align, Dt,
-	// OnError — are NOT taken from here: they default to the snacheck CLI
-	// defaults (macromodel, align on, 2 ps, fail-fast) and are overridden
-	// per request.
+	// Gate, Workers, the model-quality grids and the WarmStart,
+	// Feasibility and Corner defaults. The per-request knobs — Method,
+	// Align, Dt, OnError — are NOT taken from here: they default to the
+	// snacheck CLI defaults (macromodel, align on, 2 ps, fail-fast) and
+	// are overridden per request.
 	Analysis sna.Options
 	// MaxInFlight bounds concurrently admitted requests; excess requests
 	// get 429 + Retry-After immediately. Default 8.
@@ -92,6 +92,14 @@ type Config struct {
 	// in-flight requests (the fleet gate); ignored when Analysis.Gate is
 	// set. Default GOMAXPROCS; negative = unbounded.
 	FleetWorkers int
+	// RetryAfterCap clamps the Retry-After hint on 429 responses. The hint
+	// is derived from observed admission pressure — it doubles with every
+	// consecutive rejection while the server stays saturated and resets to
+	// 1 s as soon as a slot frees — so a persistently overloaded server
+	// pushes clients into progressively longer backoff instead of inviting
+	// a thundering retry herd every second. Default 8 s; values below 1 s
+	// are raised to it.
+	RetryAfterCap time.Duration
 }
 
 // Server is the stanoise analysis HTTP server; see the package comment
@@ -114,6 +122,10 @@ type Server struct {
 	completed atomic.Int64
 	canceled  atomic.Int64
 	expired   atomic.Int64
+
+	// rejectStreak counts consecutive 429s since the last slot release —
+	// the admission-pressure signal the Retry-After hint is derived from.
+	rejectStreak atomic.Int64
 }
 
 // NewServer builds a server from the configuration, opening the
@@ -126,6 +138,9 @@ func NewServer(cfg Config) *Server {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.RetryAfterCap < time.Second {
+		cfg.RetryAfterCap = 8 * time.Second
 	}
 	s := &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight)}
 
@@ -196,6 +211,7 @@ func (s *Server) limits() requestLimits {
 		defaultWarm:     s.cfg.Analysis.WarmStart,
 		defaultAlign:    true,
 		defaultFeas:     s.cfg.Analysis.Feasibility,
+		defaultCorner:   s.cfg.Analysis.Corner,
 	}
 }
 
@@ -215,14 +231,19 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	case s.sem <- struct{}{}:
 	default:
 		s.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfter()))
 		writeRequestError(w, &RequestError{
 			Status: http.StatusTooManyRequests, Code: "overloaded",
 			Message: fmt.Sprintf("server is at its %d-request admission limit", s.cfg.MaxInFlight),
 		})
 		return
 	}
-	defer func() { <-s.sem }()
+	defer func() {
+		<-s.sem
+		// A slot just freed: admission pressure is relieved, so the next
+		// rejection (if any) starts the backoff ladder from 1 s again.
+		s.rejectStreak.Store(0)
+	}()
 	s.accepted.Add(1)
 
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -246,6 +267,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	opts.Dt = preq.dt
 	opts.WarmStart = preq.warmStart
 	opts.Feasibility = preq.feasibility
+	opts.Corner = preq.corner
 	an := sna.NewAnalyzer(preq.design, opts)
 
 	sw := newStreamWriter(w, r)
@@ -287,6 +309,24 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.completed.Add(1)
 	sw.record(summaryRecord{Type: "summary", Summary: sna.Summarize(reports), Errors: clusterErrs})
+}
+
+// retryAfter derives the Retry-After hint (in seconds) for one rejection
+// from the observed admission pressure: the hint doubles with each
+// consecutive 429 — 1, 2, 4, ... — and is clamped at Config.RetryAfterCap.
+// Every admitted request's completion resets the streak, so the hint
+// tracks actual saturation rather than historical load.
+func (s *Server) retryAfter() int64 {
+	streak := s.rejectStreak.Add(1)
+	cap := int64(s.cfg.RetryAfterCap / time.Second)
+	hint := int64(1)
+	for i := int64(1); i < streak && hint < cap; i++ {
+		hint *= 2
+	}
+	if hint > cap {
+		hint = cap
+	}
+	return hint
 }
 
 // handleHealthz is the liveness probe: the server is up and its mux is
@@ -359,6 +399,19 @@ type RigPoolStats struct {
 	Bytes int64 `json:"bytes"`
 }
 
+// CornerStats is one corner's slice of the shared machinery counters: the
+// characterisation cache's per-corner attribution plus the per-corner
+// solver-work registry. A corner-matrix farm front-ending this server reads
+// the block to see which corner is burning Newton iterations — and how much
+// the adjacent-corner continuation is saving.
+type CornerStats struct {
+	// Cache attributes cache traffic to the corner of the requested card.
+	Cache charlib.CacheStats `json:"cache"`
+	// Sim aggregates the solver work characterisation sweeps spent under
+	// the corner.
+	Sim sim.CornerCounters `json:"sim"`
+}
+
 // Stats is the /statsz document: everything an operator (or a test)
 // needs to see the shared machinery working — cache effectiveness, engine
 // solve counts, pooled benches, lease traffic and admission outcomes.
@@ -374,6 +427,11 @@ type Stats struct {
 	Feas feas.Stats `json:"feas"`
 	// RigPools summarises the compiled-bench pool set.
 	RigPools RigPoolStats `json:"rig_pools"`
+	// Corners breaks cache traffic and solver work down by operating
+	// corner ("nominal" for base-card runs). Absent until the first
+	// characterisation sweep completes, which keeps the pre-corner /statsz
+	// schema unchanged for processes that never touch the corner axis.
+	Corners map[string]CornerStats `json:"corners,omitempty"`
 	// Leases reports cross-process build-lease activity; absent without a
 	// persistent store.
 	Leases *charstore.LeaseStats `json:"leases,omitempty"`
@@ -404,6 +462,21 @@ func (s *Server) Stats() Stats {
 			Hits: hits, Misses: misses,
 			Benches: s.pools.Len(), Bytes: s.pools.Bytes(),
 		},
+	}
+	cacheCorners := s.cache.CornerStats()
+	simCorners := sim.SnapshotCorners()
+	if len(cacheCorners) > 0 || len(simCorners) > 0 {
+		st.Corners = make(map[string]CornerStats, len(cacheCorners)+len(simCorners))
+		for tag, cs := range cacheCorners {
+			e := st.Corners[tag]
+			e.Cache = cs
+			st.Corners[tag] = e
+		}
+		for tag, sc := range simCorners {
+			e := st.Corners[tag]
+			e.Sim = sc
+			st.Corners[tag] = e
+		}
 	}
 	if s.store != nil {
 		ls := s.store.LeaseStats()

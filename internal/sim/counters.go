@@ -1,6 +1,9 @@
 package sim
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Process-wide invocation counters for the two transistor-level entry
 // points. They exist so higher layers can *prove* characterisation reuse:
@@ -64,3 +67,54 @@ func (c Counters) Sub(prev Counters) Counters {
 // EngineRuns) in the snapshot. The warm-run zero-solve proofs depend on
 // exactly this definition.
 func (c Counters) Total() int64 { return c.DC + c.Transient }
+
+// CornerCounters aggregates the per-session work counters attributed to one
+// operating corner ("nominal" for base-card runs). Characterisation sweeps
+// record their SessionStats here when they finish (RecordCornerStats), and
+// /statsz exposes the registry so operators can see which corner of a
+// corner-matrix farm is burning Newton iterations — and how much the
+// adjacent-corner continuation is saving.
+type CornerCounters struct {
+	DCSolves      int64 `json:"dc_solves"`      // DC solves started under this corner
+	Transients    int64 `json:"transients"`     // transient runs started under this corner
+	NewtonIters   int64 `json:"newton_iters"`   // Newton iterations spent under this corner
+	WarmStarts    int64 `json:"warm_starts"`    // solves seeded from a previous converged solution
+	WarmFallbacks int64 `json:"warm_fallbacks"` // warm-seeded solves that fell back to a cold start
+}
+
+// cornerCounters is the process-wide per-corner work registry.
+var (
+	cornerMu       sync.Mutex
+	cornerCounters map[string]CornerCounters
+)
+
+// RecordCornerStats folds one finished sweep's SessionStats into the
+// process-wide registry under the given corner tag (tech.Tech.CornerTag:
+// the corner name, or "nominal"). Characterisation call sites invoke it
+// once per completed session, so the registry costs nothing per solve.
+func RecordCornerStats(tag string, st SessionStats) {
+	cornerMu.Lock()
+	defer cornerMu.Unlock()
+	if cornerCounters == nil {
+		cornerCounters = map[string]CornerCounters{}
+	}
+	c := cornerCounters[tag]
+	c.DCSolves += st.DCSolves
+	c.Transients += st.Transients
+	c.NewtonIters += st.NewtonIters
+	c.WarmStarts += st.WarmStarts
+	c.WarmFallbacks += st.WarmFallbacks
+	cornerCounters[tag] = c
+}
+
+// SnapshotCorners returns a copy of the per-corner work registry. The map
+// is empty (non-nil) until the first characterisation sweep completes.
+func SnapshotCorners() map[string]CornerCounters {
+	cornerMu.Lock()
+	defer cornerMu.Unlock()
+	out := make(map[string]CornerCounters, len(cornerCounters))
+	for k, v := range cornerCounters {
+		out[k] = v
+	}
+	return out
+}

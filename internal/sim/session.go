@@ -219,6 +219,37 @@ func (s *Session) WarmStart(on bool) {
 // discontinuities where the previous point is a bad predictor.
 func (s *Session) ResetWarmStart() { s.haveWarm = false }
 
+// WarmState returns a copy of the stored warm-start seed — the last
+// converged DC solution (node voltages followed by branch currents) — and
+// whether one exists. Corner-sweep drivers use it to carry a converged
+// state across session (and therefore corner) boundaries; see
+// SeedWarmStart for the receiving end.
+func (s *Session) WarmState() ([]float64, bool) {
+	if !s.haveWarm {
+		return nil, false
+	}
+	return append([]float64(nil), s.xWarm...), true
+}
+
+// SeedWarmStart installs an externally produced solution vector as the
+// session's warm-start seed, extending Newton continuation across session
+// boundaries: a corner sweep seeds each corner's first solve from the
+// adjacent corner's converged state. The vector must have the session's
+// full unknown count (node voltages plus branch currents) — sessions
+// compiled from the same Program share that layout, and adjacent-corner
+// rigs differ only in device parameters, not topology. The seed is only
+// consulted in warm-start mode, and a seed that fails to converge falls
+// back to the cold start transparently (see solveDC), so a bad transplant
+// never costs robustness. A mismatched length panics: it means the caller
+// transplanted between different topologies, a programming error.
+func (s *Session) SeedWarmStart(x []float64) {
+	if len(x) != s.size {
+		panic(fmt.Sprintf("sim: SeedWarmStart with %d unknowns, session has %d", len(x), s.size))
+	}
+	copy(s.xWarm, x)
+	s.haveWarm = true
+}
+
 // MemoryBytes estimates the session's resident footprint: the dense
 // matrices (base, Jacobian, the LU workspace buffer, and the transient
 // system matrix once allocated) dominate at size² float64s each, plus the

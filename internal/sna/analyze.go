@@ -17,6 +17,7 @@ import (
 	"stanoise/internal/charstore"
 	"stanoise/internal/core"
 	"stanoise/internal/nrc"
+	"stanoise/internal/tech"
 )
 
 // Options configures an analysis run.
@@ -100,6 +101,13 @@ type Options struct {
 	// creates its own pools. Ignored when RigPools is supplied — limits
 	// then belong to the shared set.
 	RigPoolLimits core.RigPoolLimits
+	// Corner selects the operating corner the whole analysis runs at: the
+	// design's technology card is derived via tech.Corner.Apply before any
+	// cluster is built, so every characterised artefact — and every cache
+	// and store key — carries the corner. The zero value is the nominal
+	// corner, under which the analysis (and its artefact bytes) is exactly
+	// the corner-less one. Resolve named corners with tech.CornerByName.
+	Corner tech.Corner
 	// Model quality knobs.
 	LoadCurve charlib.LoadCurveOptions
 	Prop      charlib.PropOptions
@@ -167,6 +175,11 @@ type NetReport struct {
 	Cluster string      `json:"cluster"`
 	Method  core.Method `json:"method"`
 
+	// Corner names the operating corner the cluster was analysed at; empty
+	// (and absent from JSON) for a nominal run, keeping the classic wire
+	// schema byte-identical.
+	Corner string `json:"corner,omitempty"`
+
 	// Noise at the victim receiver input (what the NRC judges).
 	PeakV   float64 `json:"peak_v"`
 	AreaVps float64 `json:"area_vps"`
@@ -193,6 +206,7 @@ type NetReport struct {
 type netReportJSON struct {
 	Cluster string      `json:"cluster"`
 	Method  core.Method `json:"method"`
+	Corner  string      `json:"corner,omitempty"`
 	PeakV   float64     `json:"peak_v"`
 	AreaVps float64     `json:"area_vps"`
 	WidthPs float64     `json:"width_ps"`
@@ -209,7 +223,7 @@ type netReportJSON struct {
 // MarshalJSON implements the stable report schema (see NetReport).
 func (r NetReport) MarshalJSON() ([]byte, error) {
 	j := netReportJSON{
-		Cluster: r.Cluster, Method: r.Method,
+		Cluster: r.Cluster, Method: r.Method, Corner: r.Corner,
 		PeakV: r.PeakV, AreaVps: r.AreaVps, WidthPs: r.WidthPs,
 		DPPeakV: r.DPPeakV, Fails: r.Fails,
 		Elapsed: r.Elapsed, Timing: r.Timing,
@@ -229,7 +243,7 @@ func (r *NetReport) UnmarshalJSON(b []byte) error {
 		return err
 	}
 	*r = NetReport{
-		Cluster: j.Cluster, Method: j.Method,
+		Cluster: j.Cluster, Method: j.Method, Corner: j.Corner,
 		PeakV: j.PeakV, AreaVps: j.AreaVps, WidthPs: j.WidthPs,
 		DPPeakV: j.DPPeakV, Fails: j.Fails, MarginV: math.Inf(1),
 		Elapsed: j.Elapsed, Timing: j.Timing,
@@ -576,7 +590,7 @@ func (a *Analyzer) analyzeCluster(ctx context.Context, cs ClusterSpec, pool *cor
 	}
 	var timing StageTiming
 	t0 := time.Now()
-	cl, err := a.design.BuildCluster(cs)
+	cl, err := a.design.BuildClusterCorner(cs, a.opts.Corner)
 	if err != nil {
 		return fail(StageBuild, err)
 	}
@@ -660,6 +674,7 @@ func (a *Analyzer) analyzeCluster(ctx context.Context, cs ClusterSpec, pool *cor
 	rep := &NetReport{
 		Cluster: cs.Name,
 		Method:  method,
+		Corner:  cornerLabel(a.opts.Corner),
 		PeakV:   ev.RecvMetrics.Peak,
 		AreaVps: ev.RecvMetrics.AreaVps(),
 		WidthPs: ev.RecvMetrics.WidthPs(),
@@ -691,11 +706,24 @@ func (a *Analyzer) analyzeCluster(ctx context.Context, cs ClusterSpec, pool *cor
 // receiver against — the sign-off criterion itself, exposed for reporting
 // and inspection.
 func (a *Analyzer) ReceiverNRC(ctx context.Context, cs ClusterSpec) (*nrc.Curve, error) {
-	cl, err := a.design.BuildCluster(cs)
+	cl, err := a.design.BuildClusterCorner(cs, a.opts.Corner)
 	if err != nil {
 		return nil, err
 	}
 	return a.receiverCurve(ctx, cl.Victim.Receiver, cl.Victim.ReceiverPin, cl)
+}
+
+// cornerLabel renders the report tag of an analysis corner: its name for a
+// non-nominal corner (falling back to the full fingerprint for an unnamed
+// one, so the report never silently drops the axis), empty for nominal.
+func cornerLabel(c tech.Corner) string {
+	if c.IsNominal() {
+		return ""
+	}
+	if c.Name != "" {
+		return c.Name
+	}
+	return c.Fingerprint()
 }
 
 // receiverCurve characterises (or retrieves) the NRC of the victim's

@@ -1,0 +1,92 @@
+package sna
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"stanoise/internal/core"
+	"stanoise/internal/tech"
+)
+
+// cornerDesign is a single small cluster, enough to exercise the corner
+// plumbing without the cost of the full sample design.
+func cornerDesign() *Design {
+	d := sampleDesign()
+	d.Clusters = d.Clusters[1:] // the "mild" cluster only
+	return d
+}
+
+// TestNominalCornerReportBitStable proves Options.Corner at its zero value
+// changes nothing: the reports match a corner-less run field for field, and
+// the JSON schema carries no "corner" key.
+func TestNominalCornerReportBitStable(t *testing.T) {
+	d := cornerDesign()
+	legacy, err := NewAnalyzer(d, fastOpts(core.Macromodel)).Analyze(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastOpts(core.Macromodel)
+	opts.Corner, err = tech.CornerByName("tt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal, err := NewAnalyzer(d, opts).Analyze(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range legacy {
+		legacy[i].ClearTiming()
+		nominal[i].ClearTiming()
+		if legacy[i] != nominal[i] {
+			t.Fatalf("tt report differs from legacy:\n%+v\n%+v", nominal[i], legacy[i])
+		}
+		b, err := json.Marshal(nominal[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(b), `"corner"`) {
+			t.Fatalf("nominal report JSON grew a corner key: %s", b)
+		}
+	}
+}
+
+// TestCornerChangesAnalysis runs the same cluster at the ss corner and
+// checks the corner actually reaches the electrical result: the report is
+// tagged, the tag survives a JSON round trip, and the noise numbers differ
+// from nominal (a slow, low-VDD card cannot produce identical waveforms).
+func TestCornerChangesAnalysis(t *testing.T) {
+	d := cornerDesign()
+	nominal, err := NewAnalyzer(d, fastOpts(core.Macromodel)).Analyze(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastOpts(core.Macromodel)
+	opts.Corner, err = tech.CornerByName("ss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewAnalyzer(d, opts).Analyze(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss[0].Corner != "ss" {
+		t.Fatalf("ss report tagged %q", ss[0].Corner)
+	}
+	if ss[0].PeakV == nominal[0].PeakV && ss[0].DPPeakV == nominal[0].DPPeakV {
+		t.Fatalf("ss corner produced nominal noise numbers (peak %v)", ss[0].PeakV)
+	}
+
+	b, err := json.Marshal(ss[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back NetReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Corner != "ss" {
+		t.Fatalf("corner tag lost in JSON round trip: %q", back.Corner)
+	}
+}

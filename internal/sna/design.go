@@ -170,10 +170,22 @@ func toState(m map[string]bool) cell.State {
 // order, "right" (or unspecified) below, so coupling adjacency reflects the
 // described geometry.
 func (d *Design) BuildCluster(cs ClusterSpec) (*core.Cluster, error) {
+	return d.BuildClusterCorner(cs, tech.Corner{})
+}
+
+// BuildClusterCorner is BuildCluster at an operating corner: the design's
+// technology card is derived via Corner.Apply before any cell or bus is
+// built, so every cell in the cluster — and therefore every
+// characterisation artefact and cache key downstream — carries the corner.
+// Wire parasitics come from the shared base card (corners model device and
+// supply variation, not layout). A nominal corner builds exactly what
+// BuildCluster builds.
+func (d *Design) BuildClusterCorner(cs ClusterSpec, corner tech.Corner) (*core.Cluster, error) {
 	t, err := tech.ByName(d.Tech)
 	if err != nil {
 		return nil, err
 	}
+	t = corner.Apply(t)
 	segments := d.Segments
 	if segments <= 0 {
 		segments = 15

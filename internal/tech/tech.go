@@ -64,6 +64,13 @@ type Tech struct {
 	// are scaled by PNRatio to balance rise/fall strength.
 	WUnit   float64
 	PNRatio float64
+
+	// Corner records the operating corner this card was derived for
+	// (Corner.Apply); nil on a nominal base card. Downstream fingerprints
+	// (charstore.TechFingerprint, charlib.CellKey) include it so per-corner
+	// artefacts never alias, and its absence keeps every pre-corner key
+	// bit-stable.
+	Corner *Corner
 }
 
 // Layer returns the wire parameters for a layer name.

@@ -1,0 +1,68 @@
+package wave
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMeasureNoiseDegenerateInputs is the table over every degenerate
+// waveform shape: each must produce the defined zero-metrics result
+// (Sign +1, everything else zero) rather than NaN or a panic.
+func TestMeasureNoiseDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name  string
+		w     *Waveform
+		quiet float64
+	}{
+		{"nil waveform", nil, 0},
+		{"empty waveform", &Waveform{}, 0},
+		{"mismatched grids", &Waveform{T: []float64{0, 1e-12}, V: []float64{0.5}}, 0},
+		{"single point at quiet", &Waveform{T: []float64{0}, V: []float64{1.2}}, 1.2},
+		{"flat at quiet", &Waveform{T: []float64{0, 1e-12, 2e-12}, V: []float64{1.2, 1.2, 1.2}}, 1.2},
+		{"NaN sample", &Waveform{T: []float64{0, 1e-12}, V: []float64{0.5, math.NaN()}}, 0},
+		{"Inf sample", &Waveform{T: []float64{0, 1e-12}, V: []float64{0.5, math.Inf(1)}}, 0},
+		{"NaN time", &Waveform{T: []float64{0, math.NaN()}, V: []float64{0.5, 0.6}}, 0},
+		{"NaN quiet", &Waveform{T: []float64{0, 1e-12}, V: []float64{0.5, 0.6}}, math.NaN()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := MeasureNoise(tc.w, tc.quiet)
+			if m.Peak != 0 || m.TPeak != 0 || m.Area != 0 || m.Width != 0 {
+				t.Fatalf("non-zero metrics %+v", m)
+			}
+			if m.Sign != 1 {
+				t.Fatalf("Sign %v, want the defined +1", m.Sign)
+			}
+			if w := WidthAtFraction(tc.w, tc.quiet, 0.5); w != 0 {
+				t.Fatalf("WidthAtFraction = %v, want 0", w)
+			}
+		})
+	}
+}
+
+// TestMeasureNoiseSinglePointGlitch pins the boundary of the guard: one
+// deviating sample is a measurable peak (not degenerate), just with zero
+// area and width — the metrics a single-sample observation supports.
+func TestMeasureNoiseSinglePointGlitch(t *testing.T) {
+	m := MeasureNoise(&Waveform{T: []float64{1e-12}, V: []float64{0.8}}, 1.2)
+	if math.Abs(m.Peak-0.4) > 1e-12 || m.Sign != -1 || m.TPeak != 1e-12 {
+		t.Fatalf("single-point glitch metrics %+v", m)
+	}
+	if m.Area != 0 || m.Width != 0 {
+		t.Fatalf("single point grew area/width: %+v", m)
+	}
+}
+
+// TestWidthAtFractionNonFiniteFraction guards the remaining NaN inlet: a
+// non-finite fraction must yield zero width, never a NaN threshold walk.
+func TestWidthAtFractionNonFiniteFraction(t *testing.T) {
+	w := &Waveform{T: []float64{0, 1e-12, 2e-12}, V: []float64{0, 0.6, 0}}
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := WidthAtFraction(w, 0, f); got != 0 {
+			t.Fatalf("fraction %v: width %v, want 0", f, got)
+		}
+	}
+	if got := WidthAtFraction(w, 0, 0.5); got <= 0 {
+		t.Fatalf("healthy half-height width %v, want > 0", got)
+	}
+}

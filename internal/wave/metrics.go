@@ -22,7 +22,17 @@ func (m NoiseMetrics) WidthPs() float64 { return m.Width * 1e12 }
 // The glitch polarity is taken from the largest absolute deviation; area
 // and width consider only deviations of that polarity so that small
 // opposite-sign ringing does not inflate the numbers.
+//
+// Degenerate inputs — a nil or empty waveform, mismatched time/value
+// grids, or a non-finite sample or quiet level — return the defined zero
+// result (every metric zero, Sign +1) instead of NaN-poisoned numbers: a
+// flat or single-point waveform is a legitimate "no glitch" observation
+// for downstream margin arithmetic, never a NaN that propagates into a
+// report.
 func MeasureNoise(w *Waveform, quiet float64) NoiseMetrics {
+	if degenerate(w, quiet) {
+		return NoiseMetrics{Sign: 1}
+	}
 	var m NoiseMetrics
 	// Locate the peak on the sample grid (PWL extrema are at samples).
 	for i, v := range w.V {
@@ -95,13 +105,37 @@ func widthAt(w *Waveform, quiet, sign, thresh float64) float64 {
 
 // WidthAtFraction returns the total time the glitch deviation exceeds the
 // given fraction of its own peak (e.g. 0.5 for the half-height width).
+// Degenerate inputs follow MeasureNoise's contract — a flat, empty or
+// non-finite waveform (or a non-finite fraction) has zero width.
 func WidthAtFraction(w *Waveform, quiet, fraction float64) float64 {
+	if !finite(fraction) {
+		return 0
+	}
 	m := MeasureNoise(w, quiet)
 	if m.Peak == 0 {
 		return 0
 	}
 	return widthAt(w, quiet, m.Sign, fraction*m.Peak)
 }
+
+// degenerate reports whether a waveform cannot support glitch metrics:
+// nil or empty, time and value grids of different lengths, or any
+// non-finite sample or quiet level (one NaN would otherwise poison the
+// trapezoidal integration silently).
+func degenerate(w *Waveform, quiet float64) bool {
+	if w == nil || len(w.V) == 0 || len(w.T) != len(w.V) || !finite(quiet) {
+		return true
+	}
+	for i := range w.V {
+		if !finite(w.V[i]) || !finite(w.T[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// finite reports whether v is a usable sample (neither NaN nor ±Inf).
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // PeakError returns the relative error of got versus want in percent,
 // matching the paper's "Error%" columns.

@@ -9,6 +9,7 @@ import (
 	"stanoise/internal/nrc"
 	"stanoise/internal/serve"
 	"stanoise/internal/sna"
+	"stanoise/internal/tech"
 	"stanoise/internal/wave"
 )
 
@@ -158,6 +159,39 @@ type (
 	// margin a receiver pin is judged against.
 	NRCCurve = nrc.Curve
 )
+
+// Operating corners and Monte Carlo variation.
+type (
+	// Corner describes one operating corner — supply and temperature plus
+	// per-device threshold and mobility variation. The zero value is the
+	// nominal corner: analyses and characterisations run at it are
+	// byte-identical to corner-less ones. Set Options.Corner to analyse a
+	// design at a corner; resolve named standard corners with CornerByName.
+	Corner = tech.Corner
+	// CornerSampleSpec tunes the Monte Carlo corner sampler (see
+	// SampleCorners); the zero value uses the default local-variation
+	// sigmas around the nominal corner.
+	CornerSampleSpec = tech.SampleSpec
+)
+
+// CornerByName resolves a standard corner name (tt, ff, ss, fs, sf); the
+// empty string and "tt" both mean nominal.
+func CornerByName(name string) (Corner, error) { return tech.CornerByName(name) }
+
+// StandardCorners returns the five standard process corners in
+// conventional order: tt, ff, ss, fs, sf.
+func StandardCorners() []Corner { return tech.StandardCorners() }
+
+// ParseCorners resolves a comma-separated list of standard corner names
+// ("tt,ss,ff"); duplicates are rejected.
+func ParseCorners(list string) ([]Corner, error) { return tech.ParseCorners(list) }
+
+// SampleCorners draws n Monte Carlo corners around spec.Base with the
+// given seed; the same seed always yields the same corners, so sampled
+// characterisation artefacts are reproducible and cacheable.
+func SampleCorners(n int, seed int64, spec CornerSampleSpec) []Corner {
+	return tech.SampleCorners(n, seed, spec)
+}
 
 // Fleet-scale analysis: shared compiled-bench pools, the fleet-wide
 // concurrency gate, and the HTTP analysis server.
