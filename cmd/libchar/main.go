@@ -26,6 +26,12 @@
 // ones at solver-tolerance level and are stored under distinct cache
 // keys.
 //
+// With -predictor the transient sweeps behind -prop seed each timestep's
+// Newton solve with a polynomial extrapolation over the previous converged
+// steps (sim.Session.Predictor), cutting per-step iterations; load-curve
+// characterisation is DC-only and unaffected. Predictor artefacts also
+// take distinct cache and store keys.
+//
 // # Corner-matrix and Monte Carlo farm
 //
 // -corners and/or -mc-samples switch libchar into farm mode: every cell is
@@ -75,6 +81,7 @@ func main() {
 	withProp := flag.Bool("prop", false, "also build propagation tables (slow)")
 	grid := flag.Int("grid", 61, "load-curve grid points per axis")
 	warmStart := flag.Bool("warm-start", false, "seed each sweep point's Newton solve from the previous point (faster on fine grids; solver-tolerance differences vs the cold flow)")
+	predictor := flag.Bool("predictor", false, "seed each transient timestep's Newton solve with a polynomial extrapolation over previous steps (fewer iterations per step on -prop sweeps; solver-tolerance differences vs the cold flow)")
 	out := flag.String("out", "", "output JSON path (default stdout); farm mode inserts the corner name before the extension")
 	cacheDir := flag.String("cache-dir", "", "persist characterised artefacts to a content-addressed store at this directory")
 	exportStore := flag.String("export-store", "", "write the whole -cache-dir store as a portable bundle to this path and exit")
@@ -191,7 +198,7 @@ func main() {
 		runFarm(ctx, cache, store, t, corners, cjobs, charlib.CornerSweepOptions{
 			LoadCurve:   charlib.LoadCurveOptions{NVin: *grid, NVout: *grid, WarmStart: *warmStart},
 			Prop:        *withProp,
-			PropOptions: charlib.PropOptions{WarmStart: *warmStart},
+			PropOptions: charlib.PropOptions{WarmStart: *warmStart, Predictor: *predictor},
 			Workers:     *workers,
 		}, *out, *statsOut)
 		return
@@ -218,7 +225,7 @@ func main() {
 			c.Name(), j.pin, st, lc.NVin, lc.NVout,
 			lc.HoldingResistance(c.PinVoltage(st[j.pin]), c.PinVoltage(c.Logic(st))))
 		if *withProp {
-			pt, err := cache.PropTable(ctx, c, st, j.pin, charlib.PropOptions{WarmStart: *warmStart})
+			pt, err := cache.PropTable(ctx, c, st, j.pin, charlib.PropOptions{WarmStart: *warmStart, Predictor: *predictor})
 			if err != nil {
 				fail(fmt.Errorf("%s/%s propagation: %w", j.kind, j.pin, err))
 			}
@@ -249,12 +256,16 @@ func main() {
 
 // farmCornerStats is the per-corner entry of the -stats-out document.
 type farmCornerStats struct {
-	Corner        string `json:"corner"`
-	DCSolves      int64  `json:"dc_solves"`
-	Transients    int64  `json:"transients"`
-	NewtonIters   int64  `json:"newton_iters"`
-	WarmStarts    int64  `json:"warm_starts"`
-	WarmFallbacks int64  `json:"warm_fallbacks"`
+	Corner             string `json:"corner"`
+	DCSolves           int64  `json:"dc_solves"`
+	Transients         int64  `json:"transients"`
+	NewtonIters        int64  `json:"newton_iters"`
+	WarmStarts         int64  `json:"warm_starts"`
+	WarmFallbacks      int64  `json:"warm_fallbacks"`
+	TransientSteps     int64  `json:"transient_steps"`
+	LinearFastPathRuns int64  `json:"linear_fast_path_runs"`
+	PredictorSeeds     int64  `json:"predictor_seeds"`
+	PredictorFallbacks int64  `json:"predictor_fallbacks"`
 }
 
 // farmStats is the -stats-out document: per-corner solver work in
@@ -285,12 +296,16 @@ func runFarm(ctx context.Context, cache *charlib.Cache, store *charstore.Store, 
 			r.Corner.Name, len(r.Library.LoadCurves), r.Stats.NewtonIters,
 			r.Stats.DCSolves, r.Stats.WarmStarts, r.Stats.WarmFallbacks)
 		stats.Corners = append(stats.Corners, farmCornerStats{
-			Corner:        r.Corner.Name,
-			DCSolves:      r.Stats.DCSolves,
-			Transients:    r.Stats.Transients,
-			NewtonIters:   r.Stats.NewtonIters,
-			WarmStarts:    r.Stats.WarmStarts,
-			WarmFallbacks: r.Stats.WarmFallbacks,
+			Corner:             r.Corner.Name,
+			DCSolves:           r.Stats.DCSolves,
+			Transients:         r.Stats.Transients,
+			NewtonIters:        r.Stats.NewtonIters,
+			WarmStarts:         r.Stats.WarmStarts,
+			WarmFallbacks:      r.Stats.WarmFallbacks,
+			TransientSteps:     r.Stats.TransientSteps,
+			LinearFastPathRuns: r.Stats.LinearFastPathRuns,
+			PredictorSeeds:     r.Stats.PredictorSeeds,
+			PredictorFallbacks: r.Stats.PredictorFallbacks,
 		})
 		stats.TotalSolves += r.Stats.DCSolves + r.Stats.Transients
 		stats.TotalNewtonIters += r.Stats.NewtonIters

@@ -4,8 +4,8 @@
 //
 //	snacheck -design design.json [-method macromodel|superposition|zolotov|golden]
 //	         [-align] [-workers N] [-policy fail-fast|continue] [-json]
-//	         [-cache-dir DIR] [-deterministic] [-warm-start] [-feasibility]
-//	         [-corner tt|ff|ss|fs|sf]
+//	         [-cache-dir DIR] [-deterministic] [-warm-start] [-predictor]
+//	         [-feasibility] [-corner tt|ff|ss|fs|sf]
 //	snacheck -sample > design.json     # emit a starter design
 //
 // Clusters are analysed concurrently on a bounded worker pool (-workers,
@@ -30,6 +30,13 @@
 // Warm artefacts are cached under distinct keys and never mix with cold
 // ones; leave the flag off when reproducibility against earlier cold
 // runs matters.
+//
+// With -predictor every characterisation transient seeds each timestep's
+// Newton solve with a polynomial extrapolation over the previous converged
+// steps (sim.Session.Predictor), typically cutting per-step Newton
+// iterations by a quarter or more on glitch transients. Like -warm-start
+// the mode is opt-in because results differ from the cold flow at solver
+// tolerance; predictor artefacts take distinct cache and store keys.
 //
 // With -feasibility the FRAME-style aggressor-correlation filter runs
 // before evaluation: switching windows, mutex groups and implications
@@ -92,6 +99,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent characterisation store directory (warm runs skip all transistor-level sweeps)")
 	deterministic := flag.Bool("deterministic", false, "omit run-varying fields (timings, cache counters) from -json output")
 	warmStart := flag.Bool("warm-start", false, "seed characterisation Newton solves from the previous grid point (faster; solver-tolerance differences vs the cold flow, NRC heights within their bisection tolerance)")
+	predictor := flag.Bool("predictor", false, "seed each transient timestep's Newton solve with a polynomial extrapolation over previous steps (fewer iterations per step; solver-tolerance differences vs the cold flow)")
 	feasibility := flag.Bool("feasibility", false, "prune unrealizable aggressor combinations via switching windows and logic constraints; report realistic margins next to worst-case ones")
 	corner := flag.String("corner", "", "operating corner to analyse at: tt, ff, ss, fs or sf (default nominal; reports gain a corner tag)")
 	sample := flag.Bool("sample", false, "print a sample design JSON and exit")
@@ -146,6 +154,7 @@ func main() {
 		OnError:     pol,
 		CacheDir:    *cacheDir,
 		WarmStart:   *warmStart,
+		Predictor:   *predictor,
 		Feasibility: *feasibility,
 		Corner:      crn,
 	})

@@ -5,7 +5,7 @@
 //	snaserve [-addr :8347] [-cache-dir DIR] [-lease-ttl 2m]
 //	         [-max-inflight N] [-max-clusters N] [-max-body-bytes N]
 //	         [-default-deadline D] [-max-deadline D] [-retry-after-cap D]
-//	         [-fleet N] [-workers N] [-warm-start] [-feasibility]
+//	         [-fleet N] [-workers N] [-warm-start] [-predictor] [-feasibility]
 //	         [-corner tt|ff|ss|fs|sf] [-rig-pool-rigs N] [-rig-pool-bytes N]
 //
 // Endpoints (see internal/serve for the full protocol):
@@ -18,7 +18,7 @@
 // Analysis defaults match the snacheck CLI — macromodel victim model,
 // alignment search on, 2 ps timestep, fail-fast error policy — and every
 // request can override them (method, policy, align, dt_ps, deadline_ms,
-// max_clusters, deterministic, warm_start, feasibility fields of the
+// max_clusters, deterministic, warm_start, predictor, feasibility fields of the
 // request object, plus "corner" to analyse at a named operating corner —
 // unknown names get a typed "bad_corner" 400, and per-corner cache and
 // solver counters appear under "corners" in /statsz). With -feasibility
@@ -85,6 +85,7 @@ func run() error {
 	fleet := flag.Int("fleet", 0, "fleet-wide concurrent cluster evaluations across all requests (0 = GOMAXPROCS, -1 = unbounded)")
 	workers := flag.Int("workers", 0, "per-request concurrent cluster workers (0 = GOMAXPROCS)")
 	warmStart := flag.Bool("warm-start", false, "default the warm-start continuation mode on (requests can still override)")
+	predictor := flag.Bool("predictor", false, "default the polynomial transient predictor on (requests can still override)")
 	feasibility := flag.Bool("feasibility", false, "default the aggressor-correlation feasibility filter on (requests can still override)")
 	corner := flag.String("corner", "", "default operating corner: tt, ff, ss, fs or sf (requests can still override)")
 	retryAfterCap := flag.Duration("retry-after-cap", 0, "clamp on the saturation-derived Retry-After hint (0 = default 8s)")
@@ -104,6 +105,7 @@ func run() error {
 			Workers:     *workers,
 			CacheDir:    *cacheDir,
 			WarmStart:   *warmStart,
+			Predictor:   *predictor,
 			Feasibility: *feasibility,
 			Corner:      crn,
 			RigPoolLimits: core.RigPoolLimits{

@@ -45,27 +45,31 @@ var (
 // Fixed characterisation grids, deliberately small: the fixtures guard
 // numerics, not production table quality. The warm parameter selects the
 // Newton continuation mode, which has its own fixture set (see
-// TestGoldenWarmStartCharacterization).
+// TestGoldenWarmStartCharacterization); pred selects the polynomial
+// transient predictor, which shares the cold fixtures (see
+// TestGoldenPredictorCharacterization).
 func goldenLCOpts(warm bool) charlib.LoadCurveOptions {
 	return charlib.LoadCurveOptions{NVin: 9, NVout: 9, WarmStart: warm}
 }
 
-func goldenPropOpts(vdd float64, warm bool) charlib.PropOptions {
+func goldenPropOpts(vdd float64, warm, pred bool) charlib.PropOptions {
 	return charlib.PropOptions{
 		Heights:   []float64{0.4 * vdd, 0.9 * vdd},
 		Widths:    []float64{200e-12, 500e-12},
 		Loads:     []float64{25e-15},
 		Dt:        2e-12,
 		WarmStart: warm,
+		Predictor: pred,
 	}
 }
 
-func goldenNRCOpts(warm bool) nrc.Options {
+func goldenNRCOpts(warm, pred bool) nrc.Options {
 	return nrc.Options{
 		Widths:    []float64{200e-12, 800e-12},
 		Tol:       0.02,
 		Dt:        2e-12,
 		WarmStart: warm,
+		Predictor: pred,
 	}
 }
 
@@ -127,8 +131,9 @@ func infToNull(hs []float64) []*float64 {
 }
 
 // characterizeGolden runs all three characterisations for one (tech, cell,
-// pin) configuration at the fixed golden grids, cold or warm-started.
-func characterizeGolden(t *testing.T, tt *tech.Tech, kind, pin string, warm bool) *goldenFixture {
+// pin) configuration at the fixed golden grids, cold, warm-started and/or
+// predictor-seeded.
+func characterizeGolden(t *testing.T, tt *tech.Tech, kind, pin string, warm, pred bool) *goldenFixture {
 	t.Helper()
 	ctx := context.Background()
 	c := cell.MustNew(tt, kind, 1)
@@ -147,7 +152,7 @@ func characterizeGolden(t *testing.T, tt *tech.Tech, kind, pin string, warm bool
 	fx.LoadCurve.NVin, fx.LoadCurve.NVout = lc.NVin, lc.NVout
 	fx.LoadCurve.I = lc.I
 
-	pt, err := charlib.CharacterizePropagation(ctx, c, st, pin, goldenPropOpts(tt.VDD, warm))
+	pt, err := charlib.CharacterizePropagation(ctx, c, st, pin, goldenPropOpts(tt.VDD, warm, pred))
 	if err != nil {
 		t.Fatalf("prop table: %v", err)
 	}
@@ -156,7 +161,7 @@ func characterizeGolden(t *testing.T, tt *tech.Tech, kind, pin string, warm bool
 	fx.PropTable.Area = flatten3(pt.Area)
 	fx.PropTable.OutSign, fx.PropTable.QuietOut = pt.OutSign, pt.QuietOut
 
-	curve, err := nrc.Characterize(ctx, c, st, pin, goldenNRCOpts(warm))
+	curve, err := nrc.Characterize(ctx, c, st, pin, goldenNRCOpts(warm, pred))
 	if err != nil {
 		t.Fatalf("nrc: %v", err)
 	}
@@ -201,15 +206,18 @@ func goldenPath(techName, kind, pin, suffix string) string {
 	return filepath.Join("testdata", "golden", fmt.Sprintf("%s_%s_%s%s.json", techName, kind, pin, suffix))
 }
 
-// runGoldenConfig characterises one configuration (cold or warm) and
-// compares it against — or, under -update, rewrites — its fixture file.
-func runGoldenConfig(t *testing.T, techName, kind, pin string, warm bool) {
+// runGoldenConfig characterises one configuration (cold, warm or
+// predictor-seeded) and compares it against — or, under -update, rewrites —
+// its fixture file. Predictor mode shares the cold fixture set (differences
+// are solver-tolerance-sized, well inside the golden comparison
+// tolerances), so it never rewrites fixtures.
+func runGoldenConfig(t *testing.T, techName, kind, pin string, warm, pred bool) {
 	t.Helper()
 	tt, err := tech.ByName(techName)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := characterizeGolden(t, tt, kind, pin, warm)
+	got := characterizeGolden(t, tt, kind, pin, warm, pred)
 	suffix := ""
 	if warm {
 		suffix = "_warm"
@@ -217,6 +225,9 @@ func runGoldenConfig(t *testing.T, techName, kind, pin string, warm bool) {
 	path := goldenPath(techName, kind, pin, suffix)
 
 	if *update {
+		if pred {
+			t.Skip("predictor mode is compared against the cold fixtures; nothing to update")
+		}
 		raw, err := json.MarshalIndent(got, "", " ")
 		if err != nil {
 			t.Fatal(err)
@@ -275,7 +286,7 @@ func runGoldenConfig(t *testing.T, techName, kind, pin string, warm bool) {
 	if len(got.NRC.Heights) != len(want.NRC.Heights) {
 		t.Fatalf("nrc.heights length %d, fixture %d", len(got.NRC.Heights), len(want.NRC.Heights))
 	}
-	nrcTol := 1.5 * goldenNRCOpts(warm).Tol * *tolScale
+	nrcTol := 1.5 * goldenNRCOpts(warm, pred).Tol * *tolScale
 	for i := range got.NRC.Heights {
 		g, w := got.NRC.Heights[i], want.NRC.Heights[i]
 		switch {
@@ -291,7 +302,7 @@ func TestGoldenCharacterization(t *testing.T) {
 	for _, cfg := range goldenConfigs() {
 		cfg := cfg
 		t.Run(cfg.techName+"/"+cfg.cell, func(t *testing.T) {
-			runGoldenConfig(t, cfg.techName, cfg.cell, cfg.pin, false)
+			runGoldenConfig(t, cfg.techName, cfg.cell, cfg.pin, false, false)
 		})
 	}
 }
@@ -372,7 +383,24 @@ func TestGoldenWarmStartCharacterization(t *testing.T) {
 	for _, cfg := range goldenConfigs() {
 		cfg := cfg
 		t.Run(cfg.techName+"/"+cfg.cell, func(t *testing.T) {
-			runGoldenConfig(t, cfg.techName, cfg.cell, cfg.pin, true)
+			runGoldenConfig(t, cfg.techName, cfg.cell, cfg.pin, true, false)
+		})
+	}
+}
+
+// TestGoldenPredictorCharacterization holds the polynomial transient
+// predictor (sim.Session.Predictor) to the *cold* fixture set: every
+// predictor-seeded Newton solve converges to the same tolerance as the cold
+// flow, so the characterised tables must agree with the committed cold
+// fixtures within the ordinary golden comparison tolerances — no separate
+// predictor fixtures exist. A predictor bug that changes the physics (a
+// seed accepted without convergence, a fallback that corrupts state) fails
+// these comparisons loudly, while legitimate last-bit differences pass.
+func TestGoldenPredictorCharacterization(t *testing.T) {
+	for _, cfg := range goldenConfigs() {
+		cfg := cfg
+		t.Run(cfg.techName+"/"+cfg.cell, func(t *testing.T) {
+			runGoldenConfig(t, cfg.techName, cfg.cell, cfg.pin, false, true)
 		})
 	}
 }

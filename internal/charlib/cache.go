@@ -353,6 +353,18 @@ func warmFP(warm bool) string {
 	return ""
 }
 
+// predFP is the fingerprint suffix of the polynomial-predictor transient
+// mode, with the same contract as warmFP: predictor artefacts differ from
+// cold ones at solver tolerance, so they must never alias cold (or warm)
+// entries, and the suffix is empty when the predictor is off so existing
+// keys are untouched.
+func predFP(pred bool) string {
+	if pred {
+		return ",pred"
+	}
+	return ""
+}
+
 // loadCurveFP fingerprints normalized load-curve options — the exact fp
 // Cache.LoadCurve keys on. The corner-sweep driver reuses it (plus a
 // continuation suffix) so a single-corner farm run and a plain LoadCurve
@@ -377,6 +389,14 @@ func (c *Cache) LoadCurve(ctx context.Context, cl *cell.Cell, st cell.State, pin
 	return v.(*LoadCurve), nil
 }
 
+// propTableFP fingerprints normalized prop-table options — the exact fp
+// Cache.PropTable keys on. The corner-sweep driver reuses it so a farm run
+// and a plain PropTable call address the same artefact.
+func propTableFP(opts PropOptions) string {
+	return fmt.Sprintf("%v,%v,%v,%g", opts.Heights, opts.Widths, opts.Loads, opts.Dt) +
+		warmFP(opts.WarmStart) + predFP(opts.Predictor)
+}
+
 // PropTable returns the memoized propagation table for the cell
 // configuration, characterising it on first use.
 func (c *Cache) PropTable(ctx context.Context, cl *cell.Cell, st cell.State, pin string, opts PropOptions) (*PropTable, error) {
@@ -384,9 +404,7 @@ func (c *Cache) PropTable(ctx context.Context, cl *cell.Cell, st cell.State, pin
 		return CharacterizePropagation(ctx, cl, st, pin, opts)
 	}
 	opts = opts.normalize(cl.Tech.VDD)
-	fp := fmt.Sprintf("%v,%v,%v,%g", opts.Heights, opts.Widths, opts.Loads, opts.Dt)
-	fp += warmFP(opts.WarmStart)
-	v, err := c.Artefact(ctx, "prop", cl, st, pin, fp, func() (any, error) {
+	v, err := c.Artefact(ctx, "prop", cl, st, pin, propTableFP(opts), func() (any, error) {
 		return CharacterizePropagation(ctx, cl, st, pin, opts)
 	})
 	if err != nil {
@@ -403,7 +421,7 @@ func (c *Cache) NRCCurve(ctx context.Context, recv *cell.Cell, st cell.State, pi
 	}
 	opts = opts.Normalized()
 	fp := fmt.Sprintf("%v,%g,%g,%g,%g", opts.Widths, opts.LoadCap, opts.FailFrac, opts.Tol, opts.Dt)
-	fp += warmFP(opts.WarmStart)
+	fp += warmFP(opts.WarmStart) + predFP(opts.Predictor)
 	v, err := c.Artefact(ctx, "nrc", recv, st, pin, fp, func() (any, error) {
 		return nrc.Characterize(ctx, recv, st, pin, opts)
 	})

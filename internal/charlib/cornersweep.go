@@ -200,11 +200,19 @@ func SweepCorners(ctx context.Context, cache *Cache, base *tech.Tech, corners []
 		}
 		out := outcome{lc: v.(*LoadCurve), stats: stats}
 		if opts.Prop {
-			pt, err := cache.PropTable(ctx, cl, st, job.Pin, opts.PropOptions)
+			// Same key as Cache.PropTable, but through a stats-returning
+			// characterizer so the per-corner counters include the
+			// transient work (steps, predictor seeds), not just DC sweeps.
+			popts := opts.PropOptions.normalize(cl.Tech.VDD)
+			pv, err := cache.Artefact(ctx, "prop", cl, st, job.Pin, propTableFP(popts), func() (any, error) {
+				pt, sstats, err := characterizePropagationStats(ctx, cl, st, job.Pin, popts)
+				out.stats = addStats(out.stats, sstats)
+				return pt, err
+			})
 			if err != nil {
 				return fmt.Errorf("charlib: corner %s %s/%s propagation: %w", corner.Name, job.Kind, job.Pin, err)
 			}
-			out.pt = pt
+			out.pt = pv.(*PropTable)
 		}
 		outcomes[ti] = out
 		return nil
@@ -258,10 +266,14 @@ func SweepCorners(ctx context.Context, cache *Cache, base *tech.Tech, corners []
 // addStats sums two session-stat snapshots field-wise.
 func addStats(a, b sim.SessionStats) sim.SessionStats {
 	return sim.SessionStats{
-		DCSolves:      a.DCSolves + b.DCSolves,
-		Transients:    a.Transients + b.Transients,
-		NewtonIters:   a.NewtonIters + b.NewtonIters,
-		WarmStarts:    a.WarmStarts + b.WarmStarts,
-		WarmFallbacks: a.WarmFallbacks + b.WarmFallbacks,
+		DCSolves:           a.DCSolves + b.DCSolves,
+		Transients:         a.Transients + b.Transients,
+		NewtonIters:        a.NewtonIters + b.NewtonIters,
+		WarmStarts:         a.WarmStarts + b.WarmStarts,
+		WarmFallbacks:      a.WarmFallbacks + b.WarmFallbacks,
+		TransientSteps:     a.TransientSteps + b.TransientSteps,
+		LinearFastPathRuns: a.LinearFastPathRuns + b.LinearFastPathRuns,
+		PredictorSeeds:     a.PredictorSeeds + b.PredictorSeeds,
+		PredictorFallbacks: a.PredictorFallbacks + b.PredictorFallbacks,
 	}
 }

@@ -49,6 +49,14 @@ type PropOptions struct {
 	// probes, so the warm solve typically converges in one or two
 	// iterations. Off by default to preserve bit-identical results.
 	WarmStart bool
+
+	// Predictor seeds each transient timestep's Newton solve with a
+	// polynomial extrapolation over the previous converged steps
+	// (sim.Session.Predictor), cutting per-step Newton iterations on the
+	// glitch transients that dominate propagation characterisation. Off by
+	// default to preserve bit-identical results; predictor tables take
+	// distinct cache and store keys, like warm-started ones.
+	Predictor bool
 }
 
 func (o PropOptions) normalize(vdd float64) PropOptions {
@@ -78,6 +86,14 @@ func (o PropOptions) normalize(vdd float64) PropOptions {
 // reuses the same sim.Session with only the glitch waveform and the lumped
 // load value mutated (sim.Session.SetSource / SetLoad).
 func CharacterizePropagation(ctx context.Context, cl *cell.Cell, st cell.State, noisyPin string, opts PropOptions) (*PropTable, error) {
+	pt, _, err := characterizePropagationStats(ctx, cl, st, noisyPin, opts)
+	return pt, err
+}
+
+// characterizePropagationStats is CharacterizePropagation plus the rig
+// session's solver counters, so sweep drivers (SweepCorners) can attribute
+// the transient work per corner without reading the process-wide registry.
+func characterizePropagationStats(ctx context.Context, cl *cell.Cell, st cell.State, noisyPin string, opts PropOptions) (*PropTable, sim.SessionStats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -92,7 +108,7 @@ func CharacterizePropagation(ctx context.Context, cl *cell.Cell, st cell.State, 
 		QuietOut: cl.PinVoltage(cl.Logic(st)),
 	}
 	if !cl.HasInput(noisyPin) {
-		return nil, fmt.Errorf("charlib: %s has no pin %q", cl.Name(), noisyPin)
+		return nil, sim.SessionStats{}, fmt.Errorf("charlib: %s has no pin %q", cl.Name(), noisyPin)
 	}
 	quietIn := cl.PinVoltage(st[noisyPin])
 	glitchSign := 1.0
@@ -101,7 +117,7 @@ func CharacterizePropagation(ctx context.Context, cl *cell.Cell, st cell.State, 
 	}
 	rig, err := newPropRig(cl, st, noisyPin, quietIn, opts)
 	if err != nil {
-		return nil, err
+		return nil, sim.SessionStats{}, err
 	}
 	// Attribute the probe sweep's solver work to the card's corner for the
 	// process-wide per-corner registry (/statsz).
@@ -120,11 +136,11 @@ func CharacterizePropagation(ctx context.Context, cl *cell.Cell, st cell.State, 
 			pt.Area[hi][wi] = make([]float64, len(pt.Loads))
 			for li, load := range pt.Loads {
 				if err := ctx.Err(); err != nil {
-					return nil, err
+					return nil, sim.SessionStats{}, err
 				}
 				m, err := rig.propagate(ctx, glitchSign*h, w, load, pt.QuietOut)
 				if err != nil {
-					return nil, fmt.Errorf("charlib: propagation h=%.2f w=%.0fps: %w", h, w*1e12, err)
+					return nil, sim.SessionStats{}, fmt.Errorf("charlib: propagation h=%.2f w=%.0fps: %w", h, w*1e12, err)
 				}
 				pt.Peak[hi][wi][li] = m.Peak
 				pt.Area[hi][wi][li] = m.Area
@@ -138,19 +154,22 @@ func CharacterizePropagation(ctx context.Context, cl *cell.Cell, st cell.State, 
 	if pt.OutSign == 0 {
 		pt.OutSign = -1
 	}
-	return pt, nil
+	return pt, rig.sess.Stats(), nil
 }
 
 // propT0 is the glitch start time of every propagation probe.
 const propT0 = 100e-12
 
 // propRig is a compiled propagation test bench: the cell driven by a
-// mutable glitch source into a mutable lumped load.
+// mutable glitch source into a mutable lumped load. res is the reused
+// transient result storage — after the first probe, a propagate call
+// allocates only its glitch waveform and measured output.
 type propRig struct {
 	sess    *sim.Session
 	hGlitch sim.SourceHandle
 	hLoad   sim.CapHandle
 	quietIn float64
+	res     sim.Result
 }
 
 func newPropRig(cl *cell.Cell, st cell.State, noisyPin string, quietIn float64, opts PropOptions) (*propRig, error) {
@@ -178,6 +197,7 @@ func newPropRig(cl *cell.Cell, st cell.State, noisyPin string, quietIn float64, 
 		return nil, err
 	}
 	sess.WarmStart(opts.WarmStart)
+	sess.Predictor(opts.Predictor)
 	return &propRig{
 		sess:    sess,
 		hGlitch: prog.MustSource("v_" + noisyPin),
@@ -189,11 +209,13 @@ func newPropRig(cl *cell.Cell, st cell.State, noisyPin string, quietIn float64, 
 func (r *propRig) propagate(ctx context.Context, height, width, load, quietOut float64) (wave.NoiseMetrics, error) {
 	r.sess.SetSource(r.hGlitch, wave.Triangle(r.quietIn, height, propT0, width))
 	r.sess.SetLoad(r.hLoad, load)
-	res, err := r.sess.RunTransient(ctx, propT0+width+1.2e-9)
-	if err != nil {
+	// Reuse the rig's result storage across probes (RunTransientInto);
+	// Waveform copies the samples it extracts, so the measured output
+	// survives the next probe overwriting res.
+	if err := r.sess.RunTransientInto(ctx, &r.res, propT0+width+1.2e-9); err != nil {
 		return wave.NoiseMetrics{}, err
 	}
-	return wave.MeasureNoise(res.Waveform("out"), quietOut), nil
+	return wave.MeasureNoise(r.res.Waveform("out"), quietOut), nil
 }
 
 // Lookup interpolates peak and area trilinearly at (height, width, load),

@@ -172,3 +172,45 @@ func TestLoadCurveSweepMatchesLegacyBitForBit(t *testing.T) {
 		}
 	}
 }
+
+// benchPropOptions is the reduced 2×2×2 grid the propagation-table
+// transient benchmarks sweep: 8 glitch transients per table, enough to
+// expose per-run costs without the full production grid's runtime.
+func benchPropOptions(pred bool) PropOptions {
+	return PropOptions{
+		Heights:   []float64{0.4, 0.9},
+		Widths:    []float64{150e-12, 400e-12},
+		Loads:     []float64{30e-15, 120e-15},
+		Dt:        2e-12,
+		Predictor: pred,
+	}
+}
+
+// BenchmarkPropTableTransient times a propagation-table characterisation
+// with allocation tracking: every (height, width, load) probe reuses one
+// compiled sim.Session *and* one transient result buffer
+// (sim.Session.RunTransientInto), so the sweep's per-probe allocations are
+// its glitch waveform and measurement only (numbers in EXPERIMENTS.md).
+func BenchmarkPropTableTransient(b *testing.B) {
+	benchPropTable(b, benchPropOptions(false))
+}
+
+// BenchmarkPropTableTransientPredictor is BenchmarkPropTableTransient with
+// polynomial predictor seeding on — the Newton-iteration cut of
+// sim.TestPredictorCutsNewtonIterations expressed as sweep wall time.
+func BenchmarkPropTableTransientPredictor(b *testing.B) {
+	benchPropTable(b, benchPropOptions(true))
+}
+
+func benchPropTable(b *testing.B, opts PropOptions) {
+	b.Helper()
+	t := tech.Tech130()
+	inv := cell.MustNew(t, "INV", 1)
+	st := cell.State{"A": false}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CharacterizePropagation(context.Background(), inv, st, "A", opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -99,11 +99,14 @@ type Cluster struct {
 // simRig is a compiled simulator test bench cached on the cluster: the
 // program/session pair plus the fingerprint of the sim options it was
 // opened with (a session fixes Dt, tolerances and initial guesses; the
-// stop time is per-run).
+// stop time is per-run). res is the reused transient result storage —
+// rigMu serialises runs, and the waveforms handed out of an evaluation
+// copy their samples, so reuse across evaluations is safe.
 type simRig struct {
 	key  string
 	prog *sim.Program
 	sess *sim.Session
+	res  sim.Result
 }
 
 // optionsFingerprint renders every session-level field of o, so a rig is

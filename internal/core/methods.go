@@ -171,13 +171,12 @@ func (c *Cluster) evaluateGolden(ctx context.Context, opts EvalOptions) (*Evalua
 			a.aggressorInputWave())
 	}
 	start := time.Now()
-	res, err := rig.sess.RunTransient(ctx, opts.TStop)
-	if err != nil {
+	if err := rig.sess.RunTransientInto(ctx, &rig.res, opts.TStop); err != nil {
 		return nil, fmt.Errorf("core: golden simulation: %w", err)
 	}
 	elapsed := time.Since(start)
-	dp := res.Waveform(c.Bus.InNode(c.Victim.Line))
-	recv := res.Waveform(c.Bus.OutNode(c.Victim.Line))
+	dp := rig.res.Waveform(c.Bus.InNode(c.Victim.Line))
+	recv := rig.res.Waveform(c.Bus.OutNode(c.Victim.Line))
 	return c.finish(Golden, dp, recv, elapsed), nil
 }
 
@@ -353,11 +352,10 @@ func (c *Cluster) DriverAloneResponse(ctx context.Context, models *Models, opts 
 		clump = 0
 	}
 	rig.sess.SetLoad(rig.prog.MustCap("cl"), clump)
-	res, err := rig.sess.RunTransient(ctx, opts.TStop)
-	if err != nil {
+	if err := rig.sess.RunTransientInto(ctx, &rig.res, opts.TStop); err != nil {
 		return nil, fmt.Errorf("core: driver-alone simulation: %w", err)
 	}
-	return res.Waveform("out"), nil
+	return rig.res.Waveform("out"), nil
 }
 
 // driverRigLocked returns the compiled driver-alone bench, compiling it on

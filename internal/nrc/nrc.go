@@ -49,6 +49,14 @@ type Options struct {
 	// bit-identical results (a bisection branch decision near the threshold
 	// could otherwise flip within its own tolerance).
 	WarmStart bool
+
+	// Predictor seeds each transient timestep's Newton solve with a
+	// polynomial extrapolation over the previous converged steps
+	// (sim.Session.Predictor), cutting per-step Newton iterations across
+	// the bisection probes. Off by default for the same reason as
+	// WarmStart: a tolerance-level result shift can flip a bisection
+	// branch, so predictor curves take distinct cache and store keys.
+	Predictor bool
 }
 
 // Normalized returns the options with every default filled in — the
@@ -137,6 +145,9 @@ type glitchRig struct {
 	quietIn  float64
 	quietOut float64
 	sign     float64
+	// res is the reused transient result storage: after the first probe a
+	// bisection step allocates only its glitch waveform and measurement.
+	res sim.Result
 }
 
 func newGlitchRig(cl *cell.Cell, st cell.State, pin string, opts Options) (*glitchRig, error) {
@@ -168,6 +179,7 @@ func newGlitchRig(cl *cell.Cell, st cell.State, pin string, opts Options) (*glit
 		return nil, err
 	}
 	sess.WarmStart(opts.WarmStart)
+	sess.Predictor(opts.Predictor)
 	return &glitchRig{
 		sess:     sess,
 		hGlitch:  prog.MustSource("v_" + pin),
@@ -217,11 +229,10 @@ func bisectFailingHeight(ctx context.Context, rig *glitchRig, width float64, opt
 // and reports whether the output deviation exceeds the failure threshold.
 func (r *glitchRig) glitchFails(ctx context.Context, height, width float64, opts Options) (bool, error) {
 	r.sess.SetSource(r.hGlitch, wave.Triangle(r.quietIn, r.sign*height, glitchT0, width))
-	res, err := r.sess.RunTransient(ctx, glitchT0+width+1e-9)
-	if err != nil {
+	if err := r.sess.RunTransientInto(ctx, &r.res, glitchT0+width+1e-9); err != nil {
 		return false, err
 	}
-	m := wave.MeasureNoise(res.Waveform("out"), r.quietOut)
+	m := wave.MeasureNoise(r.res.Waveform("out"), r.quietOut)
 	return m.Peak >= opts.FailFrac*r.vdd, nil
 }
 

@@ -70,6 +70,10 @@ type analyzeRequest struct {
 	// WarmStart toggles Newton-continuation characterisation sweeps for
 	// this request; default is the server's configured setting.
 	WarmStart *bool `json:"warm_start,omitempty"`
+	// Predictor toggles polynomial predictor warm-starting of transient
+	// Newton solves in this request's characterisation sweeps; default is
+	// the server's configured setting.
+	Predictor *bool `json:"predictor,omitempty"`
 	// Feasibility toggles the aggressor-correlation filter for this
 	// request: switching windows and logic constraints in the design prune
 	// unrealizable combinations and every report carries a
@@ -94,6 +98,7 @@ type parsedRequest struct {
 	deadline      time.Duration
 	deterministic bool
 	warmStart     bool
+	predictor     bool
 	feasibility   bool
 	corner        tech.Corner
 }
@@ -104,6 +109,7 @@ type requestLimits struct {
 	defaultDeadline time.Duration // 0 = no deadline unless requested
 	maxDeadline     time.Duration // 0 = unclamped
 	defaultWarm     bool
+	defaultPred     bool
 	defaultAlign    bool
 	defaultFeas     bool
 	defaultCorner   tech.Corner
@@ -147,6 +153,7 @@ func decodeRequest(r io.Reader, lim requestLimits) (*parsedRequest, *RequestErro
 	p := &parsedRequest{
 		align:         lim.defaultAlign,
 		warmStart:     lim.defaultWarm,
+		predictor:     lim.defaultPred,
 		feasibility:   lim.defaultFeas,
 		deterministic: req.Deterministic,
 		deadline:      lim.defaultDeadline,
@@ -178,6 +185,9 @@ func decodeRequest(r io.Reader, lim requestLimits) (*parsedRequest, *RequestErro
 	}
 	if req.WarmStart != nil {
 		p.warmStart = *req.WarmStart
+	}
+	if req.Predictor != nil {
+		p.predictor = *req.Predictor
 	}
 	if req.Feasibility != nil {
 		p.feasibility = *req.Feasibility

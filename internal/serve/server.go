@@ -209,6 +209,7 @@ func (s *Server) limits() requestLimits {
 		defaultDeadline: s.cfg.DefaultDeadline,
 		maxDeadline:     s.cfg.MaxDeadline,
 		defaultWarm:     s.cfg.Analysis.WarmStart,
+		defaultPred:     s.cfg.Analysis.Predictor,
 		defaultAlign:    true,
 		defaultFeas:     s.cfg.Analysis.Feasibility,
 		defaultCorner:   s.cfg.Analysis.Corner,
@@ -266,6 +267,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	opts.Align = preq.align
 	opts.Dt = preq.dt
 	opts.WarmStart = preq.warmStart
+	opts.Predictor = preq.predictor
 	opts.Feasibility = preq.feasibility
 	opts.Corner = preq.corner
 	an := sna.NewAnalyzer(preq.design, opts)
@@ -381,6 +383,15 @@ type SimStats struct {
 	Transient int64 `json:"transient"`
 	// NewtonIters counts Newton iterations across all solves.
 	NewtonIters int64 `json:"newton_iters"`
+	// LinearFastPathRuns counts transient runs that took the factor-once
+	// linear fast path (zero Newton iterations per step).
+	LinearFastPathRuns int64 `json:"linear_fast_path_runs"`
+	// TransientSteps counts accepted transient timesteps across all runs;
+	// with NewtonIters it yields the fleet-wide iterations-per-step rate.
+	TransientSteps int64 `json:"transient_steps"`
+	// PredictorSeeds counts timesteps whose Newton solve was seeded by the
+	// polynomial predictor (requests with "predictor": true).
+	PredictorSeeds int64 `json:"predictor_seeds"`
 	// EngineRuns counts reduced-order noise-engine runs — evaluation work,
 	// tracked separately from the transistor-level DC/Transient counters.
 	// The feasibility filter's fewer-evaluations claim is measurable here.
@@ -456,8 +467,12 @@ func (s *Server) Stats() Stats {
 			InFlight:        len(s.sem),
 		},
 		Cache: s.cache.Stats(),
-		Sim:   SimStats{DC: c.DC, Transient: c.Transient, NewtonIters: c.NewtonIters, EngineRuns: c.EngineRuns},
-		Feas:  feas.Snapshot(),
+		Sim: SimStats{
+			DC: c.DC, Transient: c.Transient, NewtonIters: c.NewtonIters,
+			LinearFastPathRuns: c.LinearFastPathRuns, TransientSteps: c.TransientSteps,
+			PredictorSeeds: c.PredictorSeeds, EngineRuns: c.EngineRuns,
+		},
+		Feas: feas.Snapshot(),
 		RigPools: RigPoolStats{
 			Hits: hits, Misses: misses,
 			Benches: s.pools.Len(), Bytes: s.pools.Bytes(),

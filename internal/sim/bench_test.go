@@ -127,3 +127,80 @@ func BenchmarkTransientSession(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTransientSessionInto is BenchmarkTransientSession on the
+// allocation-free entry point: result storage is reused across runs, so
+// the delta against the RunTransient variant is the per-run cost of
+// re-newing nsteps × nodes slices.
+func BenchmarkTransientSessionInto(b *testing.B) {
+	ckt := benchTransientCircuit(b)
+	prog := Compile(ckt)
+	sess, err := NewSession(prog, Options{Dt: 1e-12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hGlitch := prog.MustSource("v_A")
+	res := &Result{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.SetSource(hGlitch, wave.Triangle(0, 0.7+0.01*float64(i%10), 100e-12, 300e-12))
+		if err := sess.RunTransientInto(context.Background(), res, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransientPredictor is the glitch-rig transient with polynomial
+// predictor seeding on — the Newton-iteration cut measured by
+// TestPredictorCutsNewtonIterations, expressed as wall time against
+// BenchmarkTransientSessionInto.
+func BenchmarkTransientPredictor(b *testing.B) {
+	ckt := benchTransientCircuit(b)
+	prog := Compile(ckt)
+	sess, err := NewSession(prog, Options{Dt: 1e-12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess.Predictor(true)
+	hGlitch := prog.MustSource("v_A")
+	res := &Result{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.SetSource(hGlitch, wave.Triangle(0, 0.7+0.01*float64(i%10), 100e-12, 300e-12))
+		if err := sess.RunTransientInto(context.Background(), res, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransientLinearFastPath and BenchmarkTransientLinearNewton run
+// the identical coupled-interconnect transient with and without the
+// factor-once fast path; the ratio is the O(n³)→O(n²) per-step saving on
+// a linear topology (results are bit-identical, see
+// TestLinearFastPathBitIdentical).
+func BenchmarkTransientLinearFastPath(b *testing.B) {
+	benchLinearTransient(b, false)
+}
+
+func BenchmarkTransientLinearNewton(b *testing.B) {
+	benchLinearTransient(b, true)
+}
+
+func benchLinearTransient(b *testing.B, forceNewton bool) {
+	b.Helper()
+	sess, err := NewSession(Compile(busCircuit(b)), Options{Dt: 1e-12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess.noFastPath = forceNewton
+	res := &Result{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.RunTransientInto(context.Background(), res, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

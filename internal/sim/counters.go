@@ -11,10 +11,13 @@ import (
 // transient characterisation runs, and the cheapest airtight way to assert
 // that is to count every solve the engine actually starts.
 var (
-	dcCount         atomic.Int64
-	transientCount  atomic.Int64
-	newtonIterCount atomic.Int64
-	engineRunCount  atomic.Int64
+	dcCount            atomic.Int64
+	transientCount     atomic.Int64
+	newtonIterCount    atomic.Int64
+	engineRunCount     atomic.Int64
+	linearFastRunCount atomic.Int64
+	transientStepCount atomic.Int64
+	predictorSeedCount atomic.Int64
 )
 
 // CountEngineRun counts one reduced-order noise-engine run (core.RunEngine).
@@ -39,26 +42,45 @@ type Counters struct {
 	// excluded from Total(). The feasibility filter's strictly-fewer-solves
 	// guarantee is asserted on this counter.
 	EngineRuns int64
+	// LinearFastPathRuns counts transient runs that took the linear fast
+	// path: the system matrix factored once per run, every timestep a
+	// forward/back-substitution, zero Newton iterations. Paired with
+	// NewtonIters it proves a pure-RC run never entered the Newton loop.
+	LinearFastPathRuns int64
+	// TransientSteps counts accepted transient timesteps across all runs
+	// and sessions — the denominator for per-step work metrics such as the
+	// predictor's Newton-iteration reduction.
+	TransientSteps int64
+	// PredictorSeeds counts timesteps whose Newton solve was seeded by the
+	// polynomial predictor (Session.Predictor) rather than the previous
+	// converged point.
+	PredictorSeeds int64
 }
 
 // Snapshot returns the current cumulative counters. Subtract two snapshots
 // (see Sub) to measure the solves attributable to a region of code.
 func Snapshot() Counters {
 	return Counters{
-		DC:          dcCount.Load(),
-		Transient:   transientCount.Load(),
-		NewtonIters: newtonIterCount.Load(),
-		EngineRuns:  engineRunCount.Load(),
+		DC:                 dcCount.Load(),
+		Transient:          transientCount.Load(),
+		NewtonIters:        newtonIterCount.Load(),
+		EngineRuns:         engineRunCount.Load(),
+		LinearFastPathRuns: linearFastRunCount.Load(),
+		TransientSteps:     transientStepCount.Load(),
+		PredictorSeeds:     predictorSeedCount.Load(),
 	}
 }
 
 // Sub returns the per-counter difference c − prev.
 func (c Counters) Sub(prev Counters) Counters {
 	return Counters{
-		DC:          c.DC - prev.DC,
-		Transient:   c.Transient - prev.Transient,
-		NewtonIters: c.NewtonIters - prev.NewtonIters,
-		EngineRuns:  c.EngineRuns - prev.EngineRuns,
+		DC:                 c.DC - prev.DC,
+		Transient:          c.Transient - prev.Transient,
+		NewtonIters:        c.NewtonIters - prev.NewtonIters,
+		EngineRuns:         c.EngineRuns - prev.EngineRuns,
+		LinearFastPathRuns: c.LinearFastPathRuns - prev.LinearFastPathRuns,
+		TransientSteps:     c.TransientSteps - prev.TransientSteps,
+		PredictorSeeds:     c.PredictorSeeds - prev.PredictorSeeds,
 	}
 }
 
@@ -75,11 +97,15 @@ func (c Counters) Total() int64 { return c.DC + c.Transient }
 // corner-matrix farm is burning Newton iterations — and how much the
 // adjacent-corner continuation is saving.
 type CornerCounters struct {
-	DCSolves      int64 `json:"dc_solves"`      // DC solves started under this corner
-	Transients    int64 `json:"transients"`     // transient runs started under this corner
-	NewtonIters   int64 `json:"newton_iters"`   // Newton iterations spent under this corner
-	WarmStarts    int64 `json:"warm_starts"`    // solves seeded from a previous converged solution
-	WarmFallbacks int64 `json:"warm_fallbacks"` // warm-seeded solves that fell back to a cold start
+	DCSolves           int64 `json:"dc_solves"`             // DC solves started under this corner
+	Transients         int64 `json:"transients"`            // transient runs started under this corner
+	NewtonIters        int64 `json:"newton_iters"`          // Newton iterations spent under this corner
+	WarmStarts         int64 `json:"warm_starts"`           // solves seeded from a previous converged solution
+	WarmFallbacks      int64 `json:"warm_fallbacks"`        // warm-seeded solves that fell back to a cold start
+	LinearFastPathRuns int64 `json:"linear_fast_path_runs"` // transient runs on the factor-once linear fast path
+	TransientSteps     int64 `json:"transient_steps"`       // accepted transient timesteps under this corner
+	PredictorSeeds     int64 `json:"predictor_seeds"`       // timesteps seeded by the polynomial predictor
+	PredictorFallbacks int64 `json:"predictor_fallbacks"`   // predictor-seeded steps that fell back to the previous point
 }
 
 // cornerCounters is the process-wide per-corner work registry.
@@ -104,6 +130,10 @@ func RecordCornerStats(tag string, st SessionStats) {
 	c.NewtonIters += st.NewtonIters
 	c.WarmStarts += st.WarmStarts
 	c.WarmFallbacks += st.WarmFallbacks
+	c.LinearFastPathRuns += st.LinearFastPathRuns
+	c.TransientSteps += st.TransientSteps
+	c.PredictorSeeds += st.PredictorSeeds
+	c.PredictorFallbacks += st.PredictorFallbacks
 	cornerCounters[tag] = c
 }
 

@@ -91,6 +91,51 @@ type Result struct {
 	branchI [][]float64 // [vsrc][step]
 }
 
+// reset rebinds a caller-owned Result to a circuit and truncates every
+// series to length zero, reusing backing storage when its capacity covers
+// capHint points. After the first RunTransientInto on a given Result, later
+// runs of the same (or smaller) size allocate nothing here.
+func (r *Result) reset(c *circuit.Circuit, n, m, capHint int) {
+	r.c = c
+	if cap(r.Times) < capHint {
+		r.Times = make([]float64, 0, capHint)
+	}
+	r.Times = r.Times[:0]
+	if cap(r.nodeV) < n {
+		r.nodeV = make([][]float64, n)
+	}
+	r.nodeV = r.nodeV[:n]
+	for i := range r.nodeV {
+		if cap(r.nodeV[i]) < capHint {
+			r.nodeV[i] = make([]float64, 0, capHint)
+		}
+		r.nodeV[i] = r.nodeV[i][:0]
+	}
+	if cap(r.branchI) < m {
+		r.branchI = make([][]float64, m)
+	}
+	r.branchI = r.branchI[:m]
+	for k := range r.branchI {
+		if cap(r.branchI[k]) < capHint {
+			r.branchI[k] = make([]float64, 0, capHint)
+		}
+		r.branchI[k] = r.branchI[k][:0]
+	}
+}
+
+// record appends one time point. All appends stay within the capacity
+// reserved by reset, so a transient step records allocation-free.
+func (r *Result) record(t float64, x []float64) {
+	r.Times = append(r.Times, t)
+	n := len(r.nodeV)
+	for i := range r.nodeV {
+		r.nodeV[i] = append(r.nodeV[i], x[i])
+	}
+	for k := range r.branchI {
+		r.branchI[k] = append(r.branchI[k], x[n+k])
+	}
+}
+
 // Waveform returns the voltage waveform of a named node.
 func (r *Result) Waveform(node string) *wave.Waveform {
 	id, ok := r.c.LookupNode(node)

@@ -26,6 +26,13 @@ type Program struct {
 	m    int // voltage-source branch unknowns
 	size int
 
+	// linear records, once at Compile time, that the program contains no
+	// nonlinear device stamps (MOSFETs, table VCCSs): its Jacobian never
+	// depends on the iterate, so a transient run can factor the system
+	// matrix once and back-substitute per timestep (see
+	// Session.RunTransient's linear fast path).
+	linear bool
+
 	// Index-resolved stamp plans. Ground is -1, matching circuit.Ground.
 	res  []resPlan
 	caps []capPlan
@@ -115,8 +122,16 @@ func Compile(c *circuit.Circuit) *Program {
 		p.isrcW0 = append(p.isrcW0, is.W)
 		p.isrcIdx[is.Name] = k
 	}
+	p.linear = len(p.mos) == 0 && len(p.vccs) == 0
 	return p
 }
+
+// Linear reports whether the program contains no nonlinear device stamps —
+// resistors, capacitors and independent sources only. Linear programs take
+// the transient fast path: the system matrix is factored once per run and
+// every timestep is a forward/back-substitution, with zero Newton
+// iterations (see Session.RunTransient).
+func (p *Program) Linear() bool { return p.linear }
 
 // Circuit returns the source circuit, for node and probe name lookups.
 func (p *Program) Circuit() *circuit.Circuit { return p.ckt }

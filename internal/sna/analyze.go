@@ -83,6 +83,18 @@ type Options struct {
 	// distinct keys and the mode stays opt-in; sweep order is
 	// deterministic, so warm results are still reproducible run-to-run.
 	WarmStart bool
+	// Predictor enables the polynomial transient predictor of the run's
+	// propagation-table and NRC characterisation sweeps — equivalent to
+	// setting the Predictor field of Prop and NRC individually: each
+	// transient timestep's Newton solve is seeded from a polynomial
+	// extrapolation over the previous converged steps
+	// (sim.Session.Predictor), cutting per-step Newton iterations on the
+	// glitch transients that dominate characterisation. The load-curve
+	// sweep is DC-only and unaffected. Per-step results legitimately
+	// differ from the cold flow at solver-tolerance level, so predictor
+	// artefacts are cached and persisted under distinct keys and the mode
+	// stays opt-in; results remain reproducible run-to-run.
+	Predictor bool
 	// Gate optionally bounds cluster-level concurrency *across* analyzers:
 	// every worker acquires the gate before analysing a cluster and
 	// releases it afterwards. A multi-tenant server shares one Gate (see
@@ -133,6 +145,10 @@ func (o Options) normalize() Options {
 		o.LoadCurve.WarmStart = true
 		o.Prop.WarmStart = true
 		o.NRC.WarmStart = true
+	}
+	if o.Predictor {
+		o.Prop.Predictor = true
+		o.NRC.Predictor = true
 	}
 	return o
 }
