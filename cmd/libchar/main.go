@@ -32,6 +32,13 @@
 // characterisation is DC-only and unaffected. Predictor artefacts also
 // take distinct cache and store keys.
 //
+// With -nlcaps characterisation runs against the NLMOS nonlinear
+// gate-charge card (tech.Tech.WithNonlinearCaps): gate capacitances follow
+// a tanh law of the gate voltage and transient sweeps re-stamp them every
+// Newton iteration. The artefacts are physically different from
+// constant-cap ones and take distinct cache and store keys, so a shared
+// -cache-dir serves both model families without mixing.
+//
 // # Corner-matrix and Monte Carlo farm
 //
 // -corners and/or -mc-samples switch libchar into farm mode: every cell is
@@ -82,6 +89,7 @@ func main() {
 	grid := flag.Int("grid", 61, "load-curve grid points per axis")
 	warmStart := flag.Bool("warm-start", false, "seed each sweep point's Newton solve from the previous point (faster on fine grids; solver-tolerance differences vs the cold flow)")
 	predictor := flag.Bool("predictor", false, "seed each transient timestep's Newton solve with a polynomial extrapolation over previous steps (fewer iterations per step on -prop sweeps; solver-tolerance differences vs the cold flow)")
+	nlcaps := flag.Bool("nlcaps", false, "characterise with the NLMOS voltage-dependent gate-charge model (distinct cache/store keys, physically different artefacts)")
 	out := flag.String("out", "", "output JSON path (default stdout); farm mode inserts the corner name before the extension")
 	cacheDir := flag.String("cache-dir", "", "persist characterised artefacts to a content-addressed store at this directory")
 	exportStore := flag.String("export-store", "", "write the whole -cache-dir store as a portable bundle to this path and exit")
@@ -149,6 +157,13 @@ func main() {
 	t, err := tech.ByName(*techName)
 	if err != nil {
 		fail(err)
+	}
+	if *nlcaps {
+		// Deriving the base card up front makes every downstream consumer —
+		// cell construction, cache keys, store fingerprints, the corner farm
+		// (Corner.Apply commutes with WithNonlinearCaps) — see one consistent
+		// nonlinear-cap card.
+		t = t.WithNonlinearCaps()
 	}
 
 	type job struct {
@@ -266,6 +281,7 @@ type farmCornerStats struct {
 	LinearFastPathRuns int64  `json:"linear_fast_path_runs"`
 	PredictorSeeds     int64  `json:"predictor_seeds"`
 	PredictorFallbacks int64  `json:"predictor_fallbacks"`
+	NLStampEvals       int64  `json:"nl_stamp_evals"`
 }
 
 // farmStats is the -stats-out document: per-corner solver work in
@@ -306,6 +322,7 @@ func runFarm(ctx context.Context, cache *charlib.Cache, store *charstore.Store, 
 			LinearFastPathRuns: r.Stats.LinearFastPathRuns,
 			PredictorSeeds:     r.Stats.PredictorSeeds,
 			PredictorFallbacks: r.Stats.PredictorFallbacks,
+			NLStampEvals:       r.Stats.NLStampEvals,
 		})
 		stats.TotalSolves += r.Stats.DCSolves + r.Stats.Transients
 		stats.TotalNewtonIters += r.Stats.NewtonIters

@@ -5,7 +5,7 @@
 //	snacheck -design design.json [-method macromodel|superposition|zolotov|golden]
 //	         [-align] [-workers N] [-policy fail-fast|continue] [-json]
 //	         [-cache-dir DIR] [-deterministic] [-warm-start] [-predictor]
-//	         [-feasibility] [-corner tt|ff|ss|fs|sf]
+//	         [-feasibility] [-corner tt|ff|ss|fs|sf] [-nlcaps]
 //	snacheck -sample > design.json     # emit a starter design
 //
 // Clusters are analysed concurrently on a bounded worker pool (-workers,
@@ -53,6 +53,15 @@
 // corner-specific cache/store keys, and every report carries a "corner"
 // tag. Without the flag the analysis is nominal and the output — including
 // every cache key — is byte-identical to earlier corner-less runs.
+//
+// With -nlcaps every cell is built with the NLMOS nonlinear gate-charge
+// model: gate capacitances follow a tanh law of the instantaneous gate
+// voltage instead of staying constant, and the engine re-evaluates the
+// capacitor stamps inside every Newton iteration with a charge-conserving
+// companion form. Reported noise changes physically (gate charge
+// redistributes during a glitch), so nlcap artefacts take distinct cache
+// and store keys and never mix with constant-cap ones. Without the flag
+// the output is byte-identical to earlier runs.
 //
 // With -json the report is emitted as a single machine-readable JSON
 // document whose reports and summary use the stable schema of the public
@@ -102,6 +111,7 @@ func main() {
 	predictor := flag.Bool("predictor", false, "seed each transient timestep's Newton solve with a polynomial extrapolation over previous steps (fewer iterations per step; solver-tolerance differences vs the cold flow)")
 	feasibility := flag.Bool("feasibility", false, "prune unrealizable aggressor combinations via switching windows and logic constraints; report realistic margins next to worst-case ones")
 	corner := flag.String("corner", "", "operating corner to analyse at: tt, ff, ss, fs or sf (default nominal; reports gain a corner tag)")
+	nlcaps := flag.Bool("nlcaps", false, "model gate capacitances as voltage-dependent (NLMOS tanh gate-charge model; distinct cache/store keys, physically different noise)")
 	sample := flag.Bool("sample", false, "print a sample design JSON and exit")
 	flag.Parse()
 
@@ -157,6 +167,8 @@ func main() {
 		Predictor:   *predictor,
 		Feasibility: *feasibility,
 		Corner:      crn,
+
+		NonlinearCaps: *nlcaps,
 	})
 	if err := an.StoreError(); err != nil {
 		fmt.Fprintf(os.Stderr, "snacheck: warning: %v (continuing without a persistent cache)\n", err)

@@ -6,7 +6,8 @@
 //	         [-max-inflight N] [-max-clusters N] [-max-body-bytes N]
 //	         [-default-deadline D] [-max-deadline D] [-retry-after-cap D]
 //	         [-fleet N] [-workers N] [-warm-start] [-predictor] [-feasibility]
-//	         [-corner tt|ff|ss|fs|sf] [-rig-pool-rigs N] [-rig-pool-bytes N]
+//	         [-corner tt|ff|ss|fs|sf] [-nlcaps]
+//	         [-rig-pool-rigs N] [-rig-pool-bytes N]
 //
 // Endpoints (see internal/serve for the full protocol):
 //
@@ -18,7 +19,8 @@
 // Analysis defaults match the snacheck CLI — macromodel victim model,
 // alignment search on, 2 ps timestep, fail-fast error policy — and every
 // request can override them (method, policy, align, dt_ps, deadline_ms,
-// max_clusters, deterministic, warm_start, predictor, feasibility fields of the
+// max_clusters, deterministic, warm_start, predictor, feasibility and
+// nonlinear_caps fields of the
 // request object, plus "corner" to analyse at a named operating corner —
 // unknown names get a typed "bad_corner" 400, and per-corner cache and
 // solver counters appear under "corners" in /statsz). With -feasibility
@@ -88,6 +90,7 @@ func run() error {
 	predictor := flag.Bool("predictor", false, "default the polynomial transient predictor on (requests can still override)")
 	feasibility := flag.Bool("feasibility", false, "default the aggressor-correlation feasibility filter on (requests can still override)")
 	corner := flag.String("corner", "", "default operating corner: tt, ff, ss, fs or sf (requests can still override)")
+	nlcaps := flag.Bool("nlcaps", false, "default the NLMOS nonlinear gate-charge model on (requests can still override)")
 	retryAfterCap := flag.Duration("retry-after-cap", 0, "clamp on the saturation-derived Retry-After hint (0 = default 8s)")
 	rigPoolRigs := flag.Int("rig-pool-rigs", 0, "compiled benches retained per worker pool (0 = default)")
 	rigPoolBytes := flag.Int64("rig-pool-bytes", 0, "estimated bytes of compiled benches retained per worker pool (0 = unbounded)")
@@ -108,6 +111,8 @@ func run() error {
 			Predictor:   *predictor,
 			Feasibility: *feasibility,
 			Corner:      crn,
+
+			NonlinearCaps: *nlcaps,
 			RigPoolLimits: core.RigPoolLimits{
 				MaxRigs:  *rigPoolRigs,
 				MaxBytes: *rigPoolBytes,

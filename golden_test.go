@@ -206,22 +206,29 @@ func goldenPath(techName, kind, pin, suffix string) string {
 	return filepath.Join("testdata", "golden", fmt.Sprintf("%s_%s_%s%s.json", techName, kind, pin, suffix))
 }
 
-// runGoldenConfig characterises one configuration (cold, warm or
-// predictor-seeded) and compares it against — or, under -update, rewrites —
-// its fixture file. Predictor mode shares the cold fixture set (differences
-// are solver-tolerance-sized, well inside the golden comparison
-// tolerances), so it never rewrites fixtures.
-func runGoldenConfig(t *testing.T, techName, kind, pin string, warm, pred bool) {
+// runGoldenConfig characterises one configuration (cold, warm,
+// predictor-seeded or on the nonlinear gate-charge card) and compares it
+// against — or, under -update, rewrites — its fixture file. Predictor mode
+// shares the cold fixture set (differences are solver-tolerance-sized, well
+// inside the golden comparison tolerances), so it never rewrites fixtures.
+// The nlcap axis gets its own fixture set (the *_nlcap.json files): the
+// nonlinear model is physically different, so sharing any fixture would
+// defeat both comparisons.
+func runGoldenConfig(t *testing.T, techName, kind, pin string, warm, pred, nlcap bool) {
 	t.Helper()
 	tt, err := tech.ByName(techName)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := characterizeGolden(t, tt, kind, pin, warm, pred)
 	suffix := ""
 	if warm {
 		suffix = "_warm"
 	}
+	if nlcap {
+		tt = tt.WithNonlinearCaps()
+		suffix += "_nlcap"
+	}
+	got := characterizeGolden(t, tt, kind, pin, warm, pred)
 	path := goldenPath(techName, kind, pin, suffix)
 
 	if *update {
@@ -302,7 +309,7 @@ func TestGoldenCharacterization(t *testing.T) {
 	for _, cfg := range goldenConfigs() {
 		cfg := cfg
 		t.Run(cfg.techName+"/"+cfg.cell, func(t *testing.T) {
-			runGoldenConfig(t, cfg.techName, cfg.cell, cfg.pin, false, false)
+			runGoldenConfig(t, cfg.techName, cfg.cell, cfg.pin, false, false, false)
 		})
 	}
 }
@@ -383,7 +390,7 @@ func TestGoldenWarmStartCharacterization(t *testing.T) {
 	for _, cfg := range goldenConfigs() {
 		cfg := cfg
 		t.Run(cfg.techName+"/"+cfg.cell, func(t *testing.T) {
-			runGoldenConfig(t, cfg.techName, cfg.cell, cfg.pin, true, false)
+			runGoldenConfig(t, cfg.techName, cfg.cell, cfg.pin, true, false, false)
 		})
 	}
 }
@@ -400,7 +407,66 @@ func TestGoldenPredictorCharacterization(t *testing.T) {
 	for _, cfg := range goldenConfigs() {
 		cfg := cfg
 		t.Run(cfg.techName+"/"+cfg.cell, func(t *testing.T) {
-			runGoldenConfig(t, cfg.techName, cfg.cell, cfg.pin, false, true)
+			runGoldenConfig(t, cfg.techName, cfg.cell, cfg.pin, false, true, false)
+		})
+	}
+}
+
+// TestGoldenNLCapCharacterization characterises every golden configuration
+// on the NLMOS nonlinear gate-charge card (tech.Tech.WithNonlinearCaps)
+// against its own fixture set, the *_nlcap.json files. These fixtures are
+// regenerated by the same -update flow as the cold set; the nl axis only
+// changes the card handed to the characteriser, so pre-existing fixtures
+// stay within the ordinary (architecture-noise-sized) golden tolerances —
+// the byte-identity of constant-cap *analysis output* is asserted by the
+// CI nlcap job on snacheck's deterministic JSON instead.
+func TestGoldenNLCapCharacterization(t *testing.T) {
+	for _, cfg := range goldenConfigs() {
+		cfg := cfg
+		t.Run(cfg.techName+"/"+cfg.cell, func(t *testing.T) {
+			runGoldenConfig(t, cfg.techName, cfg.cell, cfg.pin, false, false, true)
+		})
+	}
+}
+
+// TestGoldenNLCapFixturesDiffer compares the committed nlcap fixtures
+// against their constant-cap twins: the nonlinear gate-charge model must
+// change the characterised propagation peaks measurably (a fixture pair
+// that agrees to solver noise would mean the nl stamps never ran), while
+// the state-independent identity fields stay equal.
+func TestGoldenNLCapFixturesDiffer(t *testing.T) {
+	for _, cfg := range goldenConfigs() {
+		cfg := cfg
+		t.Run(cfg.techName+"/"+cfg.cell, func(t *testing.T) {
+			var cold, nl goldenFixture
+			for _, f := range []struct {
+				suffix string
+				into   *goldenFixture
+			}{{"", &cold}, {"_nlcap", &nl}} {
+				path := goldenPath(cfg.techName, cfg.cell, cfg.pin, f.suffix)
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing fixture %s (generate with: go test -run Golden . -update): %v", path, err)
+				}
+				if err := json.Unmarshal(raw, f.into); err != nil {
+					t.Fatalf("fixture %s: %v", path, err)
+				}
+			}
+			if cold.Cell != nl.Cell || cold.Pin != nl.Pin || cold.State != nl.State {
+				t.Fatalf("nlcap fixture characterises a different configuration: %s/%s/%s vs %s/%s/%s",
+					nl.Cell, nl.Pin, nl.State, cold.Cell, cold.Pin, cold.State)
+			}
+			if len(nl.PropTable.Peak) != len(cold.PropTable.Peak) {
+				t.Fatalf("prop peak grids differ: %d vs %d", len(nl.PropTable.Peak), len(cold.PropTable.Peak))
+			}
+			maxDiff := 0.0
+			for i := range nl.PropTable.Peak {
+				maxDiff = math.Max(maxDiff, math.Abs(nl.PropTable.Peak[i]-cold.PropTable.Peak[i]))
+			}
+			// 1 mV floor: far above solver noise (~µV), far below VDD.
+			if maxDiff < 1e-3 {
+				t.Errorf("nlcap propagation peaks within %.3g V of constant-cap — nonlinear stamps invisible", maxDiff)
+			}
 		})
 	}
 }

@@ -277,18 +277,37 @@ func (c *Cell) Build(ckt *circuit.Circuit, name string, pins map[string]string, 
 			p = c.Tech.NMOSDevice(w)
 			mp = c.Tech.NMOS
 		}
-		ckt.AddM(name+"."+d.name, dn, gn, sn, p)
-		// Device parasitics as linear capacitors: half the oxide cap plus
-		// overlap to each channel terminal (this carries the gate-drain
-		// Miller feedthrough the macromodel deliberately omits), and
-		// junction caps to ground on the diffusions.
+		// Device parasitics: half the oxide cap plus overlap to each
+		// channel terminal (this carries the gate-drain Miller feedthrough
+		// the macromodel deliberately omits), and junction caps to ground
+		// on the diffusions. On a card carrying the NLMOS gate-charge
+		// model (CNLFrac ≠ 0, see tech.Tech.WithNonlinearCaps) the two
+		// gate caps ride on the device as voltage-dependent CapParams —
+		// split so the tanh midpoint equals the legacy constant value —
+		// instead of linear AddC elements; the junction caps stay linear
+		// either way. A zero CNLFrac takes the exact legacy path, element
+		// names and order included, so constant-cap netlists, cache keys
+		// and result bytes are untouched.
 		cHalfGate := 0.5*mp.CGatePerWL*w*c.Tech.Lmin + mp.COverlap*w
 		cJun := c.Tech.DiffCap(mp, w)
-		if gn != dn {
-			ckt.AddC(name+"."+d.name+".cgd", gn, dn, cHalfGate)
+		if mp.CNLFrac != 0 {
+			p.CGD = device.CapParams{
+				Cp: (1 - mp.CNLFrac) * cHalfGate, Co: mp.CNLFrac * cHalfGate,
+				P0: mp.CNLGDP0, P1: mp.CNLGDP1,
+			}
+			p.CGS = device.CapParams{
+				Cp: (1 - mp.CNLFrac) * cHalfGate, Co: mp.CNLFrac * cHalfGate,
+				P0: mp.CNLGSP0, P1: mp.CNLGSP1,
+			}
 		}
-		if gn != sn {
-			ckt.AddC(name+"."+d.name+".cgs", gn, sn, cHalfGate)
+		ckt.AddM(name+"."+d.name, dn, gn, sn, p)
+		if mp.CNLFrac == 0 {
+			if gn != dn {
+				ckt.AddC(name+"."+d.name+".cgd", gn, dn, cHalfGate)
+			}
+			if gn != sn {
+				ckt.AddC(name+"."+d.name+".cgs", gn, sn, cHalfGate)
+			}
 		}
 		if dn != "0" && dn != vdd {
 			ckt.AddC(name+"."+d.name+".cdb", dn, "0", cJun)

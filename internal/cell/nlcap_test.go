@@ -1,0 +1,117 @@
+package cell
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"stanoise/internal/circuit"
+	"stanoise/internal/device"
+)
+
+// buildKind instantiates one cell into a fresh circuit with canonical pin
+// names and returns the circuit.
+func buildKind(t *testing.T, c *Cell, kind string) *circuit.Circuit {
+	t.Helper()
+	ckt := circuit.New()
+	pins := map[string]string{}
+	for _, in := range c.Inputs() {
+		pins[in] = "in_" + in
+	}
+	if err := c.Build(ckt, "x", pins, "out", "vdd"); err != nil {
+		t.Fatal(err)
+	}
+	return ckt
+}
+
+// TestBuildNLCapSplit pins the cell builder's cap-budget invariant on a
+// nonlinear-cap card: every device carries CapParams whose tanh midpoint
+// value Cp + Co equals the constant cHalfGate the legacy build stamps,
+// no .cgd/.cgs AddC elements appear, the C_GS transition is anchored at the
+// device's threshold, and the junction caps are byte-for-byte the legacy
+// ones. On the base card the build must be the exact legacy netlist.
+func TestBuildNLCapSplit(t *testing.T) {
+	base := t130()
+	nl := base.WithNonlinearCaps()
+	for _, kind := range Kinds() {
+		t.Run(kind, func(t *testing.T) {
+			cc := buildKind(t, MustNew(base, kind, 1), kind)
+			nc := buildKind(t, MustNew(nl, kind, 1), kind)
+
+			if len(nc.Mosfets) != len(cc.Mosfets) {
+				t.Fatalf("device count changed: %d vs %d", len(nc.Mosfets), len(cc.Mosfets))
+			}
+			// Legacy gate caps indexed by element name; the nonlinear build
+			// must replace exactly these, and only these.
+			gate := map[string]float64{}
+			jun := map[string]float64{}
+			for _, c := range cc.Capacitors {
+				switch {
+				case strings.HasSuffix(c.Name, ".cgd"), strings.HasSuffix(c.Name, ".cgs"):
+					gate[c.Name] = c.C
+				default:
+					jun[c.Name] = c.C
+				}
+			}
+			for _, c := range nc.Capacitors {
+				if strings.HasSuffix(c.Name, ".cgd") || strings.HasSuffix(c.Name, ".cgs") {
+					t.Errorf("nl build still stamps linear gate cap %s", c.Name)
+					continue
+				}
+				want, ok := jun[c.Name]
+				if !ok {
+					t.Errorf("nl build grew element %s", c.Name)
+				} else if c.C != want {
+					t.Errorf("junction cap %s changed: %g vs %g", c.Name, c.C, want)
+				}
+				delete(jun, c.Name)
+			}
+			for name := range jun {
+				t.Errorf("nl build dropped junction cap %s", name)
+			}
+
+			for i, m := range nc.Mosfets {
+				if !m.P.NonlinearCaps() {
+					t.Errorf("%s carries no CapParams", m.Name)
+					continue
+				}
+				// Midpoint C(−P0/P1) = Cp + Co must equal the legacy
+				// constant cHalfGate for each gate cap the legacy build
+				// stamped (it skips a cap whose terminals coincide).
+				for _, g := range []struct {
+					suffix string
+					cp     device.CapParams
+				}{{".cgd", m.P.CGD}, {".cgs", m.P.CGS}} {
+					legacy, stamped := gate[m.Name+g.suffix]
+					if !stamped {
+						continue
+					}
+					// −P0/P1 rounds, so tanh sees ~1 ulp instead of exact
+					// zero: allow Co·1e-15 of slack, far below cap scale.
+					mid, _ := g.cp.Eval(-g.cp.P0 / g.cp.P1)
+					if d := math.Abs(mid - legacy); d > 1e-15*g.cp.Co {
+						t.Errorf("%s%s: tanh midpoint %g != legacy constant %g",
+							m.Name, g.suffix, mid, legacy)
+					}
+				}
+				// The C_GS transition sits at this device's threshold:
+				// u = −P0/P1 == VT0.
+				if mid := -m.P.CGS.P0 / m.P.CGS.P1; mid != m.P.VT0 {
+					t.Errorf("%s: C_GS midpoint %g, want VT0 %g", m.Name, mid, m.P.VT0)
+				}
+				// Same device, same electrical card.
+				if cm := cc.Mosfets[i]; m.P.W != cm.P.W || m.P.KP != cm.P.KP || m.P.VT0 != cm.P.VT0 {
+					t.Errorf("%s: electrical params changed vs constant-cap build", m.Name)
+				}
+			}
+
+			// Base-card build: no CapParams anywhere (bit-stability of the
+			// legacy netlist, and with it every charstore key).
+			for _, m := range cc.Mosfets {
+				if m.P.NonlinearCaps() {
+					t.Errorf("constant-cap build: %s carries CapParams", m.Name)
+				}
+			}
+		})
+	}
+}

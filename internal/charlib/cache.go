@@ -9,6 +9,7 @@ import (
 
 	"stanoise/internal/cell"
 	"stanoise/internal/nrc"
+	"stanoise/internal/tech"
 )
 
 // Cache is a thread-safe memoization layer over cell characterisation. A
@@ -276,7 +277,24 @@ func CellKey(kind string, cl *cell.Cell, st cell.State, pin, optsFP string) stri
 	if cl.Tech.Corner != nil {
 		techID += "@" + cl.Tech.Corner.Fingerprint()
 	}
-	return kind + "|" + techID + "|" + cl.Name() + "|" + st.String() + "|" + pin + "|" + optsFP
+	// Cards carrying the nonlinear gate-charge model share the base card's
+	// Name, so they must key distinctly here just like corners do; the
+	// suffix is absent on constant-cap cards, keeping legacy keys.
+	return kind + "|" + techID + nlcapFP(cl.Tech) + "|" + cl.Name() + "|" + st.String() + "|" + pin + "|" + optsFP
+}
+
+// nlcapFP is the fingerprint suffix of the nonlinear gate-charge model,
+// with the same contract as warmFP/predFP: nlcap artefacts are simulated on
+// different physics and must never alias constant-cap entries, and the
+// suffix is empty for constant-cap cards so every existing key is
+// untouched. It keys off the technology card because that is where the
+// model lives (tech.Tech.WithNonlinearCaps) — the per-device split follows
+// from the card deterministically.
+func nlcapFP(t *tech.Tech) string {
+	if t.NonlinearCaps() {
+		return ",nlcap"
+	}
+	return ""
 }
 
 // Artefact runs the full two-tier lookup for one artefact of the given

@@ -275,5 +275,6 @@ func addStats(a, b sim.SessionStats) sim.SessionStats {
 		LinearFastPathRuns: a.LinearFastPathRuns + b.LinearFastPathRuns,
 		PredictorSeeds:     a.PredictorSeeds + b.PredictorSeeds,
 		PredictorFallbacks: a.PredictorFallbacks + b.PredictorFallbacks,
+		NLStampEvals:       a.NLStampEvals + b.NLStampEvals,
 	}
 }

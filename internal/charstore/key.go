@@ -51,8 +51,17 @@ const keyScheme = "stanoise-charstore-key/v1"
 // store entry reachable (asserted by TestNominalCornerKeysBitStable).
 func TechFingerprint(t *tech.Tech) string {
 	mos := func(m tech.MOSParams) string {
-		return fmt.Sprintf("KP=%.17g VT0=%.17g LAMBDA=%.17g CG=%.17g COV=%.17g CJ=%.17g",
+		fp := fmt.Sprintf("KP=%.17g VT0=%.17g LAMBDA=%.17g CG=%.17g COV=%.17g CJ=%.17g",
 			m.KP, m.VT0, m.Lambda, m.CGatePerWL, m.COverlap, m.CJunction)
+		// The nonlinear gate-charge segment renders only on cards that
+		// carry the model (tech.Tech.WithNonlinearCaps), mirroring the
+		// Corner segment below: constant-cap cards keep the exact
+		// pre-nlcap text and every existing store entry stays reachable.
+		if m.CNLFrac != 0 {
+			fp += fmt.Sprintf(" NLCAP{frac=%.17g gd=%.17g/%.17g gs=%.17g/%.17g}",
+				m.CNLFrac, m.CNLGDP0, m.CNLGDP1, m.CNLGSP0, m.CNLGSP1)
+		}
+		return fp
 	}
 	fp := fmt.Sprintf("tech=%s VDD=%.17g Lmin=%.17g WUnit=%.17g PNRatio=%.17g NMOS{%s} PMOS{%s}",
 		t.Name, t.VDD, t.Lmin, t.WUnit, t.PNRatio, mos(t.NMOS), mos(t.PMOS))

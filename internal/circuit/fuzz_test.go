@@ -23,6 +23,13 @@ var fuzzSeeds = []string{
 	"Iinj n 0 DC 1m\n",
 	"M1 d g s nch W=2u L=0.13u\n.model nch NMOS (KP=340u VT0=0.35 LAMBDA=0.15)\n",
 	".model pch PMOS (KP=90u VT0=-0.38)\nM2 out in vdd pch W=1.2u L=130n\n",
+	// NLMOS nonlinear gate-charge parameters, well-formed and hostile.
+	"M1 d g s nch W=2u L=0.13u CGDCP=1.5f CGDCO=0.5f CGDP0=-0.4 CGDP1=1.2 CGSCP=2f CGSCO=1f CGSP0=-0.7 CGSP1=2\n.model nch NMOS (KP=340u VT0=0.35)\n",
+	"M1 d g s nch W=1u L=1u CGSCP=3f CGSCO=0\n.model nch NMOS (KP=1m)\n",
+	"M1 d g s nch W=1u L=1u CGDCP=-1f\n.model nch NMOS (KP=1m)\n",
+	"M1 d g s nch W=1u L=1u CGSCO=nan\n.model nch NMOS (KP=1m)\n",
+	"M1 d g s nch W=1u L=1u CGDP1=inf\n.model nch NMOS (KP=1m)\n",
+	"M1 d g s nch W=1u L=1u CGDCP=1e306k\n.model nch NMOS (KP=1m)\n",
 	"R1 a b 1t\nR2 b c 1g\nR3 c d 1u\nR4 d e 1p\nR5 e f 1f\n",
 	// Malformed on purpose: the parser must error, never panic.
 	"R1 a b\n",

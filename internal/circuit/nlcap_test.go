@@ -1,0 +1,122 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"stanoise/internal/device"
+)
+
+// TestParseMOSNLCapParams pins the M-line wire form of the NLMOS
+// gate-charge model: all eight CGD*/CGS* parameters land in the instance
+// CapParams, a bare M-line leaves them zero (legacy netlists unchanged),
+// and the writer round-trips the model — emitting the parameters only when
+// a cap model is present.
+func TestParseMOSNLCapParams(t *testing.T) {
+	src := `.model nch NMOS (KP=340u VT0=0.35 LAMBDA=0.15)
+M1 d g s nch W=2u L=0.13u CGDCP=1.5f CGDCO=0.5f CGDP0=-0.4 CGDP1=1.25 CGSCP=2f CGSCO=1f CGSP0=-0.75 CGSP1=2
+M2 d2 g s nch W=2u L=0.13u
+`
+	ckt, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckt.Mosfets) != 2 {
+		t.Fatalf("parsed %d mosfets, want 2", len(ckt.Mosfets))
+	}
+	m1 := ckt.Mosfets[0]
+	// The parser multiplies the engineering suffix in at runtime (1.5 ×
+	// 1e-15 with one rounding); a femto *variable* reproduces that bit for
+	// bit, where a folded constant would not.
+	femto := 1e-15
+	wantGD := device.CapParams{Cp: 1.5 * femto, Co: 0.5 * femto, P0: -0.4, P1: 1.25}
+	wantGS := device.CapParams{Cp: 2 * femto, Co: 1 * femto, P0: -0.75, P1: 2}
+	if m1.P.CGD != wantGD {
+		t.Errorf("M1 CGD = %+v, want %+v", m1.P.CGD, wantGD)
+	}
+	if m1.P.CGS != wantGS {
+		t.Errorf("M1 CGS = %+v, want %+v", m1.P.CGS, wantGS)
+	}
+	if !m1.P.NonlinearCaps() {
+		t.Error("M1 does not report nonlinear caps")
+	}
+	m2 := ckt.Mosfets[1]
+	if !m2.P.CGD.IsZero() || !m2.P.CGS.IsZero() {
+		t.Errorf("bare M-line grew cap params: CGD %+v CGS %+v", m2.P.CGD, m2.P.CGS)
+	}
+
+	var b strings.Builder
+	if err := ckt.Write(&b, "round trip"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "CGDCP=") || !strings.Contains(out, "CGSP1=") {
+		t.Fatalf("writer dropped nl-cap params:\n%s", out)
+	}
+	// The bare device's line must stay clean — emitting zero-valued params
+	// would change every legacy netlist byte.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "M2") && strings.Contains(line, "CG") {
+			t.Errorf("bare M-line gained cap params: %s", line)
+		}
+	}
+	ckt2, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	// The writer prints %.6g (same as W/L), so round-tripped values agree
+	// to print precision, not bitwise.
+	closeTo := func(got, want float64) bool {
+		return math.Abs(got-want) <= 1e-6*math.Abs(want)
+	}
+	rt := ckt2.Mosfets[0].P
+	for _, pair := range [][2]device.CapParams{{rt.CGD, wantGD}, {rt.CGS, wantGS}} {
+		got, want := pair[0], pair[1]
+		if !closeTo(got.Cp, want.Cp) || !closeTo(got.Co, want.Co) ||
+			!closeTo(got.P0, want.P0) || !closeTo(got.P1, want.P1) {
+			t.Errorf("round trip changed cap params: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+// TestParseMOSNLCapRejections pins the typed-error contract for hostile
+// nl-cap parameters: negative pedestals or modulation depths and non-finite
+// values are *ParseError rejections carrying the line number — never a
+// panic, never a silently-poisoned matrix.
+func TestParseMOSNLCapRejections(t *testing.T) {
+	model := ".model nch NMOS (KP=340u VT0=0.35)\n"
+	cases := []struct {
+		name, line, want string
+	}{
+		{"negative_cgd_cp", "M1 d g s nch W=1u L=1u CGDCP=-1f", "negative gate capacitance"},
+		{"negative_cgs_co", "M1 d g s nch W=1u L=1u CGSCO=-2f", "negative gate capacitance"},
+		// "nan"/"inf" lose their last letter to an engineering suffix and
+		// fail float parsing; the typed rejection is what matters.
+		{"nan_param", "M1 d g s nch W=1u L=1u CGSP0=nan", "bad mosfet parameter"},
+		{"inf_param", "M1 d g s nch W=1u L=1u CGDCO=inf", "bad mosfet parameter"},
+		{"unknown_param", "M1 d g s nch W=1u L=1u CGXCP=1f", "unknown mosfet parameter"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(model + tc.line + "\n"))
+			if err == nil {
+				t.Fatalf("%q parsed without error", tc.line)
+			}
+			pe, ok := err.(*ParseError)
+			if !ok {
+				t.Fatalf("error is %T, want *ParseError: %v", err, err)
+			}
+			if pe.Line != 2 {
+				t.Errorf("ParseError line %d, want 2", pe.Line)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// Zero-valued params are legal (Co = 0 is the constant-cap reduction).
+	if _, err := Parse(strings.NewReader(model + "M1 d g s nch W=1u L=1u CGDCP=1f CGDCO=0\n")); err != nil {
+		t.Errorf("zero-modulation cap rejected: %v", err)
+	}
+}

@@ -32,9 +32,15 @@ func (e *ParseError) Error() string {
 //     V<name> p n PWL(<t1> <v1> <t2> <v2> ...)
 //     V<name> p n RAMP(<v0> <v1> <t0> <tr>)
 //     I<name> p n DC <value>
-//     M<name> d g s <model> W=<value> L=<value>
+//     M<name> d g s <model> W=<value> L=<value> [nonlinear-cap params]
 //     .model <name> NMOS|PMOS (KP=<v> VT0=<v> LAMBDA=<v>)
 //     .end
+//
+// The optional M-line nonlinear-cap parameters carry the NLMOS tanh
+// gate-charge model per instance (see device.CapParams): CGDCP/CGDCO/
+// CGDP0/CGDP1 for the gate-drain cap and CGSCP/CGSCO/CGSP0/CGSP1 for the
+// gate-source cap. Cp and Co must be non-negative and, like every value,
+// finite; absent parameters mean constant (or no) gate caps.
 //
 // Engineering suffixes (f p n u m k meg g t) are accepted on all numbers.
 // Model cards may appear after the devices that reference them.
@@ -44,6 +50,7 @@ func Parse(r io.Reader) (*Circuit, error) {
 		line              int
 		name, d, g, s, mo string
 		w, l              float64
+		cgd, cgs          device.CapParams
 	}
 	var pending []pendingMOS
 	models := map[string]device.Params{}
@@ -136,12 +143,31 @@ func Parse(r io.Reader) (*Circuit, error) {
 					pm.w = val
 				case "L":
 					pm.l = val
+				case "CGDCP":
+					pm.cgd.Cp = val
+				case "CGDCO":
+					pm.cgd.Co = val
+				case "CGDP0":
+					pm.cgd.P0 = val
+				case "CGDP1":
+					pm.cgd.P1 = val
+				case "CGSCP":
+					pm.cgs.Cp = val
+				case "CGSCO":
+					pm.cgs.Co = val
+				case "CGSP0":
+					pm.cgs.P0 = val
+				case "CGSP1":
+					pm.cgs.P1 = val
 				default:
 					return nil, fail("unknown mosfet parameter %q", k)
 				}
 			}
 			if pm.w <= 0 || pm.l <= 0 {
 				return nil, fail("mosfet %s needs positive W and L", fields[0])
+			}
+			if pm.cgd.Cp < 0 || pm.cgd.Co < 0 || pm.cgs.Cp < 0 || pm.cgs.Co < 0 {
+				return nil, fail("mosfet %s has negative gate capacitance", fields[0])
 			}
 			pending = append(pending, pm)
 		default:
@@ -159,6 +185,7 @@ done:
 		}
 		p := model
 		p.W, p.L = pm.w, pm.l
+		p.CGD, p.CGS = pm.cgd, pm.cgs
 		ckt.AddM(pm.name, pm.d, pm.g, pm.s, p)
 	}
 	return ckt, nil

@@ -47,8 +47,20 @@ func (c *Circuit) Write(w io.Writer, title string) error {
 		}
 	}
 	for _, m := range c.Mosfets {
-		fmt.Fprintf(&b, "%s %s %s %s %s W=%.6g L=%.6g\n",
+		fmt.Fprintf(&b, "%s %s %s %s %s W=%.6g L=%.6g",
 			m.Name, c.NodeName(m.D), c.NodeName(m.G), c.NodeName(m.S), modelName[modelKey(m.P)], m.P.W, m.P.L)
+		// Nonlinear gate-charge instance parameters, only when present:
+		// constant-cap devices keep the legacy line byte-for-byte, which
+		// is what keeps pre-nlcap charstore netlist keys stable.
+		if !m.P.CGD.IsZero() {
+			fmt.Fprintf(&b, " CGDCP=%.6g CGDCO=%.6g CGDP0=%.6g CGDP1=%.6g",
+				m.P.CGD.Cp, m.P.CGD.Co, m.P.CGD.P0, m.P.CGD.P1)
+		}
+		if !m.P.CGS.IsZero() {
+			fmt.Fprintf(&b, " CGSCP=%.6g CGSCO=%.6g CGSP0=%.6g CGSP1=%.6g",
+				m.P.CGS.Cp, m.P.CGS.Co, m.P.CGS.P0, m.P.CGS.P1)
+		}
+		b.WriteByte('\n')
 	}
 	sort.Strings(modelLines)
 	for _, l := range modelLines {

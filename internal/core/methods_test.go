@@ -17,7 +17,13 @@ import (
 // golden/baseline/macromodel comparison under a second.
 func fastCluster(t *testing.T, nAgg int) *Cluster {
 	t.Helper()
-	tt := tech.Tech130()
+	return fastClusterOn(t, tech.Tech130(), nAgg)
+}
+
+// fastClusterOn is fastCluster on an explicit technology card, for tests
+// that cross cluster behaviour with a card axis (corners, nonlinear caps).
+func fastClusterOn(t *testing.T, tt *tech.Tech, nAgg int) *Cluster {
+	t.Helper()
 	lines := []interconnect.LineSpec{{Name: "vic", LengthUm: 500}}
 	for i := 0; i < nAgg; i++ {
 		lines = append(lines, interconnect.LineSpec{Name: "agg" + string(rune('1'+i)), LengthUm: 500})

@@ -6,6 +6,7 @@ import (
 
 	"stanoise/internal/cell"
 	"stanoise/internal/sim"
+	"stanoise/internal/tech"
 )
 
 // RigPool caches compiled simulator test benches — program/session pairs —
@@ -207,7 +208,19 @@ func (c *Cluster) topologyKey() string {
 		ln := &c.Bus.Lines[i]
 		fmt.Fprintf(&bus, ",%s:%.17g:%.17g", ln.Name, ln.LengthUm, ln.SpacingFactor)
 	}
-	return c.renderSpecKey(fmt.Sprintf("%s:%.17g", c.Tech.Name, c.Tech.VDD), bus.String(), cellClass)
+	return c.renderSpecKey(fmt.Sprintf("%s%s:%.17g", c.Tech.Name, nlcapMark(c.Tech), c.Tech.VDD), bus.String(), cellClass)
+}
+
+// nlcapMark disambiguates pooled-bench keys between constant-cap and
+// nonlinear-gate-charge cards: both share the base card's Name and VDD, but
+// compile to different programs, so without the marker an nlcap analysis
+// could be served a constant-cap bench from a shared pool (or vice versa).
+// Empty for constant-cap cards, keeping every legacy key.
+func nlcapMark(t *tech.Tech) string {
+	if t.NonlinearCaps() {
+		return ",nlcap"
+	}
+	return ""
 }
 
 // driverClassKey identifies the topology class of the driver-alone bench,
@@ -217,8 +230,8 @@ func (c *Cluster) topologyKey() string {
 // common case in a real design) shares one compiled bench.
 func (c *Cluster) driverClassKey() string {
 	v := &c.Victim
-	return fmt.Sprintf("tech=%s:%.17g|vic=%s,%s,%s",
-		c.Tech.Name, c.Tech.VDD, cellClass(v.Cell), v.State.String(), v.NoisyPin)
+	return fmt.Sprintf("tech=%s%s:%.17g|vic=%s,%s,%s",
+		c.Tech.Name, nlcapMark(c.Tech), c.Tech.VDD, cellClass(v.Cell), v.State.String(), v.NoisyPin)
 }
 
 // pooledRig routes a rig lookup through the attached pool under a

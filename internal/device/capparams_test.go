@@ -1,0 +1,125 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// nlcap is a representative NLMOS gate-charge model: a 1 fF pedestal with
+// 1 fF of modulation, transitioning around u = 0.35 V with a 2/V slope —
+// the shape the cell builder derives for an NMOS C_GS at cmos130 scale.
+func nlcap() CapParams {
+	return CapParams{Cp: 1e-15, Co: 1e-15, P0: -0.7, P1: 2.0}
+}
+
+// TestCapParamsDerivativeFD holds the analytic dC/du of Eval to a central
+// finite difference of C(u) across the transition region and both tanh
+// saturation tails, at 1e-6 relative tolerance (the FD truncation error is
+// O(h²·C”'), far below that for these scales).
+func TestCapParamsDerivativeFD(t *testing.T) {
+	cases := []struct {
+		name string
+		cp   CapParams
+	}{
+		{"nominal", nlcap()},
+		{"steep", CapParams{Cp: 0.5e-15, Co: 2e-15, P0: 1.0, P1: -6.0}},
+		{"shallow", CapParams{Cp: 2e-15, Co: 0.3e-15, P0: 0.2, P1: 0.8}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Sweep well past the transition so both saturated tails
+			// (|tanh| → 1, dC → 0) are exercised, not just the active region.
+			for u := -5.0; u <= 5.0; u += 0.05 {
+				_, dc := tc.cp.Eval(u)
+				const h = 1e-5
+				cp1, _ := tc.cp.Eval(u + h)
+				cm1, _ := tc.cp.Eval(u - h)
+				fd := (cp1 - cm1) / (2 * h)
+				scale := math.Abs(tc.cp.Co * tc.cp.P1) // peak |dC/du|
+				if d := math.Abs(dc - fd); d > 1e-6*scale {
+					t.Fatalf("u=%.2f: analytic dC/du %.9g, FD %.9g (|Δ| %.3g)", u, dc, fd, d)
+				}
+			}
+		})
+	}
+}
+
+// TestCapParamsChargeConsistency holds Charge to its defining property
+// dQ/du = C(u): the analytic integral and the analytic capacitance must
+// agree through a central finite difference of Q, including deep in both
+// tails where Charge switches to the ln-cosh asymptote.
+func TestCapParamsChargeConsistency(t *testing.T) {
+	cp := nlcap()
+	for _, u := range []float64{-40, -3, -0.8, 0, 0.35, 1.2, 3, 40} {
+		c, _ := cp.Eval(u)
+		const h = 1e-5
+		fd := (cp.Charge(u+h) - cp.Charge(u-h)) / (2 * h)
+		if d := math.Abs(fd - c); d > 1e-6*(cp.Cp+2*cp.Co) {
+			t.Errorf("u=%g: dQ/du (FD) = %.9g, C(u) = %.9g (|Δ| %.3g)", u, fd, c, d)
+		}
+	}
+	if q := cp.Charge(0); q != 0 {
+		t.Errorf("Charge(0) = %g, want exactly 0", q)
+	}
+}
+
+// TestCapParamsBounds pins the physical envelope: C(u) swings monotonically
+// between Cp (u deep below the transition for P1 > 0) and Cp + 2·Co, and
+// the tanh midpoint sits exactly at C = Cp + Co.
+func TestCapParamsBounds(t *testing.T) {
+	cp := nlcap()
+	lo, hi := cp.Cp, cp.Cp+2*cp.Co
+	prev := math.Inf(-1)
+	for u := -8.0; u <= 8.0; u += 0.1 {
+		c, _ := cp.Eval(u)
+		if c < lo-1e-30 || c > hi+1e-30 {
+			t.Fatalf("u=%.1f: C=%g outside [%g, %g]", u, c, lo, hi)
+		}
+		if c < prev {
+			t.Fatalf("u=%.1f: C not monotone for P1 > 0", u)
+		}
+		prev = c
+	}
+	mid, _ := cp.Eval(-cp.P0 / cp.P1)
+	if d := math.Abs(mid - (cp.Cp + cp.Co)); d > 1e-30 {
+		t.Errorf("midpoint C = %g, want Cp+Co = %g", mid, cp.Cp+cp.Co)
+	}
+}
+
+// TestCapParamsZeroModulation pins the Co = 0 degenerate form the compiler's
+// reduction relies on: a constant capacitance Cp with exactly zero
+// derivative and the exactly linear charge Cp·u, regardless of P0/P1.
+func TestCapParamsZeroModulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		cp := CapParams{Cp: rng.Float64() * 1e-14, P0: rng.NormFloat64(), P1: rng.NormFloat64()}
+		u := rng.NormFloat64() * 3
+		c, dc := cp.Eval(u)
+		if c != cp.Cp || dc != 0 {
+			t.Fatalf("Co=0: Eval(%g) = (%g, %g), want (%g, 0)", u, c, dc, cp.Cp)
+		}
+		if q := cp.Charge(u); q != cp.Cp*u {
+			t.Fatalf("Co=0: Charge(%g) = %g, want %g", u, q, cp.Cp*u)
+		}
+	}
+}
+
+// TestCapParamsIsZero distinguishes "no model" (all-zero, IsZero true) from
+// a constant capacitor spelled through the nonlinear form (Cp > 0, Co = 0).
+func TestCapParamsIsZero(t *testing.T) {
+	if !(CapParams{}).IsZero() {
+		t.Error("zero value must report IsZero")
+	}
+	if (CapParams{Cp: 1e-15}).IsZero() {
+		t.Error("constant-cap form must not report IsZero")
+	}
+	p := Params{Kind: NMOS, W: 1e-6, L: 0.13e-6, KP: 300e-6, VT0: 0.35}
+	if p.NonlinearCaps() {
+		t.Error("bare Level-1 card must not report NonlinearCaps")
+	}
+	p.CGS = nlcap()
+	if !p.NonlinearCaps() {
+		t.Error("card with a CGS model must report NonlinearCaps")
+	}
+}

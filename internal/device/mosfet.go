@@ -10,6 +10,8 @@
 // an adequate stand-in for the foundry BSIM models used with ELDO.
 package device
 
+import "math"
+
 // Kind selects the transistor polarity.
 type Kind int
 
@@ -36,10 +38,77 @@ type Params struct {
 	KP     float64 // transconductance parameter µCox (A/V²)
 	VT0    float64 // zero-bias threshold voltage (V)
 	Lambda float64 // channel-length modulation (1/V)
+
+	// CGD and CGS are the optional voltage-dependent gate-charge caps of
+	// the NLMOS extension (tanh-shaped C(u), see CapParams). Zero values
+	// mean "no nonlinear gate model": the cell builder then falls back to
+	// the classic constant half-gate capacitors, so legacy netlists,
+	// cache keys and result bytes are untouched.
+	CGD, CGS CapParams
 }
 
 // Beta returns the device gain factor KP·W/L.
 func (p *Params) Beta() float64 { return p.KP * p.W / p.L }
+
+// NonlinearCaps reports whether the instance carries a voltage-dependent
+// gate-charge model on either gate capacitor.
+func (p *Params) NonlinearCaps() bool { return !p.CGD.IsZero() || !p.CGS.IsZero() }
+
+// CapParams is the tanh-shaped voltage-dependent capacitor of the NLMOS
+// gate-charge model:
+//
+//	C(u)  = Cp + Co·(1 + tanh(P0 + P1·u))
+//	C'(u) = Co·P1 / cosh²(P0 + P1·u)
+//
+// u is the branch voltage across the capacitor (gate minus drain for C_GD,
+// gate minus source for C_GS). Cp is the constant pedestal, Co the
+// modulation depth (the capacitance swings between Cp and Cp+2·Co), and
+// P0/P1 place and scale the transition along the voltage axis. Co = 0
+// degenerates to a constant capacitor of value Cp and is compiled as one —
+// the zero-modulation reduction that keeps constant-cap programs on the
+// precomputed stamp path bit-for-bit.
+type CapParams struct {
+	Cp float64 // constant pedestal capacitance (F)
+	Co float64 // modulation depth (F); 0 means constant
+	P0 float64 // transition offset (dimensionless)
+	P1 float64 // transition slope (1/V)
+}
+
+// IsZero reports whether the cap model is entirely absent (all fields zero),
+// as opposed to a constant capacitor (Co = 0 but Cp > 0).
+func (cp CapParams) IsZero() bool { return cp == CapParams{} }
+
+// Eval returns the capacitance C(u) and its analytic derivative dC/du at
+// branch voltage u.
+func (cp CapParams) Eval(u float64) (c, dc float64) {
+	if cp.Co == 0 {
+		return cp.Cp, 0
+	}
+	arg := cp.P0 + cp.P1*u
+	c = cp.Cp + cp.Co*(1+math.Tanh(arg))
+	ch := math.Cosh(arg)
+	dc = cp.Co * cp.P1 / (ch * ch)
+	return c, dc
+}
+
+// Charge returns the stored charge Q(u) = ∫₀ᵘ C(v) dv, the analytic
+// integral of Eval's capacitance. Used by the charge-conservation test
+// battery to check ∮i dt against ΔQ on a charge/discharge transient.
+func (cp CapParams) Charge(u float64) float64 {
+	if cp.Co == 0 {
+		return cp.Cp * u
+	}
+	// ∫ tanh(P0+P1·v) dv = ln(cosh(P0+P1·v))/P1.
+	lc := func(v float64) float64 {
+		arg := cp.P0 + cp.P1*v
+		// ln(cosh x) overflows for |x| ≳ 710; use the asymptote |x| − ln 2.
+		if math.Abs(arg) > 30 {
+			return math.Abs(arg) - math.Ln2
+		}
+		return math.Log(math.Cosh(arg))
+	}
+	return cp.Cp*u + cp.Co*(u+(lc(u)-lc(0))/cp.P1)
+}
 
 // Eval computes the drain current and its partial derivatives for the given
 // terminal node voltages. The returned id is the current flowing into the

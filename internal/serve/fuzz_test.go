@@ -44,6 +44,8 @@ func FuzzRequestDecode(f *testing.F) {
 		valid(map[string]any{"dt_ps": 1, "deadline_ms": 250, "max_clusters": 2, "deterministic": true}),
 		valid(map[string]any{"feasibility": true}),
 		valid(map[string]any{"feasibility": "yes"}),
+		valid(map[string]any{"nonlinear_caps": true}),
+		valid(map[string]any{"nonlinear_caps": "yes"}),
 		valid(map[string]any{"dt_ps": -1}),
 		valid(map[string]any{"deadline_ms": -5}),
 		valid(map[string]any{"max_clusters": -1}),

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"stanoise/internal/sna"
+)
+
+// TestDecodeNonlinearCapsKnob pins the three-way semantics of the
+// per-request nonlinear_caps knob against the server default: an absent
+// field inherits the default in both polarities, and an explicit value
+// overrides it in both directions — the same contract as warm_start and
+// predictor.
+func TestDecodeNonlinearCapsKnob(t *testing.T) {
+	body := func(extra map[string]any) []byte {
+		m := map[string]any{"design": sna.SampleDesign()}
+		for k, v := range extra {
+			m[k] = v
+		}
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := []struct {
+		name     string
+		serverOn bool
+		extra    map[string]any
+		want     bool
+	}{
+		{"absent_default_off", false, nil, false},
+		{"absent_default_on", true, nil, true},
+		{"explicit_on_overrides_off", false, map[string]any{"nonlinear_caps": true}, true},
+		{"explicit_off_overrides_on", true, map[string]any{"nonlinear_caps": false}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, rerr := decodeRequest(bytes.NewReader(body(tc.extra)), requestLimits{defaultNLCaps: tc.serverOn})
+			if rerr != nil {
+				t.Fatalf("decode failed: %v", rerr)
+			}
+			if p.nonlinearCaps != tc.want {
+				t.Errorf("nonlinearCaps = %v, want %v", p.nonlinearCaps, tc.want)
+			}
+		})
+	}
+	// Wrong JSON type is a typed rejection, not a panic or silent default.
+	if _, rerr := decodeRequest(bytes.NewReader(body(map[string]any{"nonlinear_caps": "yes"})), requestLimits{}); rerr == nil {
+		t.Error(`"nonlinear_caps": "yes" decoded without error`)
+	}
+}

@@ -85,6 +85,10 @@ type analyzeRequest struct {
 	// An unknown name is a "bad_corner" 400. Empty selects the server's
 	// configured default corner (nominal unless the operator set one).
 	Corner string `json:"corner,omitempty"`
+	// NonlinearCaps toggles the NLMOS voltage-dependent gate-charge model
+	// for this request (sna.Options.NonlinearCaps); default is the
+	// server's configured setting.
+	NonlinearCaps *bool `json:"nonlinear_caps,omitempty"`
 }
 
 // parsedRequest is a decoded, validated, defaulted analyzeRequest, ready
@@ -100,6 +104,7 @@ type parsedRequest struct {
 	warmStart     bool
 	predictor     bool
 	feasibility   bool
+	nonlinearCaps bool
 	corner        tech.Corner
 }
 
@@ -112,6 +117,7 @@ type requestLimits struct {
 	defaultPred     bool
 	defaultAlign    bool
 	defaultFeas     bool
+	defaultNLCaps   bool
 	defaultCorner   tech.Corner
 }
 
@@ -155,6 +161,7 @@ func decodeRequest(r io.Reader, lim requestLimits) (*parsedRequest, *RequestErro
 		warmStart:     lim.defaultWarm,
 		predictor:     lim.defaultPred,
 		feasibility:   lim.defaultFeas,
+		nonlinearCaps: lim.defaultNLCaps,
 		deterministic: req.Deterministic,
 		deadline:      lim.defaultDeadline,
 	}
@@ -191,6 +198,9 @@ func decodeRequest(r io.Reader, lim requestLimits) (*parsedRequest, *RequestErro
 	}
 	if req.Feasibility != nil {
 		p.feasibility = *req.Feasibility
+	}
+	if req.NonlinearCaps != nil {
+		p.nonlinearCaps = *req.NonlinearCaps
 	}
 	p.corner = lim.defaultCorner
 	if req.Corner != "" {

@@ -212,6 +212,7 @@ func (s *Server) limits() requestLimits {
 		defaultPred:     s.cfg.Analysis.Predictor,
 		defaultAlign:    true,
 		defaultFeas:     s.cfg.Analysis.Feasibility,
+		defaultNLCaps:   s.cfg.Analysis.NonlinearCaps,
 		defaultCorner:   s.cfg.Analysis.Corner,
 	}
 }
@@ -269,6 +270,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	opts.WarmStart = preq.warmStart
 	opts.Predictor = preq.predictor
 	opts.Feasibility = preq.feasibility
+	opts.NonlinearCaps = preq.nonlinearCaps
 	opts.Corner = preq.corner
 	an := sna.NewAnalyzer(preq.design, opts)
 
@@ -392,6 +394,10 @@ type SimStats struct {
 	// PredictorSeeds counts timesteps whose Newton solve was seeded by the
 	// polynomial predictor (requests with "predictor": true).
 	PredictorSeeds int64 `json:"predictor_seeds"`
+	// NLStampEvals counts nonlinear-capacitor stamp evaluations (requests
+	// with "nonlinear_caps": true); strictly positive iff the NLMOS
+	// voltage-dependent gate-charge model actually ran.
+	NLStampEvals int64 `json:"nl_stamp_evals"`
 	// EngineRuns counts reduced-order noise-engine runs — evaluation work,
 	// tracked separately from the transistor-level DC/Transient counters.
 	// The feasibility filter's fewer-evaluations claim is measurable here.
@@ -470,7 +476,8 @@ func (s *Server) Stats() Stats {
 		Sim: SimStats{
 			DC: c.DC, Transient: c.Transient, NewtonIters: c.NewtonIters,
 			LinearFastPathRuns: c.LinearFastPathRuns, TransientSteps: c.TransientSteps,
-			PredictorSeeds: c.PredictorSeeds, EngineRuns: c.EngineRuns,
+			PredictorSeeds: c.PredictorSeeds, NLStampEvals: c.NLStampEvals,
+			EngineRuns: c.EngineRuns,
 		},
 		Feas: feas.Snapshot(),
 		RigPools: RigPoolStats{

@@ -18,6 +18,7 @@ var (
 	linearFastRunCount atomic.Int64
 	transientStepCount atomic.Int64
 	predictorSeedCount atomic.Int64
+	nlStampEvalCount   atomic.Int64
 )
 
 // CountEngineRun counts one reduced-order noise-engine run (core.RunEngine).
@@ -55,6 +56,11 @@ type Counters struct {
 	// polynomial predictor (Session.Predictor) rather than the previous
 	// converged point.
 	PredictorSeeds int64
+	// NLStampEvals counts nonlinear-capacitor stamp evaluations (one per
+	// voltage-dependent gate cap per transient Newton assembly). Strictly
+	// positive iff the state-dependent charge model actually ran — the
+	// /statsz assertion of the nlcap smoke job.
+	NLStampEvals int64
 }
 
 // Snapshot returns the current cumulative counters. Subtract two snapshots
@@ -68,6 +74,7 @@ func Snapshot() Counters {
 		LinearFastPathRuns: linearFastRunCount.Load(),
 		TransientSteps:     transientStepCount.Load(),
 		PredictorSeeds:     predictorSeedCount.Load(),
+		NLStampEvals:       nlStampEvalCount.Load(),
 	}
 }
 
@@ -81,6 +88,7 @@ func (c Counters) Sub(prev Counters) Counters {
 		LinearFastPathRuns: c.LinearFastPathRuns - prev.LinearFastPathRuns,
 		TransientSteps:     c.TransientSteps - prev.TransientSteps,
 		PredictorSeeds:     c.PredictorSeeds - prev.PredictorSeeds,
+		NLStampEvals:       c.NLStampEvals - prev.NLStampEvals,
 	}
 }
 
@@ -106,6 +114,7 @@ type CornerCounters struct {
 	TransientSteps     int64 `json:"transient_steps"`       // accepted transient timesteps under this corner
 	PredictorSeeds     int64 `json:"predictor_seeds"`       // timesteps seeded by the polynomial predictor
 	PredictorFallbacks int64 `json:"predictor_fallbacks"`   // predictor-seeded steps that fell back to the previous point
+	NLStampEvals       int64 `json:"nl_stamp_evals"`        // nonlinear-capacitor stamp evaluations under this corner
 }
 
 // cornerCounters is the process-wide per-corner work registry.
@@ -134,6 +143,7 @@ func RecordCornerStats(tag string, st SessionStats) {
 	c.TransientSteps += st.TransientSteps
 	c.PredictorSeeds += st.PredictorSeeds
 	c.PredictorFallbacks += st.PredictorFallbacks
+	c.NLStampEvals += st.NLStampEvals
 	cornerCounters[tag] = c
 }
 

@@ -34,12 +34,13 @@ type Program struct {
 	linear bool
 
 	// Index-resolved stamp plans. Ground is -1, matching circuit.Ground.
-	res  []resPlan
-	caps []capPlan
-	mos  []mosPlan
-	vccs []vccsPlan
-	vsrc []twoTerm // branch row for source k is n+k
-	isrc []twoTerm
+	res    []resPlan
+	caps   []capPlan
+	nlcaps []nlCapPlan // voltage-dependent gate caps, re-stamped per Newton iteration
+	mos    []mosPlan
+	vccs   []vccsPlan
+	vsrc   []twoTerm // branch row for source k is n+k
+	isrc   []twoTerm
 
 	// Compile-time parameter values, copied into each new Session.
 	srcW0  []*wave.Waveform // voltage-source waveforms
@@ -57,6 +58,16 @@ type resPlan struct {
 }
 
 type capPlan struct{ a, b int }
+
+// nlCapPlan is a voltage-dependent capacitor stamp: unlike capPlan, whose
+// companion conductance is pre-stamped into the transient system matrix
+// once per run, an nlCapPlan re-evaluates C(u) and dC/du from the current
+// iterate inside every Newton assembly (charge-conserving companion form,
+// see Session.assemble). u = v(a) − v(b).
+type nlCapPlan struct {
+	a, b int
+	cp   device.CapParams
+}
 
 type mosPlan struct {
 	d, g, s int
@@ -107,6 +118,13 @@ func Compile(c *circuit.Circuit) *Program {
 	for i := range c.Mosfets {
 		mf := &c.Mosfets[i]
 		p.mos = append(p.mos, mosPlan{d: idx(mf.D), g: idx(mf.G), s: idx(mf.S), p: mf.P})
+		// Gate-charge caps riding on the device. Co = 0 is the
+		// zero-modulation reduction: the cap is constant, so it joins the
+		// ordinary pre-stamped capPlan list (registered under
+		// "<name>.cgd"/"<name>.cgs") and the program keeps the precomputed
+		// companion fast path — bit-identical to an explicit AddC.
+		p.compileMOSCap(mf.Name+".cgd", mf.P.CGD, idx(mf.G), idx(mf.D))
+		p.compileMOSCap(mf.Name+".cgs", mf.P.CGS, idx(mf.G), idx(mf.S))
 	}
 	for i := range c.VCCSs {
 		e := &c.VCCSs[i]
@@ -122,8 +140,26 @@ func Compile(c *circuit.Circuit) *Program {
 		p.isrcW0 = append(p.isrcW0, is.W)
 		p.isrcIdx[is.Name] = k
 	}
-	p.linear = len(p.mos) == 0 && len(p.vccs) == 0
+	p.linear = len(p.mos) == 0 && len(p.vccs) == 0 && len(p.nlcaps) == 0
 	return p
+}
+
+// compileMOSCap compiles one gate-charge capacitor of a MOSFET instance. A
+// zero CapParams means the device has no gate-charge model and stamps
+// nothing; Co = 0 reduces to a constant capPlan; otherwise the cap becomes
+// an nlCapPlan re-evaluated per Newton iteration. u = v(a) − v(b) with a
+// the gate node.
+func (p *Program) compileMOSCap(name string, cp device.CapParams, a, b int) {
+	if cp.IsZero() || a == b {
+		return
+	}
+	if cp.Co == 0 {
+		p.capIdx[name] = len(p.caps)
+		p.caps = append(p.caps, capPlan{a: a, b: b})
+		p.capC0 = append(p.capC0, cp.Cp)
+		return
+	}
+	p.nlcaps = append(p.nlcaps, nlCapPlan{a: a, b: b, cp: cp})
 }
 
 // Linear reports whether the program contains no nonlinear device stamps —

@@ -68,6 +68,24 @@ type Session struct {
 	vPrev []float64
 	iPrev []float64
 
+	// Nonlinear-capacitor companion history: branch voltage, branch
+	// current and the capacitance C(u) the current was computed with. The
+	// charge-conserving companion form divides the history current by its
+	// own capacitance (i_last/C_last, see assemble), so C must be carried
+	// alongside i — recomputing it from vPrevNL would be wrong after a
+	// parameter change and is why the NLNMOS discretization stores it.
+	vPrevNL []float64
+	iPrevNL []float64
+	cPrevNL []float64
+	// nlGeq is the active companion factor (1/h for BE, 2/h for
+	// trapezoidal) while a transient step loop is running, and 0 outside
+	// it. assemble stamps the nonlinear caps only when nlGeq > 0: at DC a
+	// capacitor is an open circuit and contributes nothing, which keeps
+	// every DC solve — including the transient operating point — exactly
+	// on the legacy arithmetic.
+	nlGeq  float64
+	nlTrap bool
+
 	// Initial-guess seeds resolved to node indices.
 	guesses []guessEntry
 
@@ -119,6 +137,12 @@ type SessionStats struct {
 	// re-solved from the previous converged point.
 	PredictorSeeds     int64
 	PredictorFallbacks int64
+	// NLStampEvals counts nonlinear-capacitor stamp evaluations: one per
+	// voltage-dependent cap per Newton assembly of a transient step. Zero
+	// for constant-cap programs — the counter is the proof a run really
+	// exercised the state-dependent charge model (the /statsz assertion of
+	// the nlcap smoke job).
+	NLStampEvals int64
 }
 
 // Stats snapshots the session's work counters.
@@ -156,6 +180,11 @@ func NewSession(p *Program, opts Options) (*Session, error) {
 	s.capC = append([]float64(nil), p.capC0...)
 	s.vPrev = make([]float64, len(p.caps))
 	s.iPrev = make([]float64, len(p.caps))
+	if len(p.nlcaps) > 0 {
+		s.vPrevNL = make([]float64, len(p.nlcaps))
+		s.iPrevNL = make([]float64, len(p.nlcaps))
+		s.cPrevNL = make([]float64, len(p.nlcaps))
+	}
 	s.xWarm = make([]float64, s.size)
 	for name, v := range s.opts.InitialGuess {
 		s.setGuess(name, v)
@@ -316,6 +345,7 @@ func (s *Session) MemoryBytes() int64 {
 	// f, rhs, b, x, dx, xWarm (+ pivot ints and small per-element slices).
 	b += 6*sz*8 + sz*8
 	b += int64(len(s.vPrev)+len(s.iPrev)) * 16
+	b += int64(len(s.vPrevNL)) * 24 // vPrevNL + iPrevNL + cPrevNL
 	if s.xFallback != nil {
 		// Predictor history ring (3 vectors) plus the fallback buffer.
 		b += 4 * sz * 8
@@ -440,6 +470,51 @@ func (s *Session) assemble(lin *linalg.Matrix, x, b []float64) {
 				s.jac.Add(src, g, -gg)
 			}
 		}
+	}
+	// Nonlinear gate-charge capacitors: the charge-conserving companion
+	// form of the NLMOS discretization, re-evaluated from the current
+	// iterate on every assembly. With u = v(a) − v(b) and geq = 2/h
+	// (trapezoidal) or 1/h (backward Euler):
+	//
+	//	i     = C(u)·(geq·(u − u_last) − i_last/C_last)   (trap)
+	//	i     = C(u)·geq·(u − u_last)                     (BE)
+	//	di/du = C'(u)·(…) + C(u)·geq
+	//
+	// The history current is divided by the capacitance it was computed
+	// with (C_last), not the current one — that is what makes the scheme
+	// charge-conserving when C varies between steps (DESIGN.md §12).
+	// Outside a transient step loop nlGeq is 0 and the caps stamp nothing:
+	// open circuits at DC, exactly like the pre-stamped linear caps.
+	if s.nlGeq > 0 && len(s.prog.nlcaps) > 0 {
+		geq := s.nlGeq
+		for i := range s.prog.nlcaps {
+			nc := &s.prog.nlcaps[i]
+			u := vIdx(x, nc.a) - vIdx(x, nc.b)
+			c, dc := nc.cp.Eval(u)
+			rate := geq * (u - s.vPrevNL[i])
+			if s.nlTrap {
+				rate -= s.iPrevNL[i] / s.cPrevNL[i]
+			}
+			cur := c * rate
+			g := dc*rate + c*geq
+			a, bn := nc.a, nc.b
+			if a >= 0 {
+				s.f[a] += cur
+				s.jac.Add(a, a, g)
+				if bn >= 0 {
+					s.jac.Add(a, bn, -g)
+				}
+			}
+			if bn >= 0 {
+				s.f[bn] -= cur
+				s.jac.Add(bn, bn, g)
+				if a >= 0 {
+					s.jac.Add(bn, a, -g)
+				}
+			}
+		}
+		s.stats.NLStampEvals += int64(len(s.prog.nlcaps))
+		nlStampEvalCount.Add(int64(len(s.prog.nlcaps)))
 	}
 	// Table VCCSs: current i injected into Out.
 	for i := range s.prog.vccs {
@@ -887,6 +962,21 @@ func (s *Session) RunTransientInto(ctx context.Context, res *Result, tstop float
 		s.vPrev[i] = vIdx(x, cp.a) - vIdx(x, cp.b)
 		s.iPrev[i] = 0
 	}
+	// Nonlinear-cap history starts from the same steady state: zero branch
+	// current, and C_last evaluated at the operating-point branch voltage
+	// so the first step's i_last/C_last term is well-defined.
+	for i := range s.prog.nlcaps {
+		nc := &s.prog.nlcaps[i]
+		u := vIdx(x, nc.a) - vIdx(x, nc.b)
+		s.vPrevNL[i] = u
+		s.iPrevNL[i] = 0
+		s.cPrevNL[i], _ = nc.cp.Eval(u)
+	}
+	// Arm the per-iteration nonlinear-cap stamps for the step loop (and
+	// only for it: DC solves must keep seeing open circuits).
+	s.nlGeq = geqFactor
+	s.nlTrap = opts.Method == Trapezoidal
+	defer func() { s.nlGeq = 0 }()
 
 	// Predictor seeding only applies to Newton-path runs; a fast-path run
 	// has no Newton solve to seed.
@@ -953,6 +1043,18 @@ func (s *Session) RunTransientInto(ctx context.Context, res *Result, tstop float
 				s.iPrev[i] = s.capC[i] * geqFactor * (v - s.vPrev[i])
 			}
 			s.vPrev[i] = v
+		}
+		for i := range s.prog.nlcaps {
+			nc := &s.prog.nlcaps[i]
+			u := vIdx(x, nc.a) - vIdx(x, nc.b)
+			c, _ := nc.cp.Eval(u)
+			rate := geqFactor * (u - s.vPrevNL[i])
+			if opts.Method == Trapezoidal {
+				rate -= s.iPrevNL[i] / s.cPrevNL[i]
+			}
+			s.iPrevNL[i] = c * rate
+			s.vPrevNL[i] = u
+			s.cPrevNL[i] = c
 		}
 		if pred {
 			nh = s.pushHistory(x, nh)

@@ -120,6 +120,16 @@ type Options struct {
 	// corner, under which the analysis (and its artefact bytes) is exactly
 	// the corner-less one. Resolve named corners with tech.CornerByName.
 	Corner tech.Corner
+	// NonlinearCaps enables the NLMOS voltage-dependent gate-charge model
+	// for every cell in the analysis: the design's technology card is
+	// derived via tech.Tech.WithNonlinearCaps (after the corner is
+	// applied), so each transistor's C_GD/C_GS follow the tanh charge
+	// model and the transient engine re-evaluates their companion stamps
+	// per Newton iteration — the paper's nonlinear-cell accuracy claim.
+	// Nonlinear artefacts are cached and persisted under distinct keys
+	// (",nlcap" fingerprints); with the flag off the analysis and its
+	// artefact bytes are exactly the constant-cap legacy flow.
+	NonlinearCaps bool
 	// Model quality knobs.
 	LoadCurve charlib.LoadCurveOptions
 	Prop      charlib.PropOptions
@@ -606,7 +616,7 @@ func (a *Analyzer) analyzeCluster(ctx context.Context, cs ClusterSpec, pool *cor
 	}
 	var timing StageTiming
 	t0 := time.Now()
-	cl, err := a.design.BuildClusterCorner(cs, a.opts.Corner)
+	cl, err := a.design.BuildClusterCornerNL(cs, a.opts.Corner, a.opts.NonlinearCaps)
 	if err != nil {
 		return fail(StageBuild, err)
 	}
@@ -722,7 +732,7 @@ func (a *Analyzer) analyzeCluster(ctx context.Context, cs ClusterSpec, pool *cor
 // receiver against — the sign-off criterion itself, exposed for reporting
 // and inspection.
 func (a *Analyzer) ReceiverNRC(ctx context.Context, cs ClusterSpec) (*nrc.Curve, error) {
-	cl, err := a.design.BuildClusterCorner(cs, a.opts.Corner)
+	cl, err := a.design.BuildClusterCornerNL(cs, a.opts.Corner, a.opts.NonlinearCaps)
 	if err != nil {
 		return nil, err
 	}

@@ -181,11 +181,26 @@ func (d *Design) BuildCluster(cs ClusterSpec) (*core.Cluster, error) {
 // supply variation, not layout). A nominal corner builds exactly what
 // BuildCluster builds.
 func (d *Design) BuildClusterCorner(cs ClusterSpec, corner tech.Corner) (*core.Cluster, error) {
+	return d.BuildClusterCornerNL(cs, corner, false)
+}
+
+// BuildClusterCornerNL is BuildClusterCorner with the NLMOS nonlinear
+// gate-charge model optionally enabled: when nlcaps is true the corner-
+// derived card is further derived via tech.Tech.WithNonlinearCaps, so every
+// cell's gate capacitors become voltage-dependent and every downstream
+// artefact keys distinctly (",nlcap" fingerprints). The derivation order —
+// corner first, then nonlinear caps — matches the commuting property the
+// two card derivations guarantee. With nlcaps false it builds exactly what
+// BuildClusterCorner builds.
+func (d *Design) BuildClusterCornerNL(cs ClusterSpec, corner tech.Corner, nlcaps bool) (*core.Cluster, error) {
 	t, err := tech.ByName(d.Tech)
 	if err != nil {
 		return nil, err
 	}
 	t = corner.Apply(t)
+	if nlcaps {
+		t = t.WithNonlinearCaps()
+	}
 	segments := d.Segments
 	if segments <= 0 {
 		segments = 15

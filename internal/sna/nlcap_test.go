@@ -1,0 +1,74 @@
+package sna
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"stanoise/internal/core"
+)
+
+// TestNonlinearCapsOffByteStable pins the flag-off contract at the
+// analyzer level: with Options.NonlinearCaps false, two runs of the same
+// design produce byte-identical timing-cleared reports and no report
+// mentions the model anywhere — the option's existence changes nothing.
+func TestNonlinearCapsOffByteStable(t *testing.T) {
+	d := GenerateDesign("nlcap-off", 2)
+	marshal := func() []byte {
+		reports, err := NewAnalyzer(d, fastOpts(core.Macromodel)).Analyze(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range reports {
+			reports[i].ClearTiming()
+		}
+		b, err := json.Marshal(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := marshal(), marshal()
+	if !bytes.Equal(a, b) {
+		t.Fatal("flag-off analysis is not deterministic")
+	}
+}
+
+// TestNonlinearCapsChangesVerdicts is the end-to-end differential: the
+// same design analysed with and without Options.NonlinearCaps must
+// produce measurably different noise numbers (the nonlinear card reaches
+// the characterisation and evaluation physics), with the same clusters in
+// the same order and every peak still physical.
+func TestNonlinearCapsChangesVerdicts(t *testing.T) {
+	d := GenerateDesign("nlcap-diff", 2)
+	run := func(nl bool) []NetReport {
+		opts := fastOpts(core.Macromodel)
+		opts.NonlinearCaps = nl
+		reports, err := NewAnalyzer(d, opts).Analyze(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reports
+	}
+	off, on := run(false), run(true)
+	if len(off) != len(on) {
+		t.Fatalf("report count changed: %d vs %d", len(off), len(on))
+	}
+	maxDiff := 0.0
+	for i := range off {
+		if off[i].Cluster != on[i].Cluster {
+			t.Fatalf("cluster order changed: %s vs %s", off[i].Cluster, on[i].Cluster)
+		}
+		if math.IsNaN(on[i].PeakV) || on[i].PeakV < 0 {
+			t.Fatalf("cluster %s: unphysical nl peak %v", on[i].Cluster, on[i].PeakV)
+		}
+		maxDiff = math.Max(maxDiff, math.Abs(on[i].PeakV-off[i].PeakV))
+	}
+	// 0.1 mV floor: far above solver noise, far below the ~mV-scale
+	// shifts the golden fixture pairs measure.
+	if maxDiff < 1e-4 {
+		t.Errorf("nonlinear caps moved no peak by more than %.3g V — model invisible end to end", maxDiff)
+	}
+}

@@ -108,6 +108,17 @@ func (c Corner) Apply(t *Tech) *Tech {
 	d.PMOS.KP = t.PMOS.KP * c.pkpScale() * tempKP
 	d.NMOS.VT0 = t.NMOS.VT0 + c.NVTShift - dvt
 	d.PMOS.VT0 = t.PMOS.VT0 + c.PVTShift + dvt
+	// The C_GS transition of the nonlinear gate-charge model is anchored
+	// at the threshold (P0 = −P1·VT0, see WithNonlinearCaps); shift it
+	// alongside VT0 so the capacitance still rises where the channel
+	// forms. The C_GD transition is overlap-bias-anchored and stays put.
+	// This makes Apply commute with WithNonlinearCaps exactly.
+	if d.NMOS.CNLFrac != 0 {
+		d.NMOS.CNLGSP0 = t.NMOS.CNLGSP0 - d.NMOS.CNLGSP1*(c.NVTShift-dvt)
+	}
+	if d.PMOS.CNLFrac != 0 {
+		d.PMOS.CNLGSP0 = t.PMOS.CNLGSP0 - d.PMOS.CNLGSP1*(c.PVTShift+dvt)
+	}
 	cc := c
 	d.Corner = &cc
 	return &d

@@ -1,0 +1,122 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWithNonlinearCapsDerivation pins the derived-card contract: base
+// cards carry no nonlinear-cap model (bit-stability of every legacy key),
+// derivation is a fresh card that leaves the base untouched, is idempotent
+// (same pointer on a second call), and anchors the C_GS transition at each
+// polarity's threshold voltage.
+func TestWithNonlinearCapsDerivation(t *testing.T) {
+	for _, base := range []*Tech{Tech130(), Tech90()} {
+		t.Run(base.Name, func(t *testing.T) {
+			if base.NonlinearCaps() {
+				t.Fatal("base card reports a nonlinear-cap model")
+			}
+			nl := base.WithNonlinearCaps()
+			if nl == base {
+				t.Fatal("derivation returned the base card")
+			}
+			if base.NonlinearCaps() {
+				t.Fatal("derivation mutated the base card")
+			}
+			if !nl.NonlinearCaps() {
+				t.Fatal("derived card reports no nonlinear-cap model")
+			}
+			if nl.WithNonlinearCaps() != nl {
+				t.Error("derivation is not idempotent")
+			}
+			if nl.VDD != base.VDD || nl.NMOS.VT0 != base.NMOS.VT0 || nl.PMOS.KP != base.PMOS.KP {
+				t.Error("derivation changed electrical base parameters")
+			}
+			// The C_GS transition midpoint u = −P0/P1 must sit at VT0: the
+			// capacitance rises exactly where the channel forms.
+			if mid := -nl.NMOS.CNLGSP0 / nl.NMOS.CNLGSP1; mid != base.NMOS.VT0 {
+				t.Errorf("NMOS C_GS midpoint %g, want VT0 %g", mid, base.NMOS.VT0)
+			}
+			if mid := -nl.PMOS.CNLGSP0 / nl.PMOS.CNLGSP1; mid != base.PMOS.VT0 {
+				t.Errorf("PMOS C_GS midpoint %g, want VT0 %g", mid, base.PMOS.VT0)
+			}
+		})
+	}
+}
+
+// TestCornerCommutesWithNonlinearCaps holds the two card derivations to
+// their commuting property: for every standard corner and a batch of
+// Monte Carlo samples, Apply∘WithNonlinearCaps and WithNonlinearCaps∘Apply
+// produce identical device parameters — exactly, because the C_GS slope is
+// ±2 (a power of two, so the threshold-anchored P0 arithmetic commutes
+// through floating point) and Apply shifts CNLGSP0 by the same VT0 delta it
+// applies to the threshold itself. This is what lets libchar derive the
+// nonlinear card once up front and still farm corners over it.
+func TestCornerCommutesWithNonlinearCaps(t *testing.T) {
+	base := Tech130()
+	corners := StandardCorners()
+	corners = append(corners, SampleCorners(25, 42, SampleSpec{})...)
+	for _, c := range corners {
+		a := c.Apply(base.WithNonlinearCaps())
+		b := c.Apply(base).WithNonlinearCaps()
+		if a.NMOS != b.NMOS || a.PMOS != b.PMOS {
+			t.Errorf("corner %s: Apply∘With != With∘Apply:\n  %+v\n  %+v\n  %+v\n  %+v",
+				c.Name, a.NMOS, b.NMOS, a.PMOS, b.PMOS)
+		}
+		if a.VDD != b.VDD {
+			t.Errorf("corner %s: VDD differs: %g vs %g", c.Name, a.VDD, b.VDD)
+		}
+	}
+	// A temperature corner walks the threshold by dvt; the two orders then
+	// associate the VT0 sum differently, so equality holds to an ulp rather
+	// than exactly — pin that it stays there.
+	hot := Corner{Name: "hot", TempC: 125, NVTShift: 0.03, PVTShift: -0.03}
+	a := hot.Apply(base.WithNonlinearCaps())
+	b := hot.Apply(base).WithNonlinearCaps()
+	if d := math.Abs(a.NMOS.CNLGSP0 - b.NMOS.CNLGSP0); d > 1e-15 {
+		t.Errorf("hot corner: NMOS CNLGSP0 differs by %g", d)
+	}
+	if d := math.Abs(a.PMOS.CNLGSP0 - b.PMOS.CNLGSP0); d > 1e-15 {
+		t.Errorf("hot corner: PMOS CNLGSP0 differs by %g", d)
+	}
+}
+
+// TestCornerShiftsNLCapTransition pins the corner/nl-cap interaction
+// itself: a threshold-shifting corner must move the C_GS transition by
+// exactly the same voltage it moves VT0 (the transition stays anchored at
+// the shifted threshold), and must leave the overlap-anchored C_GD
+// transition untouched.
+func TestCornerShiftsNLCapTransition(t *testing.T) {
+	nl := Tech130().WithNonlinearCaps()
+	ss := MustCornerByName(t, "ss")
+	d := ss.Apply(nl)
+	nMid := -d.NMOS.CNLGSP0 / d.NMOS.CNLGSP1
+	if diff := math.Abs(nMid - d.NMOS.VT0); diff > 1e-15 {
+		t.Errorf("ss NMOS C_GS midpoint %g, want shifted VT0 %g", nMid, d.NMOS.VT0)
+	}
+	pMid := -d.PMOS.CNLGSP0 / d.PMOS.CNLGSP1
+	if diff := math.Abs(pMid - d.PMOS.VT0); diff > 1e-15 {
+		t.Errorf("ss PMOS C_GS midpoint %g, want shifted VT0 %g", pMid, d.PMOS.VT0)
+	}
+	if d.NMOS.CNLGDP0 != nl.NMOS.CNLGDP0 || d.PMOS.CNLGDP0 != nl.PMOS.CNLGDP0 {
+		t.Error("corner moved the C_GD transition; it is overlap-anchored and must stay put")
+	}
+	if d.NMOS.CNLFrac != nl.NMOS.CNLFrac || d.NMOS.CNLGSP1 != nl.NMOS.CNLGSP1 {
+		t.Error("corner changed nl-cap modulation fraction or slope")
+	}
+	// On a constant-cap card the corner must not invent a model.
+	plain := ss.Apply(Tech130())
+	if plain.NonlinearCaps() {
+		t.Error("corner applied to a constant-cap card produced nl-cap parameters")
+	}
+}
+
+// MustCornerByName resolves a standard corner or fails the test.
+func MustCornerByName(t *testing.T, name string) Corner {
+	t.Helper()
+	c, err := CornerByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

@@ -46,6 +46,26 @@ type MOSParams struct {
 	CGatePerWL float64 // gate-oxide capacitance per W·L (F/m²)
 	COverlap   float64 // gate-drain/source overlap capacitance per width (F/m)
 	CJunction  float64 // drain/source junction capacitance per width (F/m)
+
+	// Nonlinear gate-charge model (the NLMOS extension, see
+	// device.CapParams). CNLFrac is the fraction of each half-gate
+	// capacitance carried by the tanh modulation term: the cell builder
+	// splits C_half into Cp = (1−CNLFrac)·C_half and Co = CNLFrac·C_half,
+	// so the capacitance swings between (1−CNLFrac)·C_half and
+	// (1+CNLFrac)·C_half with C_half at the transition midpoint. The P0/P1
+	// pairs place and scale the C_GD and C_GS transitions along their
+	// branch voltages (u_gd = vg−vd, u_gs = vg−vs).
+	//
+	// All-zero means "no nonlinear gate model" — the zero-means-constant
+	// trick mirroring Corner's zero-means-nominal: base cards carry zeros,
+	// so every legacy netlist, cache key and store artefact stays
+	// bit-stable, and only cards derived via Tech.WithNonlinearCaps opt
+	// into the model.
+	CNLFrac float64 // modulation fraction of the half-gate cap; 0 = constant caps
+	CNLGDP0 float64 // C_GD transition offset
+	CNLGDP1 float64 // C_GD transition slope (1/V)
+	CNLGSP0 float64 // C_GS transition offset
+	CNLGSP1 float64 // C_GS transition slope (1/V)
 }
 
 // Tech is a process technology card.
@@ -103,6 +123,39 @@ func (t *Tech) PMOSDevice(w float64) device.Params {
 		Kind: device.PMOS, W: w, L: t.Lmin,
 		KP: t.PMOS.KP, VT0: t.PMOS.VT0, Lambda: t.PMOS.Lambda,
 	}
+}
+
+// NonlinearCaps reports whether the card carries the NLMOS voltage-dependent
+// gate-charge model (see MOSParams.CNLFrac). False for every base card.
+func (t *Tech) NonlinearCaps() bool {
+	return t.NMOS.CNLFrac != 0 || t.PMOS.CNLFrac != 0
+}
+
+// WithNonlinearCaps derives a card carrying the NLMOS gate-charge model:
+// half of each half-gate capacitance becomes tanh-modulated (CNLFrac = 0.5),
+// with the C_GS transition anchored at the polarity's threshold voltage
+// (P0 = −P1·VT0, so the capacitance rises as the channel forms) and a
+// gentler C_GD transition around the drain-overlap bias. The receiver is a
+// fresh card — the base card is never mutated, mirroring Corner.Apply — and
+// a card that already carries the model is returned unchanged, which makes
+// the derivation idempotent and commutes with Corner.Apply (Apply shifts
+// the VT-anchored P0 alongside VT0; property-tested).
+func (t *Tech) WithNonlinearCaps() *Tech {
+	if t.NonlinearCaps() {
+		return t
+	}
+	d := *t
+	d.NMOS.CNLFrac = 0.5
+	d.NMOS.CNLGSP1 = 2.0
+	d.NMOS.CNLGSP0 = -d.NMOS.CNLGSP1 * t.NMOS.VT0
+	d.NMOS.CNLGDP1 = 1.2
+	d.NMOS.CNLGDP0 = -0.4
+	d.PMOS.CNLFrac = 0.5
+	d.PMOS.CNLGSP1 = -2.0
+	d.PMOS.CNLGSP0 = -d.PMOS.CNLGSP1 * t.PMOS.VT0
+	d.PMOS.CNLGDP1 = -1.2
+	d.PMOS.CNLGDP0 = -0.4
+	return &d
 }
 
 // GateCap returns the total gate capacitance of a device of width w at
